@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 8: value of IB/N_TA + CP versus input-broadcast width IB for
+ * N_PFCU in {8, 16, 32}, at N_TA = 16.
+ *
+ * Paper claims: with 8 or 16 PFCUs the minimum is at IB = N_PFCU; at
+ * 32 the continuous optimum sits at IB = 23 but the valid power-of-two
+ * solutions 16 and 32 tie.
+ */
+
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+int
+main()
+{
+    std::printf("=== Figure 8: parallelization objective IB/N_TA + CP "
+                "(N_TA = 16) ===\n\n");
+
+    std::vector<PlotSeries> series;
+    for (size_t n : {8u, 16u, 32u}) {
+        PlotSeries s{"N_PFCU=" + std::to_string(n), {}, {}};
+        TextTable table({"IB", "CP", "objective", "valid"});
+        for (const auto &p : arch::sweepInputBroadcast(n, 16)) {
+            table.addRow({std::to_string(p.input_broadcast),
+                          std::to_string(p.channel_parallel),
+                          TextTable::num(p.objective, 3),
+                          p.valid ? "yes" : "no"});
+            s.x.push_back(static_cast<double>(p.input_broadcast));
+            s.y.push_back(p.objective);
+        }
+        std::printf("N_PFCU = %zu (optimal valid IB = %zu)\n%s\n", n,
+                    arch::optimalInputBroadcast(n, 16),
+                    table.render().c_str());
+        series.push_back(std::move(s));
+    }
+
+    std::printf("%s\n", AsciiPlot::line(series, 64, 14).c_str());
+
+    // The continuous minimum at N_PFCU = 32 (paper: IB = 23).
+    double best_ib = 1.0, best = 1e300;
+    for (double ib = 1.0; ib <= 32.0; ib += 0.01) {
+        const double v = arch::parallelizationObjective(ib, 32, 16);
+        if (v < best) {
+            best = v;
+            best_ib = ib;
+        }
+    }
+    std::printf("continuous minimum for N_PFCU=32 at IB = %.1f "
+                "(paper: 23, sqrt(16*32) = 22.6)\n", best_ib);
+    std::printf("IB=16 objective %.3f == IB=32 objective %.3f -> both "
+                "optimal, as the paper reports\n",
+                arch::parallelizationObjective(16, 32, 16),
+                arch::parallelizationObjective(32, 32, 16));
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 10: geometric-mean FPS/W over the five benchmark CNNs as the
+ * PhotoFourier optimizations are enabled cumulatively:
+ *
+ *   baseline -> +small-filter DAC pruning -> +PFCU parallelization
+ *   (input broadcast, 8 PFCUs) -> +temporal accumulation ->
+ *   +nonlinear material.
+ *
+ * All steps use the CG power numbers (the paper excludes technology
+ * scaling here). Paper claim: ~15x over the baseline end to end.
+ */
+
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+namespace {
+
+double
+geomeanFpsPerW(const arch::AcceleratorConfig &cfg,
+               const std::vector<nn::NetworkSpec> &nets)
+{
+    arch::DataflowMapper mapper(cfg);
+    std::vector<double> values;
+    for (const auto &net : nets)
+        values.push_back(mapper.mapNetwork(net).fpsPerW());
+    return geomean(values);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 10: effect of the optimizations "
+                "(geomean FPS/W, 5 CNNs, CG power) ===\n\n");
+    const auto nets = nn::tableIIINetworks();
+
+    std::vector<std::string> labels;
+    std::vector<double> values;
+
+    auto cfg = arch::AcceleratorConfig::baselineJtc();
+    labels.push_back("baseline (1 PFCU)");
+    values.push_back(geomeanFpsPerW(cfg, nets));
+
+    cfg.small_filter_opt = true;
+    cfg.n_weight_dacs = 25;
+    labels.push_back("+ small-filter opt");
+    values.push_back(geomeanFpsPerW(cfg, nets));
+
+    cfg.n_pfcus = 8;
+    cfg.input_broadcast = 8;
+    labels.push_back("+ PFCU parallelization");
+    values.push_back(geomeanFpsPerW(cfg, nets));
+
+    cfg.temporal_accumulation_depth = 16;
+    labels.push_back("+ temporal accumulation");
+    values.push_back(geomeanFpsPerW(cfg, nets));
+
+    cfg.nonlinear_material = true;
+    labels.push_back("+ nonlinear material");
+    values.push_back(geomeanFpsPerW(cfg, nets));
+
+    TextTable table({"configuration", "geomean FPS/W", "vs baseline"});
+    for (size_t i = 0; i < labels.size(); ++i) {
+        table.addRow({labels[i], TextTable::num(values[i], 1),
+                      TextTable::num(values[i] / values[0], 2) + "x"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", AsciiPlot::bars(labels, values, 48).c_str());
+    std::printf("end-to-end improvement: %.1fx (paper: ~15x)\n",
+                values.back() / values.front());
+    return 0;
+}

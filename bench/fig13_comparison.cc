@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 13: inference performance on ImageNet-class CNNs versus prior
+ * accelerators — (a) FPS, (b) FPS/W (with -nm = no memory-access power
+ * variants), (c) 1/EDP.
+ *
+ * Prior-work bars are reconstructions anchored to this repository's
+ * PhotoFourier results via the relations the paper reports (see
+ * src/baselines/baselines.hh and DESIGN.md). Missing bars in the
+ * paper are marked "n/a".
+ */
+
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+int
+main()
+{
+    std::printf("=== Figure 13: comparison with prior works ===\n\n");
+
+    arch::DataflowMapper cg(arch::AcceleratorConfig::currentGen());
+    arch::DataflowMapper ng(arch::AcceleratorConfig::nextGen());
+
+    for (const auto &spec :
+         {nn::alexnetSpec(), nn::vgg16Spec(), nn::resnet18Spec()}) {
+        const auto entries = baselines::figure13Entries(
+            cg.mapNetwork(spec), ng.mapNetwork(spec));
+
+        std::printf("--- %s ---\n", spec.name.c_str());
+        TextTable table({"accelerator", "FPS (a)", "FPS/W (b)",
+                         "1/EDP (c)"});
+        for (const auto &e : entries) {
+            if (!e.available) {
+                table.addRow({e.accelerator, "n/a", "n/a", "n/a"});
+                continue;
+            }
+            table.addRow({e.accelerator, TextTable::num(e.fps, 0),
+                          TextTable::num(e.fps_per_w, 1),
+                          TextTable::sci(e.invEdp(), 2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // Headline ratios.
+    const auto alexnet = baselines::figure13Entries(
+        cg.mapNetwork(nn::alexnetSpec()),
+        ng.mapNetwork(nn::alexnetSpec()));
+    const auto resnet = baselines::figure13Entries(
+        cg.mapNetwork(nn::resnet18Spec()),
+        ng.mapNetwork(nn::resnet18Spec()));
+    auto get = [](const std::vector<baselines::ComparisonEntry> &v,
+                  const std::string &name)
+        -> const baselines::ComparisonEntry & {
+        for (const auto &e : v)
+            if (e.accelerator == name)
+                return e;
+        static baselines::ComparisonEntry dummy;
+        return dummy;
+    };
+
+    double best_edp_cg = 0.0, best_edp_ng = 0.0;
+    for (const auto *set : {&alexnet, &resnet}) {
+        best_edp_cg = std::max(
+            best_edp_cg, get(*set, "PhotoFourier-CG").invEdp() /
+                             get(*set, "Albireo-c").invEdp());
+        best_edp_ng = std::max(
+            best_edp_ng, get(*set, "PhotoFourier-NG").invEdp() /
+                             get(*set, "Albireo-a").invEdp());
+    }
+    std::printf("headlines: CG vs Albireo-c EDP up to %.0fx "
+                "(paper: 28x); NG vs Albireo-a up to %.0fx (paper: "
+                "10x)\n", best_edp_cg, best_edp_ng);
+    std::printf("CG vs Holylight-m FPS/W: %.0fx (paper: 532x); CG vs "
+                "DEAP-CNN: %.0fx (paper: 704x)\n",
+                get(resnet, "PhotoFourier-CG").fps_per_w /
+                    get(resnet, "Holylight-m").fps_per_w,
+                get(resnet, "PhotoFourier-CG").fps_per_w /
+                    get(resnet, "DEAP-CNN").fps_per_w);
+    return 0;
+}

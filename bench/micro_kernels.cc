@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the computational kernels the
+ * simulator is built on: FFTs (radix-2 and Bluestein), the field-level
+ * JTC evaluation, direct vs FFT 1D convolution, and row-tiled 2D
+ * convolution on both backends.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "jtc/jtc_system.hh"
+#include "signal/convolution.hh"
+#include "signal/fft.hh"
+#include "tiling/tiled_convolution.hh"
+
+namespace pf = photofourier;
+namespace sig = photofourier::signal;
+namespace jtc = photofourier::jtc;
+namespace tl = photofourier::tiling;
+
+namespace {
+
+sig::ComplexVector
+randomComplex(size_t n)
+{
+    pf::Rng rng(n);
+    sig::ComplexVector v(n);
+    for (auto &c : v)
+        c = sig::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    return v;
+}
+
+} // namespace
+
+static void
+BM_FftRadix2(benchmark::State &state)
+{
+    auto data = randomComplex(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto copy = data;
+        sig::fftRadix2(copy, false);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FftRadix2)->RangeMultiplier(4)->Range(64, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+static void
+BM_FftBluestein(benchmark::State &state)
+{
+    // Non-power-of-two sizes exercise the chirp-z path.
+    auto data = randomComplex(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto out = sig::fft(data);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FftBluestein)->Arg(63)->Arg(257)->Arg(1000)->Arg(4093);
+
+static void
+BM_Convolve1dDirect(benchmark::State &state)
+{
+    pf::Rng rng(1);
+    const auto a =
+        rng.uniformVector(static_cast<size_t>(state.range(0)), -1, 1);
+    const auto b = rng.uniformVector(25, -1, 1);
+    for (auto _ : state) {
+        auto out = sig::convolve1d(a, b);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Convolve1dDirect)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void
+BM_Convolve1dFft(benchmark::State &state)
+{
+    pf::Rng rng(2);
+    const auto a =
+        rng.uniformVector(static_cast<size_t>(state.range(0)), -1, 1);
+    const auto b = rng.uniformVector(25, -1, 1);
+    for (auto _ : state) {
+        auto out = sig::convolve1dFft(a, b);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Convolve1dFft)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void
+BM_JtcCorrelationWindow(benchmark::State &state)
+{
+    pf::Rng rng(3);
+    const auto s =
+        rng.uniformVector(static_cast<size_t>(state.range(0)), 0, 1);
+    const auto k = rng.uniformVector(67, 0, 0.3);
+    jtc::JtcSystem optics;
+    for (auto _ : state) {
+        auto out = optics.correlationWindow(s, k, s.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_JtcCorrelationWindow)->Arg(64)->Arg(256)->Arg(512);
+
+static void
+BM_TiledConv2dCpu(benchmark::State &state)
+{
+    const size_t si = static_cast<size_t>(state.range(0));
+    pf::Rng rng(4);
+    sig::Matrix input(si, si);
+    input.data = rng.uniformVector(si * si, 0, 1);
+    sig::Matrix kernel(3, 3);
+    kernel.data = rng.uniformVector(9, -0.3, 0.3);
+    tl::TilingParams params{.input_size = si, .kernel_size = 3,
+                            .n_conv = 256};
+    tl::TiledConvolution conv(params, tl::cpuBackend());
+    for (auto _ : state) {
+        auto out = conv.execute(input, kernel);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+}
+BENCHMARK(BM_TiledConv2dCpu)->Arg(14)->Arg(28)->Arg(56);
+
+static void
+BM_TiledConv2dOptical(benchmark::State &state)
+{
+    const size_t si = static_cast<size_t>(state.range(0));
+    pf::Rng rng(5);
+    sig::Matrix input(si, si);
+    input.data = rng.uniformVector(si * si, 0, 1);
+    sig::Matrix kernel(3, 3);
+    kernel.data = rng.uniformVector(9, 0, 0.3);
+    tl::TilingParams params{.input_size = si, .kernel_size = 3,
+                            .n_conv = 256};
+    tl::TiledConvolution conv(params, tl::jtcBackend());
+    for (auto _ : state) {
+        auto out = conv.execute(input, kernel);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+}
+BENCHMARK(BM_TiledConv2dOptical)->Arg(14)->Arg(28);
+
+static void
+BM_Conv2dDirectReference(benchmark::State &state)
+{
+    const size_t si = static_cast<size_t>(state.range(0));
+    pf::Rng rng(6);
+    sig::Matrix input(si, si);
+    input.data = rng.uniformVector(si * si, 0, 1);
+    sig::Matrix kernel(3, 3);
+    kernel.data = rng.uniformVector(9, -0.3, 0.3);
+    for (auto _ : state) {
+        auto out = sig::conv2d(input, kernel, sig::ConvMode::Same);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+}
+BENCHMARK(BM_Conv2dDirectReference)->Arg(14)->Arg(28)->Arg(56);

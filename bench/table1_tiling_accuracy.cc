@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Table I: accuracy drop of the row tiling/partitioning method with 1D
+ * convolution, on three CNN families.
+ *
+ * Paper claim: less than ~1% top-1/top-5 drop on AlexNet, VGG-16 and
+ * ResNet-18 (ImageNet), on par with Holylight [41] and Lightbulb [75].
+ *
+ * Substitution (DESIGN.md): no ImageNet or pretrained weights ship
+ * offline. Three small CNNs mirroring the families' topologies
+ * (stride-heavy AlexNet-style, stacked-3x3 VGG-style, residual
+ * ResNet-style) are trained in-repo on synthetic CIFAR, then evaluated
+ * with the row-tiled 1D engine (Same mode, no zero padding — the
+ * edge-effect approximation) against their own float accuracy. The
+ * property under test — row tiling ~= 2D convolution at network scale
+ * — is weight- and dataset-independent; per-layer exactness is
+ * verified separately in tests/test_tiling.cc.
+ */
+
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    double top1_orig, top5_orig, top1_drop, top5_drop;
+    double logit_perturbation;
+};
+
+Row
+evaluate(const std::string &name, nn::Network net,
+         const std::vector<nn::Sample> &train_set,
+         const std::vector<nn::Sample> &test_set)
+{
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 6;
+    tcfg.lr = 0.04;
+    nn::train(net, train_set, tcfg);
+
+    Row row;
+    row.name = name;
+    const auto orig = nn::evaluateTopKs(net, test_set, {1, 5});
+    row.top1_orig = orig[0];
+    row.top5_orig = orig[1];
+
+    // Row tiling only: ideal converters, edge-effect Same mode.
+    nn::PhotoFourierEngineConfig cfg;
+    cfg.dac_bits = 0;
+    cfg.adc_bits = 0;
+    cfg.zero_pad_rows = false;
+    auto tiled_engine = std::make_shared<nn::PhotoFourierEngine>(cfg);
+    net.setConvEngine(tiled_engine);
+    const auto tiled = nn::evaluateTopKs(net, test_set, {1, 5});
+    row.top1_drop = row.top1_orig - tiled[0];
+    row.top5_drop = row.top5_orig - tiled[1];
+
+    // Quantify the edge effect at the logit level (a small test set
+    // cannot resolve sub-percent accuracy drops; the perturbation
+    // magnitude shows the approximation is real but tiny).
+    const size_t probe = std::min<size_t>(16, test_set.size());
+    std::vector<nn::Sample> probe_set(test_set.begin(),
+                                      test_set.begin() + probe);
+    row.logit_perturbation = nn::meanLogitPerturbation(
+        net, probe_set, std::make_shared<nn::DirectEngine>(),
+        tiled_engine);
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table I: accuracy drop of row tiling with 1D "
+                "convolution ===\n\n");
+
+    nn::SyntheticCifarConfig dcfg;
+    dcfg.num_classes = 10;
+    nn::SyntheticCifar gen(dcfg, 1234);
+    const auto train_set = gen.generate(240);
+    const auto test_set = gen.generate(120);
+
+    Rng rng(17);
+    std::vector<Row> rows;
+    std::printf("training 3 small CNNs on synthetic CIFAR "
+                "(stand-ins; see DESIGN.md)...\n\n");
+    rows.push_back(evaluate("AlexNet-style",
+                            nn::buildSmallAlexNet(10, rng), train_set,
+                            test_set));
+    rows.push_back(evaluate("VGG-style", nn::buildSmallVgg(10, rng),
+                            train_set, test_set));
+    rows.push_back(evaluate("ResNet-style",
+                            nn::buildSmallResNet(10, rng), train_set,
+                            test_set));
+
+    TextTable table({"network", "orig T-1", "orig T-5", "ours dT-1",
+                     "ours dT-5", "logit dist", "paper dT-1",
+                     "paper dT-5"});
+    const char *paper_t1[3] = {"-0.7", "-0.8", "-1.3"};
+    const char *paper_t5[3] = {"-0.4", "-0.4", "-0.9"};
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        table.addRow({r.name,
+                      TextTable::num(100.0 * r.top1_orig, 1),
+                      TextTable::num(100.0 * r.top5_orig, 1),
+                      TextTable::num(-100.0 * r.top1_drop, 1),
+                      TextTable::num(-100.0 * r.top5_drop, 1),
+                      TextTable::sci(r.logit_perturbation, 1),
+                      paper_t1[i], paper_t5[i]});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper shape: row tiling costs ~1%% or less of "
+                "accuracy, inference-only (no retraining).\n"
+                "'logit dist' is the mean relative logit perturbation "
+                "of the edge-effect approximation — nonzero but far "
+                "inside the decision margins.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table III: maximum input waveguides per PFCU under the 100 mm^2 PIC
+ * budget and the geometric mean of normalized FPS/W on the five
+ * benchmark CNNs, for PFCU counts {4, 8, 16, 32, 64}, both versions.
+ *
+ * Paper optima: CG best at 8 PFCUs (270 waveguides computed; 256
+ * deployed), NG best at 16 PFCUs (267 computed; 256 deployed).
+ */
+
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+int
+main()
+{
+    std::printf("=== Table III: waveguides/PFCU design space "
+                "(100 mm^2 PIC budget) ===\n\n");
+
+    const auto nets = nn::tableIIINetworks();
+    const size_t paper_w_cg[5] = {412, 270, 172, 105, 61};
+    const size_t paper_w_ng[5] = {576, 395, 267, 177, 114};
+    const double paper_norm_cg[5] = {0.70, 0.97, 0.89, 0.72, 0.74};
+    const double paper_norm_ng[5] = {0.55, 0.75, 0.97, 0.82, 0.81};
+
+    for (auto base : {arch::AcceleratorConfig::currentGen(),
+                      arch::AcceleratorConfig::nextGen()}) {
+        const bool cg = base.generation == photonics::Generation::CG;
+        const auto points = arch::sweepDesignSpace(
+            base, {4, 8, 16, 32, 64}, 100.0, nets);
+
+        std::printf("%s\n", base.name.c_str());
+        TextTable table({"# PFCU", "# waveguides", "paper W",
+                         "geomean FPS/W", "normalized",
+                         "paper norm"});
+        size_t best_n = 0;
+        double best = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            const auto &p = points[i];
+            table.addRow(
+                {std::to_string(p.n_pfcus),
+                 std::to_string(p.max_waveguides),
+                 std::to_string(cg ? paper_w_cg[i] : paper_w_ng[i]),
+                 TextTable::num(p.geomean_fps_per_w, 1),
+                 TextTable::num(p.normalized, 2),
+                 TextTable::num(cg ? paper_norm_cg[i]
+                                   : paper_norm_ng[i], 2)});
+            if (p.geomean_fps_per_w > best) {
+                best = p.geomean_fps_per_w;
+                best_n = p.n_pfcus;
+            }
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("optimum at %zu PFCUs (paper: %s)\n\n", best_n,
+                    cg ? "8" : "16");
+    }
+    std::printf("note: paper normalizes jointly across versions; "
+                "this table normalizes within each version. The\n"
+                "optima and the max-waveguide column are the "
+                "reproduction targets.\n");
+    return 0;
+}

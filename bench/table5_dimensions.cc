@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table V: dimensions of the photonic components used in the area
+ * estimation, plus the per-PFCU area they imply at the deployed
+ * 256-waveguide design point.
+ */
+
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+int
+main()
+{
+    std::printf("=== Table V: photonic component dimensions ===\n\n");
+
+    const auto d = photonics::ComponentCatalog::dimensions();
+    TextTable table({"component", "dimension", "area"});
+    auto row = [&](const char *name, double w, double h) {
+        table.addRow({name,
+                      TextTable::num(w, 1) + " um x " +
+                          TextTable::num(h, 1) + " um",
+                      TextTable::num(w * h, 1) + " um^2"});
+    };
+    row("MRR", d.mrr_w_um, d.mrr_h_um);
+    row("optical splitter", d.splitter_w_um, d.splitter_h_um);
+    row("photodetector", d.pd_w_um, d.pd_h_um);
+    table.addRow({"waveguide pitch",
+                  TextTable::num(d.waveguide_pitch_um, 1) + " um",
+                  "--"});
+    row("laser", d.laser_w_um, d.laser_h_um);
+    row("on-chip lens", d.lens_w_um, d.lens_h_um);
+    std::printf("%s\n", table.render().c_str());
+
+    arch::AreaModel cg(photonics::Generation::CG);
+    arch::AreaModel ng(photonics::Generation::NG);
+    std::printf("implied per-PFCU area at 256 waveguides: CG %.2f "
+                "mm^2 (folded, 2.5D), NG %.2f mm^2 (monolithic)\n",
+                cg.pfcuAreaMm2(256), ng.pfcuAreaMm2(256));
+    return 0;
+}

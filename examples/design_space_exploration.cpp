@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Design-space exploration scenario: given a PIC area budget, find the
+ * best PFCU count / waveguide count trade-off for a workload mix
+ * (the Section V-E methodology, applied by a user to their own
+ * budget and networks).
+ */
+
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+int
+main(int argc, char **argv)
+{
+    const double budget_mm2 = argc > 1 ? std::atof(argv[1]) : 100.0;
+    std::printf("exploring PFCU count x waveguides under a %.0f mm^2 "
+                "PIC budget\n\n", budget_mm2);
+
+    const auto nets = nn::tableIIINetworks();
+    for (auto base : {arch::AcceleratorConfig::currentGen(),
+                      arch::AcceleratorConfig::nextGen()}) {
+        const auto points = arch::sweepDesignSpace(
+            base, {4, 8, 16, 32, 64}, budget_mm2, nets);
+
+        TextTable table({"# PFCU", "# waveguides", "geomean FPS/W",
+                         "normalized"});
+        const arch::DesignPoint *best = &points[0];
+        for (const auto &p : points) {
+            table.addRow({std::to_string(p.n_pfcus),
+                          std::to_string(p.max_waveguides),
+                          TextTable::num(p.geomean_fps_per_w, 1),
+                          TextTable::num(p.normalized, 2)});
+            if (p.geomean_fps_per_w > best->geomean_fps_per_w)
+                best = &p;
+        }
+        std::printf("%s\n%s", base.name.c_str(),
+                    table.render().c_str());
+        std::printf("-> best: %zu PFCUs with %zu waveguides\n\n",
+                    best->n_pfcus, best->max_waveguides);
+
+        // Show the recommended configuration's per-network numbers.
+        const auto cfg = arch::designPointConfig(
+            base, best->n_pfcus, best->max_waveguides);
+        PhotoFourierAccelerator accel(cfg);
+        for (const auto &net : nets) {
+            const auto perf = accel.simulate(net);
+            std::printf("   %-10s %9.0f FPS  %6.2f W  %9.1f FPS/W\n",
+                        net.name.c_str(), perf.fps(),
+                        perf.avgPowerW(), perf.fpsPerW());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

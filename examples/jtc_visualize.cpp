@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Visualize the JTC output plane for a row-tiled CIFAR-style input —
+ * the experiment of the paper's Figure 2, interactively.
+ *
+ * The output plane shows three spatially separated terms: the central
+ * non-convolution term O(x), the cross-correlation term (the wanted
+ * convolution), and its mirror image.
+ */
+
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+int
+main()
+{
+    // A 256-element input: 8 rows of a 32x32 synthetic CIFAR channel,
+    // row-tiled exactly as the accelerator would (Section III).
+    nn::SyntheticCifar gen({}, 99);
+    const auto sample = gen.generate(1)[0];
+    std::vector<double> tiled_input;
+    for (size_t r = 0; r < 8; ++r)
+        for (size_t c = 0; c < 32; ++c)
+            tiled_input.push_back(sample.image.at(0, r, c));
+
+    // A tiled 3x3 averaging kernel (rows separated by 32-3 zeros).
+    std::vector<double> tiled_kernel(2 * 32 + 3, 0.0);
+    for (size_t kr = 0; kr < 3; ++kr)
+        for (size_t kc = 0; kc < 3; ++kc)
+            tiled_kernel[kr * 32 + kc] = 1.0 / 9.0;
+
+    jtc::JtcSystem optics;
+    const auto layout =
+        jtc::JtcSystem::layoutFor(tiled_input, tiled_kernel);
+    const auto plane = optics.outputPlane(tiled_input, tiled_kernel);
+
+    std::printf("JTC output plane (%zu samples) for a 256-element "
+                "tiled CIFAR input\n", plane.size());
+    std::printf("signal at [0,%zu), kernel at [%zu,%zu)\n\n",
+                layout.signal_len, layout.kernel_pos,
+                layout.kernel_pos + layout.kernel_len);
+    std::printf("%s\n", AsciiPlot::profile(plane, 96, 14).c_str());
+
+    // Quantify the separation (the Figure 2 claim).
+    const size_t longest =
+        std::max(layout.signal_len, layout.kernel_len);
+    const size_t cross_lo = layout.kernel_pos - (layout.signal_len - 1);
+    const size_t cross_hi = layout.kernel_pos + layout.kernel_len - 1;
+    double central = 0.0, cross = 0.0, guard = 0.0;
+    for (size_t d = 0; d < plane.size(); ++d) {
+        const double e = plane[d] * plane[d];
+        const bool in_central =
+            d <= longest - 1 || d >= plane.size() - (longest - 1);
+        const bool in_cross =
+            (d >= cross_lo && d <= cross_hi) ||
+            (d >= plane.size() - cross_hi &&
+             d <= plane.size() - cross_lo);
+        if (in_central)
+            central += e;
+        else if (in_cross)
+            cross += e;
+        else
+            guard += e;
+    }
+    std::printf("energy: central O(x) term %.3e | correlation terms "
+                "%.3e | guard bands %.3e\n", central, cross, guard);
+    std::printf("the three terms are spatially separated; guard-band "
+                "leakage is %.1e of total\n",
+                guard / (central + cross + guard));
+    return 0;
+}

@@ -1,0 +1,75 @@
+#include "arch/accel_config.hh"
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace arch {
+
+void
+AcceleratorConfig::validate() const
+{
+    pf_assert(n_pfcus >= 1, "need at least one PFCU");
+    pf_assert(input_broadcast >= 1 && input_broadcast <= n_pfcus,
+              "input_broadcast out of range");
+    pf_assert(n_pfcus % input_broadcast == 0,
+              "input_broadcast (", input_broadcast,
+              ") must divide n_pfcus (", n_pfcus, ")");
+    pf_assert(temporal_accumulation_depth >= 1,
+              "temporal accumulation depth must be >= 1");
+    pf_assert(n_input_waveguides >= 2, "too few waveguides");
+    pf_assert(clock_ghz > 0.0, "clock must be positive");
+}
+
+AcceleratorConfig
+AcceleratorConfig::currentGen()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "PhotoFourier-CG";
+    cfg.generation = photonics::Generation::CG;
+    cfg.n_pfcus = 8;
+    cfg.input_broadcast = 8;
+    cfg.nonlinear_material = false;
+    cfg.n_chiplets = 2;
+    cfg.sram_pj_per_bit = 0.08;
+    cfg.cmos_tile_mw = 250.0;
+    cfg.validate();
+    return cfg;
+}
+
+AcceleratorConfig
+AcceleratorConfig::nextGen()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "PhotoFourier-NG";
+    cfg.generation = photonics::Generation::NG;
+    cfg.n_pfcus = 16;
+    cfg.input_broadcast = 16;
+    cfg.nonlinear_material = true;
+    cfg.n_chiplets = 1;
+    // 7nm SRAM: wire-dominated wide buses scale weaker than logic
+    // (Section VI-D: SRAM becomes the largest contributor).
+    cfg.sram_pj_per_bit = 0.06;
+    cfg.cmos_tile_mw = 60.0;
+    cfg.validate();
+    return cfg;
+}
+
+AcceleratorConfig
+AcceleratorConfig::baselineJtc()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "baseline-JTC";
+    cfg.generation = photonics::Generation::CG;
+    cfg.n_pfcus = 1;
+    cfg.input_broadcast = 1;
+    cfg.small_filter_opt = false;     // all 256 weight DACs populated
+    cfg.n_weight_dacs = 256;
+    cfg.temporal_accumulation_depth = 1; // ADCs at 10 GHz
+    cfg.nonlinear_material = false;
+    cfg.n_chiplets = 2;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace arch
+} // namespace photofourier

@@ -1,0 +1,120 @@
+#include "arch/area_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace photofourier {
+namespace arch {
+
+AreaModel::AreaModel(photonics::Generation gen) : gen_(gen)
+{
+    // Calibrated against the paper's design points (see header).
+    // CG: folded layout, long analog runs to the CMOS chiplet, high
+    // redundancy (waveguide routing ~ half the chip, Section VI-C).
+    // NG: monolithic, unfolded single-dimension placement.
+    if (gen == photonics::Generation::CG) {
+        route_coeff_ = 1.0027e-4;
+        linear_coeff_ = 1.8866e-2;
+        fixed_mm2_ = 0.096;
+        sram_mm2_per_mb_ = 0.731; // 14nm compiler-grade macro
+        cmos_tile_mm2_ = 1.13;
+    } else {
+        route_coeff_ = 6.484e-5;
+        linear_coeff_ = 5.933e-3;
+        fixed_mm2_ = 0.039;
+        sram_mm2_per_mb_ = 0.442; // 7nm FinFET (PCACTI-style scaling)
+        cmos_tile_mm2_ = 0.97;
+    }
+}
+
+double
+AreaModel::pfcuAreaMm2(size_t n_waveguides) const
+{
+    const double w = static_cast<double>(n_waveguides);
+    return route_coeff_ * w * w + linear_coeff_ * w + fixed_mm2_;
+}
+
+double
+AreaModel::sramAreaMm2(const AcceleratorConfig &config) const
+{
+    const double weight_mb = config.weight_sram_kb_per_tile / 1024.0 *
+                             static_cast<double>(config.n_pfcus);
+    return (weight_mb + config.activation_sram_mb) * sram_mm2_per_mb_;
+}
+
+double
+AreaModel::cmosAreaMm2(const AcceleratorConfig &config) const
+{
+    // One processing tile per PFCU plus the shared activation tile.
+    return cmos_tile_mm2_ * static_cast<double>(config.n_pfcus + 1);
+}
+
+AreaBreakdown
+AreaModel::breakdown(const AcceleratorConfig &config) const
+{
+    config.validate();
+    const auto dims = photonics::ComponentCatalog::dimensions();
+    const double w = static_cast<double>(config.n_input_waveguides);
+    const double n = static_cast<double>(config.n_pfcus);
+
+    AreaBreakdown out;
+    // Lens aperture scales with waveguide count; Table V lens is the
+    // 256-waveguide design point. Two lenses per PFCU.
+    const double lens_mm2 =
+        units::rectAreaMm2(dims.lens_w_um, dims.lens_h_um) * (w / 256.0);
+    out.lenses_mm2 = 2.0 * lens_mm2 * n;
+
+    // Active devices per PFCU: input MRR row, weight MRR row, final PD
+    // row; mid-plane MRR + PD rows unless the nonlinearity is passive.
+    double devices_per_pfcu =
+        2.0 * w * units::rectAreaMm2(dims.mrr_w_um, dims.mrr_h_um) +
+        w * units::rectAreaMm2(dims.pd_w_um, dims.pd_h_um) +
+        2.0 * w *
+            units::rectAreaMm2(dims.splitter_w_um, dims.splitter_h_um);
+    if (!config.nonlinear_material) {
+        devices_per_pfcu +=
+            w * units::rectAreaMm2(dims.mrr_w_um, dims.mrr_h_um) +
+            w * units::rectAreaMm2(dims.pd_w_um, dims.pd_h_um);
+    }
+    // Laser block shared per broadcast group.
+    const double lasers =
+        units::rectAreaMm2(dims.laser_w_um, dims.laser_h_um) *
+        static_cast<double>(config.channelParallel());
+    out.devices_mm2 = devices_per_pfcu * n + lasers;
+
+    // Routing = total PFCU area minus the explicitly counted pieces.
+    const double pfcu_total = pfcuAreaMm2(config.n_input_waveguides) * n;
+    out.routing_mm2 =
+        std::max(0.0, pfcu_total - out.lenses_mm2 - out.devices_mm2);
+
+    out.sram_mm2 = sramAreaMm2(config);
+    out.cmos_tiles_mm2 = cmosAreaMm2(config);
+    return out;
+}
+
+size_t
+AreaModel::maxWaveguidesForBudget(size_t n_pfcus,
+                                  double budget_mm2) const
+{
+    pf_assert(n_pfcus >= 1 && budget_mm2 > 0.0,
+              "invalid budget query");
+    // The Table III budget constrains the PIC (the chiplet whose size
+    // the layout constraint caps); SRAM and CMOS tiles live on the
+    // CMOS chiplet. Figure 11's CG totals exceed 100 mm^2 across both
+    // chiplets, confirming the budget is PIC-only.
+    const double per_pfcu_budget =
+        budget_mm2 / static_cast<double>(n_pfcus);
+    if (per_pfcu_budget <= fixed_mm2_)
+        return 0;
+
+    // Solve route*W^2 + linear*W + fixed = budget for W.
+    const double a = route_coeff_, b = linear_coeff_;
+    const double c = fixed_mm2_ - per_pfcu_budget;
+    const double w = (-b + std::sqrt(b * b - 4.0 * a * c)) / (2.0 * a);
+    return static_cast<size_t>(std::floor(w));
+}
+
+} // namespace arch
+} // namespace photofourier

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Chip area model (Section V-A, V-E, Figure 11, Table III).
+ *
+ * Per-PFCU area decomposes into:
+ *  - two on-chip lenses whose aperture scales with the waveguide
+ *    count W (Table V lens at W = 256),
+ *  - active devices (MRRs, photodetectors, splitters, laser share),
+ *  - waveguide routing, which grows ~quadratically in W: W waveguides
+ *    each run a length proportional to the device-row span (itself
+ *    ~W * pitch) through the folded layout, plus the redundant area the
+ *    layout constraint forces (Section V-A0a).
+ *
+ * The routing run-length coefficients are calibrated so that the model
+ * reproduces the paper's own design points: 92.2 mm^2 of PIC for
+ * CG(8 x 256) / 93.5 mm^2 for NG(16 x 256), and the Table III maximum
+ * waveguide counts under the 100 mm^2 budget.
+ */
+
+#ifndef PHOTOFOURIER_ARCH_AREA_MODEL_HH
+#define PHOTOFOURIER_ARCH_AREA_MODEL_HH
+
+#include "arch/accel_config.hh"
+
+namespace photofourier {
+namespace arch {
+
+/** Chip area split by category (mm^2), Figure 11's categories. */
+struct AreaBreakdown
+{
+    double lenses_mm2 = 0.0;
+    double devices_mm2 = 0.0;   ///< MRRs + PDs + splitters + laser
+    double routing_mm2 = 0.0;   ///< waveguides + layout redundancy
+    double sram_mm2 = 0.0;
+    double cmos_tiles_mm2 = 0.0;
+
+    double picMm2() const
+    {
+        return lenses_mm2 + devices_mm2 + routing_mm2;
+    }
+
+    double totalMm2() const
+    {
+        return picMm2() + sram_mm2 + cmos_tiles_mm2;
+    }
+};
+
+/** Parametric area model. */
+class AreaModel
+{
+  public:
+    /** Build for a generation (calibrated coefficients differ). */
+    explicit AreaModel(photonics::Generation gen);
+
+    /** Area of one PFCU with W input waveguides (mm^2). */
+    double pfcuAreaMm2(size_t n_waveguides) const;
+
+    /** Full-chip breakdown for a configuration. */
+    AreaBreakdown breakdown(const AcceleratorConfig &config) const;
+
+    /**
+     * Largest waveguide count per PFCU such that the full chip fits
+     * the budget (Table III's second column; 100 mm^2 in the paper).
+     */
+    size_t maxWaveguidesForBudget(size_t n_pfcus,
+                                  double budget_mm2) const;
+
+    /** SRAM area (mm^2) for the configured capacities. */
+    double sramAreaMm2(const AcceleratorConfig &config) const;
+
+    /** CMOS tile area (mm^2), one tile per PFCU plus activation tile. */
+    double cmosAreaMm2(const AcceleratorConfig &config) const;
+
+  private:
+    photonics::Generation gen_;
+    double route_coeff_;  ///< mm^2 per W^2 (routing congestion)
+    double linear_coeff_; ///< mm^2 per W (lens aperture + devices)
+    double fixed_mm2_;    ///< per-PFCU fixed overhead
+    double sram_mm2_per_mb_;
+    double cmos_tile_mm2_;
+};
+
+} // namespace arch
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_ARCH_AREA_MODEL_HH

@@ -1,0 +1,145 @@
+#include "arch/dataflow.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace photofourier {
+namespace arch {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+void
+accumulate(CycleEnergy &total, const CycleEnergy &per_cycle,
+           double cycles)
+{
+    total.input_dac_pj += per_cycle.input_dac_pj * cycles;
+    total.weight_dac_pj += per_cycle.weight_dac_pj * cycles;
+    total.mrr_pj += per_cycle.mrr_pj * cycles;
+    total.adc_pj += per_cycle.adc_pj * cycles;
+    total.laser_pj += per_cycle.laser_pj * cycles;
+    total.sram_pj += per_cycle.sram_pj * cycles;
+    total.cmos_pj += per_cycle.cmos_pj * cycles;
+}
+
+} // namespace
+
+double
+NetworkPerformance::avgPowerW(bool include_memory) const
+{
+    return energyPerInferenceJ(include_memory) / latency_s;
+}
+
+double
+NetworkPerformance::fpsPerW(bool include_memory) const
+{
+    return fps() / avgPowerW(include_memory);
+}
+
+double
+NetworkPerformance::edp(bool include_memory) const
+{
+    return energyPerInferenceJ(include_memory) * latency_s;
+}
+
+double
+NetworkPerformance::energyPerInferenceJ(bool include_memory) const
+{
+    const double pj = include_memory
+                          ? energy_breakdown_pj.totalPj()
+                          : energy_breakdown_pj.totalNoMemoryPj();
+    return pj * units::kJoulePerPj;
+}
+
+DataflowMapper::DataflowMapper(AcceleratorConfig config)
+    : config_(std::move(config)), energy_model_(config_)
+{
+    config_.validate();
+}
+
+LayerPerformance
+DataflowMapper::mapLayer(const nn::ConvLayerSpec &layer) const
+{
+    tiling::TilingParams params{
+        .input_size = layer.input_size,
+        .kernel_size = layer.kernel,
+        .n_conv = config_.n_input_waveguides,
+        .mode = signal::ConvMode::Same,
+        .stride = layer.stride,
+        .zero_pad_rows = false,
+    };
+    LayerPerformance perf;
+    perf.layer_name = layer.name;
+    perf.plan = tiling::TilingPlan::design(params);
+
+    // Driven input waveguides: the rows actually loaded, capped by the
+    // input's own height (later layers under-utilize, Section V-E).
+    const size_t useful_rows =
+        std::min(perf.plan.rows_per_tile, layer.input_size);
+    perf.active_inputs = std::min(config_.n_input_waveguides,
+                                  useful_rows * perf.plan.row_stride);
+
+    // Filter passes: each PFCU holds one filter.
+    const size_t filter_passes =
+        ceilDiv(layer.out_channels, config_.n_pfcus);
+
+    // Weight DAC capacity: if one cycle needs more driven weights than
+    // DACs exist, the kernel is split across extra passes (rare; 7x7
+    // stems fall into partial tiling where only one row is driven).
+    const size_t rows_per_cycle =
+        std::min(perf.plan.rows_per_tile, layer.kernel);
+    const size_t weights_per_cycle =
+        std::max<size_t>(1, rows_per_cycle) * layer.kernel;
+    const size_t weight_splits =
+        config_.small_filter_opt
+            ? ceilDiv(weights_per_cycle, config_.n_weight_dacs)
+            : 1;
+
+    double cycles = static_cast<double>(perf.plan.cycles_per_plane) *
+                    static_cast<double>(layer.in_channels) *
+                    static_cast<double>(filter_passes) *
+                    static_cast<double>(weight_splits);
+    if (config_.pseudo_negative)
+        cycles *= 2.0;
+    if (!config_.pipelined)
+        cycles *= 2.0; // photodetector settles before the next load
+
+    perf.cycles = cycles;
+    perf.cycle_energy = energy_model_.layerCycleEnergy(
+        perf.plan, layer.kernel, perf.active_inputs);
+    perf.energy_pj = perf.cycle_energy.totalPj() * cycles;
+    perf.latency_ns = cycles / config_.clock_ghz;
+    return perf;
+}
+
+NetworkPerformance
+DataflowMapper::mapNetwork(const nn::NetworkSpec &network) const
+{
+    pf_assert(!network.conv_layers.empty(),
+              "network has no convolution layers");
+    NetworkPerformance perf;
+    perf.network = network.name;
+    perf.accelerator = config_.name;
+    for (const auto &layer : network.conv_layers) {
+        auto lp = mapLayer(layer);
+        perf.total_cycles += lp.cycles;
+        accumulate(perf.energy_breakdown_pj, lp.cycle_energy, lp.cycles);
+        perf.layers.push_back(std::move(lp));
+    }
+    perf.latency_s =
+        perf.total_cycles / (config_.clock_ghz * units::kHzPerGhz);
+    perf.energy_j =
+        perf.energy_breakdown_pj.totalPj() * units::kJoulePerPj;
+    return perf;
+}
+
+} // namespace arch
+} // namespace photofourier

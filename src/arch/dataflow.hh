@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Dataflow mapper: CNN layer shapes -> cycles, latency, energy, FPS.
+ *
+ * Implements the execution sequence of Section V-F2: output-stationary
+ * dataflow with input broadcasting; each photonic cycle convolves one
+ * input-channel tile against the filters of all PFCUs; channels are
+ * grouped by the temporal accumulation depth; pseudo-negative weight
+ * pairs double the cycle count; the two-stage pipeline sustains one
+ * convolution per cycle.
+ *
+ * Only convolution layers are accelerated (Section VI-A); FC layers are
+ * accounted as unaccelerated work that does not affect the reported
+ * conv throughput (the paper: >99% of MACs are convolutions).
+ */
+
+#ifndef PHOTOFOURIER_ARCH_DATAFLOW_HH
+#define PHOTOFOURIER_ARCH_DATAFLOW_HH
+
+#include <vector>
+
+#include "arch/accel_config.hh"
+#include "arch/energy_model.hh"
+#include "nn/model_zoo.hh"
+#include "tiling/tiling_plan.hh"
+
+namespace photofourier {
+namespace arch {
+
+/** Per-layer mapping result. */
+struct LayerPerformance
+{
+    std::string layer_name;
+    tiling::TilingPlan plan;
+    size_t active_inputs = 0;  ///< driven input waveguides
+    double cycles = 0.0;       ///< photonic cycles for the layer
+    CycleEnergy cycle_energy;  ///< per-cycle energy breakdown
+    double energy_pj = 0.0;    ///< total layer energy
+    double latency_ns = 0.0;
+};
+
+/** Whole-network mapping result. */
+struct NetworkPerformance
+{
+    std::string network;
+    std::string accelerator;
+    std::vector<LayerPerformance> layers;
+
+    double total_cycles = 0.0;
+    double latency_s = 0.0;
+    double energy_j = 0.0;
+    CycleEnergy energy_breakdown_pj; ///< totals (pJ) by category
+
+    /** Frames per second (batch 1). */
+    double fps() const { return 1.0 / latency_s; }
+
+    /** Average power (W), optionally without memory access. */
+    double avgPowerW(bool include_memory = true) const;
+
+    /** FPS per watt. */
+    double fpsPerW(bool include_memory = true) const;
+
+    /** Energy-delay product (J*s). */
+    double edp(bool include_memory = true) const;
+
+    /** Energy per inference (J). */
+    double energyPerInferenceJ(bool include_memory = true) const;
+};
+
+/** Maps network specs onto an accelerator configuration. */
+class DataflowMapper
+{
+  public:
+    explicit DataflowMapper(AcceleratorConfig config);
+
+    /** Map one convolution layer. */
+    LayerPerformance mapLayer(const nn::ConvLayerSpec &layer) const;
+
+    /** Map a whole network (conv layers only, per the paper). */
+    NetworkPerformance mapNetwork(const nn::NetworkSpec &network) const;
+
+    /** The configuration. */
+    const AcceleratorConfig &config() const { return config_; }
+
+  private:
+    AcceleratorConfig config_;
+    EnergyModel energy_model_;
+};
+
+} // namespace arch
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_ARCH_DATAFLOW_HH

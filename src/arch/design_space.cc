@@ -1,0 +1,66 @@
+#include "arch/design_space.hh"
+
+#include <algorithm>
+
+#include "arch/area_model.hh"
+#include "arch/parallelization.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace photofourier {
+namespace arch {
+
+AcceleratorConfig
+designPointConfig(const AcceleratorConfig &base, size_t n_pfcus,
+                  size_t n_waveguides)
+{
+    AcceleratorConfig cfg = base;
+    cfg.n_pfcus = n_pfcus;
+    cfg.n_input_waveguides = n_waveguides;
+    cfg.input_broadcast = optimalInputBroadcast(
+        n_pfcus, cfg.temporal_accumulation_depth);
+    cfg.name = base.name + "-" + std::to_string(n_pfcus) + "x" +
+               std::to_string(n_waveguides);
+    cfg.validate();
+    return cfg;
+}
+
+std::vector<DesignPoint>
+sweepDesignSpace(const AcceleratorConfig &base,
+                 const std::vector<size_t> &pfcu_counts,
+                 double budget_mm2,
+                 const std::vector<nn::NetworkSpec> &networks)
+{
+    pf_assert(!pfcu_counts.empty() && !networks.empty(),
+              "empty design-space sweep");
+    AreaModel area(base.generation);
+
+    std::vector<DesignPoint> points;
+    for (size_t n : pfcu_counts) {
+        DesignPoint point;
+        point.n_pfcus = n;
+        point.max_waveguides =
+            area.maxWaveguidesForBudget(n, budget_mm2);
+        pf_assert(point.max_waveguides >= 16,
+                  "budget too small for ", n, " PFCUs");
+
+        const auto cfg =
+            designPointConfig(base, n, point.max_waveguides);
+        DataflowMapper mapper(cfg);
+        std::vector<double> fps_per_w;
+        for (const auto &net : networks)
+            fps_per_w.push_back(mapper.mapNetwork(net).fpsPerW());
+        point.geomean_fps_per_w = geomean(fps_per_w);
+        points.push_back(point);
+    }
+
+    double best = 0.0;
+    for (const auto &p : points)
+        best = std::max(best, p.geomean_fps_per_w);
+    for (auto &p : points)
+        p.normalized = p.geomean_fps_per_w / best;
+    return points;
+}
+
+} // namespace arch
+} // namespace photofourier

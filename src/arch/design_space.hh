@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Waveguide/PFCU design-space exploration (Section V-E, Table III).
+ *
+ * For each candidate PFCU count, compute the maximum waveguides per
+ * PFCU under the PIC area budget, instantiate the accelerator, and
+ * score it by the geometric mean of FPS/W over the benchmark CNNs,
+ * normalized to the best configuration.
+ */
+
+#ifndef PHOTOFOURIER_ARCH_DESIGN_SPACE_HH
+#define PHOTOFOURIER_ARCH_DESIGN_SPACE_HH
+
+#include <vector>
+
+#include "arch/accel_config.hh"
+#include "arch/dataflow.hh"
+#include "nn/model_zoo.hh"
+
+namespace photofourier {
+namespace arch {
+
+/** One row of Table III. */
+struct DesignPoint
+{
+    size_t n_pfcus;
+    size_t max_waveguides;
+    double geomean_fps_per_w;
+    double normalized; ///< relative to the best point in the sweep
+};
+
+/**
+ * Run the Table III sweep.
+ *
+ * @param base        generation template (CG or NG preset); the sweep
+ *                    overrides n_pfcus / waveguides / input_broadcast
+ * @param pfcu_counts candidate PFCU counts (paper: 4,8,16,32,64)
+ * @param budget_mm2  PIC area budget (paper: 100 mm^2)
+ * @param networks    benchmark CNNs (paper: the five of Section V-E)
+ */
+std::vector<DesignPoint> sweepDesignSpace(
+    const AcceleratorConfig &base, const std::vector<size_t> &pfcu_counts,
+    double budget_mm2, const std::vector<nn::NetworkSpec> &networks);
+
+/**
+ * Build the accelerator configuration a sweep point implies (used by
+ * the sweep and by tests).
+ */
+AcceleratorConfig designPointConfig(const AcceleratorConfig &base,
+                                    size_t n_pfcus,
+                                    size_t n_waveguides);
+
+} // namespace arch
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_ARCH_DESIGN_SPACE_HH

@@ -1,0 +1,52 @@
+#include "arch/memory_check.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace arch {
+
+MemoryCheck
+checkMemory(const nn::NetworkSpec &network,
+            const AcceleratorConfig &config)
+{
+    pf_assert(!network.conv_layers.empty(), "network has no layers");
+    MemoryCheck check;
+
+    for (const auto &layer : network.conv_layers) {
+        // Input activation of this layer (8-bit values).
+        const double act_kb =
+            static_cast<double>(layer.in_channels) *
+            static_cast<double>(layer.input_size) *
+            static_cast<double>(layer.input_size) / 1024.0;
+        check.max_activation_kb =
+            std::max(check.max_activation_kb, act_kb);
+        // Output activation too (it must be stored as well).
+        const double out_kb =
+            static_cast<double>(layer.out_channels) *
+            static_cast<double>(layer.outputSize()) *
+            static_cast<double>(layer.outputSize()) / 1024.0;
+        check.max_activation_kb =
+            std::max(check.max_activation_kb, out_kb);
+
+        const double w_kb = static_cast<double>(layer.out_channels) *
+                            static_cast<double>(layer.in_channels) *
+                            static_cast<double>(layer.kernel) *
+                            static_cast<double>(layer.kernel) / 1024.0;
+        check.max_weight_kb = std::max(check.max_weight_kb, w_kb);
+    }
+
+    check.activation_need_kb = 2.0 * check.max_activation_kb;
+    check.activation_have_kb = config.activation_sram_mb * 1024.0;
+    // Each tile stores the filters its PFCU will process; filters are
+    // spread evenly across PFCUs by the filter-pass loop.
+    const double pn = config.pseudo_negative ? 2.0 : 1.0;
+    check.weight_need_kb = pn * check.max_weight_kb /
+                           static_cast<double>(config.n_pfcus);
+    check.weight_have_kb = config.weight_sram_kb_per_tile;
+    return check;
+}
+
+} // namespace arch
+} // namespace photofourier

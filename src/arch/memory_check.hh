@@ -1,0 +1,57 @@
+/**
+ * @file
+ * On-chip memory capacity checks (Section V-A sizing rationale).
+ *
+ * The paper sizes the 4 MB activation SRAM to hold two copies of the
+ * largest activation of the common CNNs (ping-pong buffering, so
+ * loads and stores overlap) and the 512 KB-per-tile weight SRAM to
+ * hold the tile's share of an entire layer's filters — doubled,
+ * because the pseudo-negative decomposition stores a (p, n) pair per
+ * filter. These functions audit a network against a configuration.
+ * The audit is honest rather than flattering: at 8-bit it shows that
+ * VGG-16's 64x224x224 first-stack activations exceed the 2 MB
+ * ping-pong half (they must be streamed/tiled through DRAM), while
+ * AlexNet and the ResNets fit — see tests/test_arch.cc.
+ */
+
+#ifndef PHOTOFOURIER_ARCH_MEMORY_CHECK_HH
+#define PHOTOFOURIER_ARCH_MEMORY_CHECK_HH
+
+#include "arch/accel_config.hh"
+#include "nn/model_zoo.hh"
+
+namespace photofourier {
+namespace arch {
+
+/** Capacity audit of one network on one configuration. */
+struct MemoryCheck
+{
+    double max_activation_kb = 0.0;  ///< largest layer activation
+    double activation_need_kb = 0.0; ///< 2x for ping-pong buffering
+    double activation_have_kb = 0.0;
+    double max_weight_kb = 0.0;      ///< largest layer's filters
+    double weight_need_kb = 0.0;     ///< per-tile share, 2x for p/n
+    double weight_have_kb = 0.0;     ///< per tile
+
+    bool activationsFit() const
+    {
+        return activation_need_kb <= activation_have_kb;
+    }
+
+    bool weightsFit() const { return weight_need_kb <= weight_have_kb; }
+};
+
+/**
+ * Audit a network's SRAM demand (8-bit values, batch 1).
+ *
+ * Activation footprint per layer = in_channels * input_size^2 bytes;
+ * weight footprint = out_ch * in_ch * k^2 bytes (x2 when the config
+ * runs pseudo-negative pairs).
+ */
+MemoryCheck checkMemory(const nn::NetworkSpec &network,
+                        const AcceleratorConfig &config);
+
+} // namespace arch
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_ARCH_MEMORY_CHECK_HH

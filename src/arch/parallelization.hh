@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Parallelization-scheme analysis (Section V-D, Figure 8, Table II).
+ *
+ * With N_PFCU units, inputs broadcast to IB of them and ADCs shared by
+ * CP = N_PFCU / IB, minimizing converter power reduces to
+ *
+ *   minimize  IB / N_TA + CP    subject to  IB * CP = N_PFCU
+ *
+ * over power-of-two IB values. The paper's result: with N_TA = 16 and
+ * N_PFCU <= 32, full input broadcasting (IB = N_PFCU) is optimal.
+ */
+
+#ifndef PHOTOFOURIER_ARCH_PARALLELIZATION_HH
+#define PHOTOFOURIER_ARCH_PARALLELIZATION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace photofourier {
+namespace arch {
+
+/** One point of the Figure 8 sweep. */
+struct ParallelizationPoint
+{
+    size_t input_broadcast;     ///< IB
+    size_t channel_parallel;    ///< CP = N_PFCU / IB
+    double objective;           ///< IB/N_TA + CP
+    bool valid;                 ///< IB is a power-of-two divisor
+};
+
+/**
+ * Objective value IB/N_TA + CP for arbitrary (possibly fractional)
+ * IB — the curve Figure 8 plots.
+ */
+double parallelizationObjective(double input_broadcast, size_t n_pfcus,
+                                size_t temporal_accumulation_depth);
+
+/** Sweep all integer IB in [1, N_PFCU] (Figure 8's x axis). */
+std::vector<ParallelizationPoint> sweepInputBroadcast(
+    size_t n_pfcus, size_t temporal_accumulation_depth);
+
+/** Optimal *valid* IB (power-of-two divisor of N_PFCU). */
+size_t optimalInputBroadcast(size_t n_pfcus,
+                             size_t temporal_accumulation_depth);
+
+/**
+ * Converter-power objective of the *weight broadcasting* scheme the
+ * paper excludes from its analysis (Section V-D): one filter shared by
+ * WB PFCUs, each processing a different convolution window; weight
+ * DACs are shared, input DACs and ADCs are per-PFCU. In units of one
+ * converter's power:
+ *
+ *   P(WB) = N_PFCU * N_i / N_TA            (ADCs, per PFCU)
+ *         + N_PFCU * N_i + N_PFCU / WB * N_w  (DACs)
+ *
+ * Because N_w << N_i (25 active weights vs 256 input waveguides), the
+ * shareable term is tiny — the paper's exclusion reason 1, made
+ * quantitative here (see tests).
+ *
+ * @param weight_broadcast WB, PFCUs sharing one filter
+ * @param n_inputs         N_i, input waveguides per PFCU
+ * @param n_weights        N_w, active weight waveguides per PFCU
+ */
+double weightBroadcastObjective(double weight_broadcast, size_t n_pfcus,
+                                size_t temporal_accumulation_depth,
+                                size_t n_inputs, size_t n_weights);
+
+/**
+ * Input-broadcast objective on the same absolute scale as
+ * weightBroadcastObjective (converter-power units rather than the
+ * normalized IB/N_TA + CP form):
+ *
+ *   P(IB) = IB * N_i / N_TA (ADC sets) ... see Section V-D:
+ *   P = ADC * IB * N_i / N_TA + DAC * (CP * N_i + N_PFCU * N_w).
+ */
+double inputBroadcastPower(double input_broadcast, size_t n_pfcus,
+                           size_t temporal_accumulation_depth,
+                           size_t n_inputs, size_t n_weights);
+
+} // namespace arch
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_ARCH_PARALLELIZATION_HH

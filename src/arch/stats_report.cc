@@ -1,0 +1,59 @@
+#include "arch/stats_report.hh"
+
+#include <sstream>
+
+#include "common/table.hh"
+#include "tiling/tiling_plan.hh"
+
+namespace photofourier {
+namespace arch {
+
+std::string
+layerProfileReport(const NetworkPerformance &perf,
+                   const AcceleratorConfig &config)
+{
+    TextTable table({"layer", "variant", "cycles", "cycle share",
+                     "waveguides", "energy share"});
+    const double total_energy = perf.energy_breakdown_pj.totalPj();
+    for (const auto &layer : perf.layers) {
+        table.addRow(
+            {layer.layer_name,
+             tiling::variantName(layer.plan.variant),
+             TextTable::sci(layer.cycles, 2),
+             TextTable::num(100.0 * layer.cycles / perf.total_cycles,
+                            1) + "%",
+             std::to_string(layer.active_inputs) + "/" +
+                 std::to_string(config.n_input_waveguides),
+             TextTable::num(100.0 * layer.energy_pj / total_energy,
+                            1) + "%"});
+    }
+    return table.render();
+}
+
+std::string
+summaryReport(const NetworkPerformance &perf)
+{
+    std::ostringstream oss;
+    oss << perf.network << " on " << perf.accelerator << ": "
+        << TextTable::num(perf.fps(), 0) << " FPS, "
+        << TextTable::num(perf.avgPowerW(), 2) << " W, "
+        << TextTable::num(perf.fpsPerW(), 1) << " FPS/W, "
+        << TextTable::sci(perf.energyPerInferenceJ(), 2)
+        << " J/inference, EDP " << TextTable::sci(perf.edp(), 2)
+        << " J*s\n";
+    const auto names = energyCategoryNames();
+    const auto values = energyCategoryValues(perf.energy_breakdown_pj);
+    const double total = perf.energy_breakdown_pj.totalPj();
+    oss << "energy: ";
+    for (size_t i = 0; i < names.size(); ++i) {
+        oss << names[i] << " "
+            << TextTable::num(100.0 * values[i] / total, 1) << "%";
+        if (i + 1 < names.size())
+            oss << ", ";
+    }
+    oss << "\n";
+    return oss.str();
+}
+
+} // namespace arch
+} // namespace photofourier

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Human-readable statistics reports for mapping results.
+ *
+ * gem5-style text dumps: a per-layer profile (tiling variant, cycles,
+ * waveguide utilization, energy share) and a network summary. Used by
+ * the examples and handy when exploring new networks.
+ */
+
+#ifndef PHOTOFOURIER_ARCH_STATS_REPORT_HH
+#define PHOTOFOURIER_ARCH_STATS_REPORT_HH
+
+#include <string>
+
+#include "arch/dataflow.hh"
+
+namespace photofourier {
+namespace arch {
+
+/** Per-layer profile table for a mapped network. */
+std::string layerProfileReport(const NetworkPerformance &perf,
+                               const AcceleratorConfig &config);
+
+/** One-paragraph summary: FPS, power, efficiency, energy split. */
+std::string summaryReport(const NetworkPerformance &perf);
+
+} // namespace arch
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_ARCH_STATS_REPORT_HH

@@ -1,0 +1,146 @@
+#include "common/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+
+namespace {
+
+const char kGlyphs[] = {'*', 'o', '+', 'x', '@', '%', '&', '$'};
+
+std::string
+formatValue(double v)
+{
+    char buf[32];
+    if (std::abs(v) >= 1000.0)
+        std::snprintf(buf, sizeof(buf), "%.3e", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+std::string
+formatTick(double v)
+{
+    char buf[32];
+    if (std::abs(v) >= 1e4 || (std::abs(v) < 1e-2 && v != 0.0))
+        std::snprintf(buf, sizeof(buf), "%9.2e", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%9.3f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+AsciiPlot::line(const std::vector<PlotSeries> &series, int width, int height)
+{
+    pf_assert(width > 4 && height > 2, "plot too small");
+
+    double xmin = std::numeric_limits<double>::infinity();
+    double xmax = -xmin, ymin = xmin, ymax = -xmin;
+    for (const auto &s : series) {
+        pf_assert(s.x.size() == s.y.size(),
+                  "series '", s.name, "' has mismatched x/y sizes");
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            xmin = std::min(xmin, s.x[i]);
+            xmax = std::max(xmax, s.x[i]);
+            ymin = std::min(ymin, s.y[i]);
+            ymax = std::max(ymax, s.y[i]);
+        }
+    }
+    if (!(xmin < xmax)) { xmax = xmin + 1.0; }
+    if (!(ymin < ymax)) { ymax = ymin + 1.0; }
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    for (size_t si = 0; si < series.size(); ++si) {
+        const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+        const auto &s = series[si];
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            const int col = static_cast<int>(
+                std::lround((s.x[i] - xmin) / (xmax - xmin) * (width - 1)));
+            const int row = static_cast<int>(
+                std::lround((s.y[i] - ymin) / (ymax - ymin) * (height - 1)));
+            grid[height - 1 - row][col] = glyph;
+        }
+    }
+
+    std::ostringstream oss;
+    for (int r = 0; r < height; ++r) {
+        const double y =
+            ymax - (ymax - ymin) * static_cast<double>(r) / (height - 1);
+        oss << formatTick(y) << " |" << grid[r] << "\n";
+    }
+    oss << std::string(10, ' ') << "+" << std::string(width, '-') << "\n";
+    oss << std::string(11, ' ') << formatTick(xmin)
+        << std::string(std::max(1, width - 20), ' ') << formatTick(xmax)
+        << "\n";
+    for (size_t si = 0; si < series.size(); ++si) {
+        oss << "    " << kGlyphs[si % sizeof(kGlyphs)] << " = "
+            << series[si].name << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+AsciiPlot::bars(const std::vector<std::string> &labels,
+                const std::vector<double> &values, int width)
+{
+    pf_assert(labels.size() == values.size(),
+              "bars: labels/values size mismatch");
+    double vmax = 0.0;
+    size_t label_w = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        pf_assert(values[i] >= 0.0, "bars: negative value for ", labels[i]);
+        vmax = std::max(vmax, values[i]);
+        label_w = std::max(label_w, labels[i].size());
+    }
+    if (vmax <= 0.0)
+        vmax = 1.0;
+
+    std::ostringstream oss;
+    for (size_t i = 0; i < values.size(); ++i) {
+        const int len = static_cast<int>(
+            std::lround(values[i] / vmax * width));
+        oss << labels[i] << std::string(label_w - labels[i].size(), ' ')
+            << " | " << std::string(len, '#') << " "
+            << formatValue(values[i]) << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+AsciiPlot::profile(const std::vector<double> &values, int width, int height)
+{
+    pf_assert(!values.empty(), "profile: empty values");
+    // Bin values into `width` columns, keeping each bin's maximum so that
+    // narrow peaks survive the downsampling.
+    std::vector<double> bins(width, 0.0);
+    for (size_t i = 0; i < values.size(); ++i) {
+        const int b = static_cast<int>(
+            static_cast<double>(i) * width / values.size());
+        bins[b] = std::max(bins[b], values[i]);
+    }
+    double vmax = *std::max_element(bins.begin(), bins.end());
+    if (vmax <= 0.0)
+        vmax = 1.0;
+
+    std::ostringstream oss;
+    for (int r = height; r >= 1; --r) {
+        const double threshold = vmax * r / height;
+        oss << "|";
+        for (int c = 0; c < width; ++c)
+            oss << (bins[c] >= threshold ? '#' : ' ');
+        oss << "|\n";
+    }
+    oss << "+" << std::string(width, '-') << "+\n";
+    return oss.str();
+}
+
+} // namespace photofourier

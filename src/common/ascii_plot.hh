@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ASCII line/bar plotting for figure-reproducing bench binaries.
+ *
+ * The paper's figures are line and bar charts; AsciiPlot renders the same
+ * series in a terminal so "the shape" (who wins, where curves cross) can
+ * be inspected without a plotting stack.
+ */
+
+#ifndef PHOTOFOURIER_COMMON_ASCII_PLOT_HH
+#define PHOTOFOURIER_COMMON_ASCII_PLOT_HH
+
+#include <string>
+#include <vector>
+
+namespace photofourier {
+
+/** A named series of (x, y) points. */
+struct PlotSeries
+{
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/** Terminal plotting helper used by the bench harnesses. */
+class AsciiPlot
+{
+  public:
+    /**
+     * Render one or more series as a scatter/line chart.
+     *
+     * @param series  series to draw; each uses a distinct glyph
+     * @param width   plot width in characters (excluding axis labels)
+     * @param height  plot height in rows
+     */
+    static std::string line(const std::vector<PlotSeries> &series,
+                            int width = 64, int height = 16);
+
+    /**
+     * Render a horizontal bar chart.
+     *
+     * @param labels  one label per bar
+     * @param values  bar lengths (non-negative)
+     * @param width   maximum bar width in characters
+     */
+    static std::string bars(const std::vector<std::string> &labels,
+                            const std::vector<double> &values,
+                            int width = 50);
+
+    /**
+     * Render a 1D intensity profile (used for the JTC output plane,
+     * Figure 2): values are binned into columns and drawn as a column
+     * chart with '#' fills.
+     */
+    static std::string profile(const std::vector<double> &values,
+                               int width = 72, int height = 12);
+};
+
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_COMMON_ASCII_PLOT_HH

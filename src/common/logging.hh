@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 style.
+ *
+ * panic()  — an internal invariant was violated (a library bug); aborts.
+ * fatal()  — the caller/user supplied an impossible configuration; exits.
+ * warn()   — something is questionable but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef PHOTOFOURIER_COMMON_LOGGING_HH
+#define PHOTOFOURIER_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace photofourier {
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global log verbosity (default: Info). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Minimal printf-free message builder: concatenates stream args. */
+template <typename... Args>
+std::string
+buildMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Abort with a message; use for internal invariant violations. */
+#define pf_panic(...)                                                      \
+    ::photofourier::detail::panicImpl(                                     \
+        __FILE__, __LINE__,                                               \
+        ::photofourier::detail::buildMessage(__VA_ARGS__))
+
+/** Exit with a message; use for invalid user configuration. */
+#define pf_fatal(...)                                                      \
+    ::photofourier::detail::fatalImpl(                                     \
+        __FILE__, __LINE__,                                               \
+        ::photofourier::detail::buildMessage(__VA_ARGS__))
+
+/** Print a warning (suppressed at LogLevel::Silent). */
+#define pf_warn(...)                                                       \
+    ::photofourier::detail::warnImpl(                                      \
+        ::photofourier::detail::buildMessage(__VA_ARGS__))
+
+/** Print an informational message. */
+#define pf_inform(...)                                                     \
+    ::photofourier::detail::informImpl(                                    \
+        ::photofourier::detail::buildMessage(__VA_ARGS__))
+
+/** Print a debug message (only at LogLevel::Debug). */
+#define pf_debug(...)                                                      \
+    ::photofourier::detail::debugImpl(                                     \
+        ::photofourier::detail::buildMessage(__VA_ARGS__))
+
+/**
+ * Assert an invariant with a formatted message. Active in all build
+ * types — model code is not performance critical enough to justify
+ * compiling checks out.
+ */
+#define pf_assert(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            pf_panic("assertion failed: " #cond " — ",                    \
+                     ::photofourier::detail::buildMessage(__VA_ARGS__));   \
+        }                                                                  \
+    } while (0)
+
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_COMMON_LOGGING_HH

@@ -1,0 +1,114 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+
+double
+mean(const std::vector<double> &values)
+{
+    pf_assert(!values.empty(), "mean of empty vector");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    pf_assert(!values.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        pf_assert(v > 0.0, "geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    pf_assert(a.size() == b.size(), "maxAbsDiff: size mismatch ",
+              a.size(), " vs ", b.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+double
+rmse(const std::vector<double> &a, const std::vector<double> &b)
+{
+    pf_assert(a.size() == b.size(), "rmse: size mismatch ",
+              a.size(), " vs ", b.size());
+    pf_assert(!a.empty(), "rmse of empty vectors");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double
+relativeRmse(const std::vector<double> &a, const std::vector<double> &b)
+{
+    pf_assert(!a.empty(), "relativeRmse of empty vectors");
+    double ref = 0.0;
+    for (double v : a)
+        ref += v * v;
+    ref = std::sqrt(ref / static_cast<double>(a.size()));
+    const double err = rmse(a, b);
+    if (ref == 0.0)
+        return err == 0.0 ? 0.0 : INFINITY;
+    return err / ref;
+}
+
+double
+snrDb(double signal_power, double noise_power)
+{
+    pf_assert(signal_power >= 0.0 && noise_power > 0.0,
+              "snrDb: invalid powers ", signal_power, ", ", noise_power);
+    return 10.0 * std::log10(signal_power / noise_power);
+}
+
+void
+RunningStats::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+double
+RunningStats::min() const
+{
+    pf_assert(count_ > 0, "min of empty RunningStats");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    pf_assert(count_ > 0, "max of empty RunningStats");
+    return max_;
+}
+
+} // namespace photofourier

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small statistics helpers shared across evaluation code.
+ */
+
+#ifndef PHOTOFOURIER_COMMON_STATS_HH
+#define PHOTOFOURIER_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace photofourier {
+
+/** Arithmetic mean; panics on an empty input. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean; all values must be positive. */
+double geomean(const std::vector<double> &values);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/** Maximum absolute difference between two equal-length vectors. */
+double maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Root-mean-square error between two equal-length vectors. */
+double rmse(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Relative RMSE: rmse(a, b) divided by the RMS magnitude of `a`.
+ * Returns 0 when both inputs are identically zero.
+ */
+double relativeRmse(const std::vector<double> &a,
+                    const std::vector<double> &b);
+
+/** Signal-to-noise ratio in dB given signal and noise powers. */
+double snrDb(double signal_power, double noise_power);
+
+/** Running mean/min/max accumulator. */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double v);
+
+    /** Number of samples seen. */
+    size_t count() const { return count_; }
+
+    /** Mean of the samples seen (0 when empty). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Minimum sample (panics when empty). */
+    double min() const;
+
+    /** Maximum sample (panics when empty). */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_COMMON_STATS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit conventions and conversion constants.
+ *
+ * The model code carries units in names (`power_mw`, `energy_pj`,
+ * `area_mm2`, `freq_ghz`) rather than in types; this header centralizes
+ * the conversion factors so they are never retyped inline.
+ *
+ * Canonical units used throughout the library:
+ *   power   : mW          energy : pJ
+ *   time    : ns          frequency : GHz
+ *   length  : um          area   : mm^2
+ *
+ * Note 1 mW * 1 ns = 1 pJ and 1 GHz = 1/ns, so energy = power / freq
+ * works directly in canonical units.
+ */
+
+#ifndef PHOTOFOURIER_COMMON_UNITS_HH
+#define PHOTOFOURIER_COMMON_UNITS_HH
+
+namespace photofourier {
+namespace units {
+
+// --- power ---
+constexpr double kWattsPerMw = 1e-3;
+constexpr double kMwPerWatt = 1e3;
+constexpr double kMwPerUw = 1e-3;
+
+// --- energy ---
+constexpr double kPjPerJoule = 1e12;
+constexpr double kJoulePerPj = 1e-12;
+constexpr double kPjPerUj = 1e6;
+constexpr double kUjPerPj = 1e-6;
+constexpr double kPjPerFj = 1e-3;
+constexpr double kFjPerPj = 1e3;
+
+// --- time / frequency ---
+constexpr double kNsPerSecond = 1e9;
+constexpr double kSecondPerNs = 1e-9;
+constexpr double kGhzPerHz = 1e-9;
+constexpr double kHzPerGhz = 1e9;
+constexpr double kGhzPerMhz = 1e-3;
+
+// --- geometry ---
+constexpr double kUmPerMm = 1e3;
+constexpr double kMm2PerUm2 = 1e-6;
+constexpr double kUm2PerMm2 = 1e6;
+
+/** Energy (pJ) consumed by `power_mw` over one cycle at `freq_ghz`. */
+constexpr double
+energyPerCyclePj(double power_mw, double freq_ghz)
+{
+    return power_mw / freq_ghz;
+}
+
+/** Area (mm^2) of a w x h rectangle given in um. */
+constexpr double
+rectAreaMm2(double width_um, double height_um)
+{
+    return width_um * height_um * kMm2PerUm2;
+}
+
+} // namespace units
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_COMMON_UNITS_HH

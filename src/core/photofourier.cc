@@ -1,0 +1,50 @@
+#include "core/photofourier.hh"
+
+#include "common/logging.hh"
+
+namespace photofourier {
+
+PhotoFourierAccelerator::PhotoFourierAccelerator(
+    arch::AcceleratorConfig config)
+    : config_(std::move(config))
+{
+    config_.validate();
+}
+
+arch::NetworkPerformance
+PhotoFourierAccelerator::simulate(const nn::NetworkSpec &network) const
+{
+    arch::DataflowMapper mapper(config_);
+    return mapper.mapNetwork(network);
+}
+
+arch::AreaBreakdown
+PhotoFourierAccelerator::area() const
+{
+    arch::AreaModel model(config_.generation);
+    return model.breakdown(config_);
+}
+
+void
+PhotoFourierAccelerator::attach(nn::Network &network, bool with_noise,
+                                double snr_db) const
+{
+    nn::PhotoFourierEngineConfig engine_cfg;
+    engine_cfg.n_conv = config_.n_input_waveguides;
+    engine_cfg.dac_bits = config_.dac_bits;
+    engine_cfg.adc_bits = config_.adc_bits;
+    engine_cfg.temporal_accumulation_depth =
+        config_.temporal_accumulation_depth;
+    engine_cfg.noise = with_noise;
+    engine_cfg.snr_db = snr_db;
+    network.setConvEngine(
+        std::make_shared<nn::PhotoFourierEngine>(engine_cfg));
+}
+
+void
+PhotoFourierAccelerator::detach(nn::Network &network)
+{
+    network.setConvEngine(std::make_shared<nn::DirectEngine>());
+}
+
+} // namespace photofourier

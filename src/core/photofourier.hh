@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PhotoFourier public API.
+ *
+ * The facade a downstream user works with:
+ *
+ *   PhotoFourierAccelerator accel(
+ *       arch::AcceleratorConfig::currentGen());
+ *
+ *   // Performance simulation of a full-size CNN (shape-driven).
+ *   auto perf = accel.simulate(nn::vgg16Spec());
+ *   perf.fps(); perf.fpsPerW(); perf.edp();
+ *
+ *   // Functional inference with the accelerator's numerics
+ *   // (8-bit DACs/ADCs, temporal accumulation, row tiling).
+ *   accel.attach(network);           // swaps the conv engine
+ *   auto logits = network.logits(x);
+ *
+ * Lower layers (jtc::, tiling::, arch::, photonics::) stay public for
+ * users who need the pieces.
+ */
+
+#ifndef PHOTOFOURIER_CORE_PHOTOFOURIER_HH
+#define PHOTOFOURIER_CORE_PHOTOFOURIER_HH
+
+#include "common/ascii_plot.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+#include "arch/accel_config.hh"
+#include "arch/area_model.hh"
+#include "arch/dataflow.hh"
+#include "arch/design_space.hh"
+#include "arch/parallelization.hh"
+#include "baselines/baselines.hh"
+#include "jtc/jtc_system.hh"
+#include "jtc/pfcu.hh"
+#include "nn/conv_engine.hh"
+#include "nn/datasets.hh"
+#include "nn/model_zoo.hh"
+#include "nn/network.hh"
+#include "nn/training.hh"
+#include "tiling/tiled_convolution.hh"
+
+namespace photofourier {
+
+/** Top-level facade over the PhotoFourier model stack. */
+class PhotoFourierAccelerator
+{
+  public:
+    /** Build from an architectural configuration (validated). */
+    explicit PhotoFourierAccelerator(arch::AcceleratorConfig config);
+
+    /** Performance simulation of a network descriptor. */
+    arch::NetworkPerformance simulate(
+        const nn::NetworkSpec &network) const;
+
+    /** Chip area breakdown (Figure 11 categories). */
+    arch::AreaBreakdown area() const;
+
+    /**
+     * Swap the network's convolution engine for this accelerator's
+     * numerics (row tiling at the configured waveguide count, DAC/ADC
+     * bits, temporal accumulation depth).
+     *
+     * @param network       network to retarget
+     * @param with_noise    inject photodetector sensing noise
+     * @param snr_db        detector SNR when noise is on
+     */
+    void attach(nn::Network &network, bool with_noise = false,
+                double snr_db = 20.0) const;
+
+    /** Restore the floating-point reference engine. */
+    static void detach(nn::Network &network);
+
+    /** The configuration. */
+    const arch::AcceleratorConfig &config() const { return config_; }
+
+  private:
+    arch::AcceleratorConfig config_;
+};
+
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_CORE_PHOTOFOURIER_HH

@@ -1,0 +1,82 @@
+#include "fourier4f/jtc2d.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace fourier4f {
+
+Jtc2dLayout
+Jtc2dLayout::design(size_t signal_rows, size_t signal_cols,
+                    size_t kernel_rows, size_t kernel_cols)
+{
+    pf_assert(signal_rows > 0 && kernel_rows > 0, "empty JTC inputs");
+    Jtc2dLayout layout;
+    layout.signal_rows = signal_rows;
+    layout.signal_cols = signal_cols;
+    layout.kernel_rows = kernel_rows;
+    layout.kernel_cols = kernel_cols;
+
+    // Vertical separation mirrors the 1D design: the cross term's
+    // first row lag must clear the central term.
+    const size_t longest = std::max(signal_rows, kernel_rows);
+    layout.kernel_row_pos = longest + signal_rows - 1;
+    layout.plane_rows = signal::nextPowerOfTwo(
+        2 * layout.kernel_row_pos + 2 * kernel_rows);
+    // Columns only need to avoid circular aliasing of the correlation
+    // support (both blocks share the column origin).
+    layout.plane_cols =
+        signal::nextPowerOfTwo(signal_cols + kernel_cols);
+    return layout;
+}
+
+signal::Matrix
+Jtc2d::outputPlane(const signal::Matrix &s, const signal::Matrix &k) const
+{
+    const auto layout =
+        Jtc2dLayout::design(s.rows, s.cols, k.rows, k.cols);
+
+    signal::ComplexMatrix plane(layout.plane_rows, layout.plane_cols);
+    for (size_t r = 0; r < s.rows; ++r)
+        for (size_t c = 0; c < s.cols; ++c)
+            plane.at(r, c) = signal::Complex(s.at(r, c), 0.0);
+    for (size_t r = 0; r < k.rows; ++r)
+        for (size_t c = 0; c < k.cols; ++c)
+            plane.at(layout.kernel_row_pos + r, c) =
+                signal::Complex(k.at(r, c), 0.0);
+
+    // Lens -> intensity -> lens: ifft2d(|fft2d(E)|^2) is the circular
+    // 2D autocorrelation (correlation theorem), exactly as in 1D.
+    auto spectrum = signal::fft2d(plane);
+    for (auto &value : spectrum.data)
+        value = signal::Complex(std::norm(value), 0.0);
+    return signal::realPart(signal::ifft2d(spectrum));
+}
+
+signal::Matrix
+Jtc2d::correlate(const signal::Matrix &s, const signal::Matrix &k) const
+{
+    pf_assert(s.rows >= k.rows && s.cols >= k.cols,
+              "kernel larger than signal");
+    const auto layout =
+        Jtc2dLayout::design(s.rows, s.cols, k.rows, k.cols);
+    const auto plane = outputPlane(s, k);
+
+    const size_t out_rows = s.rows - k.rows + 1;
+    const size_t out_cols = s.cols - k.cols + 1;
+    signal::Matrix out(out_rows, out_cols);
+    for (size_t i = 0; i < out_rows; ++i) {
+        const size_t dr =
+            (layout.kernel_row_pos - i) % layout.plane_rows;
+        for (size_t j = 0; j < out_cols; ++j) {
+            const size_t dc =
+                (layout.plane_cols - j) % layout.plane_cols;
+            out.at(i, j) = plane.at(dr, dc);
+        }
+    }
+    return out;
+}
+
+} // namespace fourier4f
+} // namespace photofourier

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Free-space 2D Joint Transform Correlator.
+ *
+ * The conventional JTC [71] the paper's on-chip system descends from:
+ * signal and kernel sit side by side on a 2D input plane; a 2D lens,
+ * square-law detection and a second 2D lens yield an output plane with
+ * the 2D auto-correlation terms spatially separated. Exists here to
+ * validate the on-chip 1D + row-tiling pipeline against native 2D
+ * Fourier optics (the row-edge effect is the only difference), and to
+ * give the "free-space vs on-chip" comparison substance.
+ */
+
+#ifndef PHOTOFOURIER_FOURIER4F_JTC2D_HH
+#define PHOTOFOURIER_FOURIER4F_JTC2D_HH
+
+#include "signal/fft2d.hh"
+
+namespace photofourier {
+namespace fourier4f {
+
+/** Plane geometry for a non-aliasing 2D JTC. */
+struct Jtc2dLayout
+{
+    size_t signal_rows, signal_cols;
+    size_t kernel_rows, kernel_cols;
+    size_t kernel_row_pos; ///< vertical offset of the kernel block
+    size_t plane_rows, plane_cols;
+
+    /** Design a layout separating the three output terms. */
+    static Jtc2dLayout design(size_t signal_rows, size_t signal_cols,
+                              size_t kernel_rows, size_t kernel_cols);
+};
+
+/** Free-space 2D JTC simulator (noiseless). */
+class Jtc2d
+{
+  public:
+    /**
+     * Full output plane: the circular 2D autocorrelation of the joint
+     * input plane, with the cross-correlation terms displaced
+     * vertically by the input separation.
+     */
+    signal::Matrix outputPlane(const signal::Matrix &s,
+                               const signal::Matrix &k) const;
+
+    /**
+     * Extracted 2D sliding correlation (the CNN convolution),
+     * `Valid` support: (Sr-Kr+1) x (Sc-Kc+1).
+     */
+    signal::Matrix correlate(const signal::Matrix &s,
+                             const signal::Matrix &k) const;
+};
+
+} // namespace fourier4f
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_FOURIER4F_JTC2D_HH

@@ -1,0 +1,91 @@
+#include "fourier4f/system4f.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "photonics/converters.hh"
+
+namespace photofourier {
+namespace fourier4f {
+
+System4f::System4f(System4fConfig config) : config_(config)
+{
+    pf_assert(config_.amplitude_bits >= 0 && config_.phase_bits >= 0,
+              "negative modulator resolution");
+}
+
+signal::ComplexMatrix
+System4f::programFilter(const signal::Matrix &kernel, size_t rows,
+                        size_t cols) const
+{
+    pf_assert(kernel.rows <= rows && kernel.cols <= cols,
+              "kernel larger than the Fourier plane");
+    signal::ComplexMatrix padded(rows, cols);
+    for (size_t r = 0; r < kernel.rows; ++r)
+        for (size_t c = 0; c < kernel.cols; ++c)
+            padded.at(r, c) = signal::Complex(kernel.at(r, c), 0.0);
+    auto filter = signal::fft2d(padded);
+
+    if (config_.amplitude_bits == 0 && config_.phase_bits == 0)
+        return filter;
+
+    // Quantize in polar form: amplitude on [0, max|H|], phase on
+    // [-pi, pi] — that is what amplitude/phase modulators physically
+    // resolve.
+    double amp_max = 0.0;
+    for (const auto &h : filter.data)
+        amp_max = std::max(amp_max, std::abs(h));
+    photonics::Quantizer amp_q(
+        config_.amplitude_bits > 0 ? config_.amplitude_bits : 2,
+        config_.amplitude_bits > 0 ? amp_max : 0.0);
+    photonics::Quantizer phase_q(
+        config_.phase_bits > 0 ? config_.phase_bits : 2,
+        config_.phase_bits > 0 ? M_PI : 0.0);
+
+    for (auto &h : filter.data) {
+        const double amp = amp_q.quantize(std::abs(h));
+        const double phase = phase_q.quantize(std::arg(h));
+        h = std::polar(amp, phase);
+    }
+    return filter;
+}
+
+signal::Matrix
+System4f::convolve(const signal::Matrix &image,
+                   const signal::Matrix &kernel) const
+{
+    pf_assert(image.rows > 0 && kernel.rows > 0, "empty operands");
+    const size_t rows = image.rows + kernel.rows - 1;
+    const size_t cols = image.cols + kernel.cols - 1;
+
+    // Input plane -> first lens.
+    signal::ComplexMatrix field(rows, cols);
+    for (size_t r = 0; r < image.rows; ++r)
+        for (size_t c = 0; c < image.cols; ++c)
+            field.at(r, c) = signal::Complex(image.at(r, c), 0.0);
+    auto spectrum = signal::fft2d(field);
+
+    // Fourier plane: point-wise multiplication with the programmed
+    // complex filter.
+    const auto filter = programFilter(kernel, rows, cols);
+    for (size_t i = 0; i < spectrum.data.size(); ++i)
+        spectrum.data[i] *= filter.data[i];
+
+    // Second lens back to the space domain.
+    return signal::realPart(signal::ifft2d(spectrum));
+}
+
+Requirements4f
+System4f::requirements(size_t input_size, size_t kernel_size)
+{
+    pf_assert(input_size >= kernel_size, "kernel larger than input");
+    Requirements4f req;
+    req.modulators = input_size * input_size;
+    req.dofs = 2 * req.modulators; // amplitude + phase per pixel
+    req.weight_values_per_update = req.dofs;
+    req.jtc_weight_taps = kernel_size * kernel_size;
+    return req;
+}
+
+} // namespace fourier4f
+} // namespace photofourier

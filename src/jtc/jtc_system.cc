@@ -1,0 +1,184 @@
+#include "jtc/jtc_system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace jtc {
+
+JtcPlaneLayout
+JtcPlaneLayout::design(size_t signal_len, size_t kernel_len)
+{
+    pf_assert(signal_len > 0 && kernel_len > 0,
+              "JTC inputs must be non-empty");
+    const size_t longest = std::max(signal_len, kernel_len);
+
+    JtcPlaneLayout layout;
+    layout.signal_len = signal_len;
+    layout.kernel_len = kernel_len;
+    layout.signal_pos = 0;
+    // Separation: central term spans [0, longest-1]; the cross term
+    // starts at q - (Ls - 1), so q = longest + Ls - 1 puts its first
+    // sample just past the central term.
+    layout.kernel_pos = longest + signal_len - 1;
+    // Mirror term starts at N - q - (Lk - 1); N >= 2q + 2Lk keeps it
+    // past the cross term's last sample q + Lk - 1.
+    layout.plane_size = signal::nextPowerOfTwo(
+        2 * layout.kernel_pos + 2 * kernel_len);
+    return layout;
+}
+
+JtcSystem::JtcSystem(JtcConfig config) : config_(config)
+{
+}
+
+JtcPlaneLayout
+JtcSystem::layoutFor(const std::vector<double> &s,
+                     const std::vector<double> &k)
+{
+    return JtcPlaneLayout::design(s.size(), k.size());
+}
+
+double
+JtcSystem::readOut(double field_value, double scale,
+                   photonics::Photodetector &pd) const
+{
+    double recorded = field_value;
+    if (config_.readout == ReadoutModel::SquareLaw) {
+        // Physical detector: intensity |R|^2, digital sqrt in CMOS.
+        // Negative excursions (noise) clamp to zero charge.
+        double intensity = field_value * field_value;
+        if (config_.noise)
+            intensity = pd.addSensingNoise(intensity, scale * scale);
+        recorded = std::sqrt(std::max(0.0, intensity));
+    } else if (config_.noise) {
+        recorded = pd.addSensingNoise(field_value, scale);
+    }
+    return recorded;
+}
+
+std::vector<double>
+JtcSystem::outputPlane(const std::vector<double> &s,
+                       const std::vector<double> &k) const
+{
+    const JtcPlaneLayout layout = layoutFor(s, k);
+    const size_t n = layout.plane_size;
+
+    // Joint input plane.
+    std::vector<double> plane(n, 0.0);
+    for (size_t i = 0; i < s.size(); ++i)
+        plane[layout.signal_pos + i] = s[i];
+    for (size_t i = 0; i < k.size(); ++i)
+        plane[layout.kernel_pos + i] = k[i];
+
+    // First lens: E -> F(u).
+    signal::ComplexVector field(n);
+    for (size_t i = 0; i < n; ++i)
+        field[i] = signal::Complex(plane[i], 0.0);
+    signal::fftRadix2(field, false);
+
+    // Fourier plane: photodetectors record |F|^2; EOMs re-emit the
+    // intensity as a fresh (real, non-negative) optical amplitude. The
+    // SNR target applies per detector, i.e. noise scales with each
+    // detector's own signal (not the plane peak — the DC term would
+    // otherwise drown the correlation terms).
+    photonics::Photodetector mid_pd(config_.detector, config_.noise_seed);
+    std::vector<double> intensity(n);
+    for (size_t i = 0; i < n; ++i)
+        intensity[i] = std::norm(field[i]);
+    if (config_.noise) {
+        for (auto &value : intensity)
+            value = std::max(0.0, mid_pd.addSensingNoise(value, value));
+    }
+
+    // Second lens: I(u) -> R(x). The inverse DFT (with its 1/n) is the
+    // correlation theorem: ifft(|fft(E)|^2)[d] = sum_x E[x] E[(x+d)%n],
+    // exactly the circular autocorrelation of the joint plane. A
+    // forward DFT would yield the mirrored plane; physical lenses
+    // differ only by that reflection.
+    signal::ComplexVector spectrum(n);
+    for (size_t i = 0; i < n; ++i)
+        spectrum[i] = signal::Complex(intensity[i], 0.0);
+    signal::fftRadix2(spectrum, true);
+
+    photonics::Photodetector out_pd(config_.detector,
+                                    config_.noise_seed + 1);
+    std::vector<double> recorded(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double r = spectrum[i].real();
+        recorded[i] = readOut(r, r, out_pd);
+    }
+    return recorded;
+}
+
+std::vector<double>
+JtcSystem::fullCorrelation(const std::vector<double> &s,
+                           const std::vector<double> &k) const
+{
+    const JtcPlaneLayout layout = layoutFor(s, k);
+    const auto plane = outputPlane(s, k);
+
+    // c[m] = R[q + m] for m in [-(Ls-1), Lk-1].
+    const size_t n = layout.plane_size;
+    const long q = static_cast<long>(layout.kernel_pos);
+    const long m_lo = -static_cast<long>(s.size()) + 1;
+    const long m_hi = static_cast<long>(k.size()) - 1;
+
+    std::vector<double> out(static_cast<size_t>(m_hi - m_lo + 1));
+    for (long m = m_lo; m <= m_hi; ++m) {
+        const size_t idx = static_cast<size_t>(
+            ((q + m) % static_cast<long>(n) + static_cast<long>(n)) %
+            static_cast<long>(n));
+        out[static_cast<size_t>(m - m_lo)] = plane[idx];
+    }
+    return out;
+}
+
+std::vector<double>
+JtcSystem::correlationWindow(const std::vector<double> &s,
+                             const std::vector<double> &k,
+                             size_t count, long start) const
+{
+    // out[i] = c[-(start + i)]: read the full correlation backwards.
+    const auto c = fullCorrelation(s, k);
+    const long zero_index = static_cast<long>(s.size()) - 1;
+    std::vector<double> out(count, 0.0);
+    for (size_t i = 0; i < count; ++i) {
+        const long idx = zero_index - (start + static_cast<long>(i));
+        if (idx >= 0 && idx < static_cast<long>(c.size()))
+            out[i] = c[static_cast<size_t>(idx)];
+        // Outside: kernel fully past either end of the signal -> zero.
+    }
+    return out;
+}
+
+std::vector<double>
+slidingCorrelationReference(const std::vector<double> &s,
+                            const std::vector<double> &k, size_t count,
+                            long start)
+{
+    std::vector<double> out(count, 0.0);
+    // Tiled kernels are mostly zero padding (rows separated by
+    // Si - Sk zeros); skipping zero taps keeps this exact and fast.
+    std::vector<size_t> taps;
+    taps.reserve(k.size());
+    for (size_t t = 0; t < k.size(); ++t)
+        if (k[t] != 0.0)
+            taps.push_back(t);
+    for (size_t i = 0; i < count; ++i) {
+        const long j = start + static_cast<long>(i);
+        double acc = 0.0;
+        for (size_t t : taps) {
+            const long idx = j + static_cast<long>(t);
+            if (idx >= 0 && idx < static_cast<long>(s.size()))
+                acc += s[static_cast<size_t>(idx)] * k[t];
+        }
+        out[i] = acc;
+    }
+    return out;
+}
+
+} // namespace jtc
+} // namespace photofourier

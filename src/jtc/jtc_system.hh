@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Field-level simulation of a 1D on-chip Joint Transform Correlator.
+ *
+ * Optical path (paper Figure 1a / Section II-A):
+ *
+ *   joint input plane  E(x) = s(x - p_s) + k(x - p_k)
+ *        | first 1D metasurface lens  ->  F(u) = FT[E](u)
+ *   Fourier plane      I(u) = |F(u)|^2   (photodetector square law,
+ *        |                                re-modulated onto light by EOMs)
+ *        | second 1D lens             ->  R(x) = FT[I](x)
+ *   output plane       R = s*s + k*k (center, the O(x) term)
+ *                        + corr(s,k) displaced to +(p_k - p_s)
+ *                        + corr(k,s) displaced to -(p_k - p_s)
+ *
+ * With a sampled field the lens FT is a DFT and R is the *circular*
+ * autocorrelation of the joint plane; JtcPlaneLayout chooses the plane
+ * size and input separation so the three terms never alias into each
+ * other (the spatial separation trick of Section II-A, Figure 2).
+ *
+ * Readout: Equation (1) treats the recorded pattern as the correlation
+ * amplitude itself. Physically a photodetector reads |R|^2; because all
+ * CNN operands are non-negative here (activations post-ReLU, weights via
+ * pseudo-negative decomposition) the amplitude is recoverable by a
+ * square root, and temporal accumulation requires the linear value. Both
+ * models are provided; Linear is the default used by the accelerator.
+ */
+
+#ifndef PHOTOFOURIER_JTC_JTC_SYSTEM_HH
+#define PHOTOFOURIER_JTC_JTC_SYSTEM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "photonics/photodetector.hh"
+#include "signal/fft.hh"
+
+namespace photofourier {
+namespace jtc {
+
+/** How the final photodetector row converts field to recorded value. */
+enum class ReadoutModel
+{
+    Linear,    ///< record R(x) directly (Equation 1 reading; default)
+    SquareLaw, ///< record |R(x)|^2, then take a digital square root
+};
+
+/**
+ * Geometry of the joint input plane.
+ *
+ * Chosen such that on the output plane the central O(x) term, the
+ * cross-correlation term and its mirror occupy disjoint index ranges.
+ */
+struct JtcPlaneLayout
+{
+    size_t signal_len;   ///< samples of the signal input s
+    size_t kernel_len;   ///< samples of the kernel input k
+    size_t signal_pos;   ///< plane index where s starts (always 0)
+    size_t kernel_pos;   ///< plane index where k starts (the separation)
+    size_t plane_size;   ///< total samples of the joint plane (pow2)
+
+    /**
+     * Compute a non-aliasing layout for the given input sizes.
+     *
+     * Separation q >= max(Ls, Lk) + Ls - 1 keeps the cross term clear of
+     * the central term; plane size >= 2q + 2Lk keeps the mirror term
+     * clear of the cross term.
+     */
+    static JtcPlaneLayout design(size_t signal_len, size_t kernel_len);
+};
+
+/** Configuration of a JTC simulation instance. */
+struct JtcConfig
+{
+    /** Readout conversion at the final detector row. */
+    ReadoutModel readout = ReadoutModel::Linear;
+
+    /** Inject photodetector sensing noise in the Fourier plane and at
+     *  readout. Off by default: accuracy experiments switch it on. */
+    bool noise = false;
+
+    /** Detector parameters used when noise is enabled. */
+    photonics::PhotodetectorConfig detector;
+
+    /** Seed for noise injection. */
+    uint64_t noise_seed = 1;
+};
+
+/**
+ * One JTC evaluation: both full-plane output (for Figure 2 style
+ * inspection) and the extracted correlation (for compute).
+ */
+class JtcSystem
+{
+  public:
+    /** Build a simulator with the given configuration. */
+    explicit JtcSystem(JtcConfig config = {});
+
+    /**
+     * Propagate the joint plane through the full optical path and
+     * return the recorded output plane (size = layout.plane_size).
+     * Index d holds the circular autocorrelation R[d] of the joint
+     * plane; the three JTC terms appear at their displaced positions.
+     *
+     * @param s signal samples (non-negative for physical fidelity)
+     * @param k kernel samples
+     */
+    std::vector<double> outputPlane(const std::vector<double> &s,
+                                    const std::vector<double> &k) const;
+
+    /**
+     * Full cross-correlation c[m] = sum_i s[i] k[i + m] extracted from
+     * the output plane, for m in [-(Ls-1), Lk-1]; returned with index
+     * offset so that result[m + Ls - 1] == c[m].
+     */
+    std::vector<double> fullCorrelation(const std::vector<double> &s,
+                                        const std::vector<double> &k) const;
+
+    /**
+     * The CNN-style sliding correlation window the hardware reads:
+     * out[i] = sum_t s[start + i + t] k[t] for i in [0, count), where
+     * samples outside s contribute zero. The start shift is set in
+     * hardware by the relative placement of the two inputs on the
+     * joint plane (x_s, x_k offsets); `same`-mode row tiling uses a
+     * negative start so left-edge windows fall inside the readout.
+     *
+     * @param s      signal samples
+     * @param k      kernel samples
+     * @param count  number of output shifts (the paper reads Nconv)
+     * @param start  shift of the first output (may be negative)
+     */
+    std::vector<double> correlationWindow(const std::vector<double> &s,
+                                          const std::vector<double> &k,
+                                          size_t count,
+                                          long start = 0) const;
+
+    /** Layout used for the most recent evaluation sizes. */
+    static JtcPlaneLayout layoutFor(const std::vector<double> &s,
+                                    const std::vector<double> &k);
+
+    /** The configuration of this instance. */
+    const JtcConfig &config() const { return config_; }
+
+  private:
+    JtcConfig config_;
+
+    /** Apply the configured readout model (+ optional noise). */
+    double readOut(double field_value, double scale,
+                   photonics::Photodetector &pd) const;
+};
+
+/**
+ * Reference (non-optical) implementation of correlationWindow used by
+ * tests to validate the optical path: direct O(N^2) sliding dot product
+ * with zero extension.
+ */
+std::vector<double> slidingCorrelationReference(const std::vector<double> &s,
+                                                const std::vector<double> &k,
+                                                size_t count,
+                                                long start = 0);
+
+} // namespace jtc
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_JTC_JTC_SYSTEM_HH

@@ -1,0 +1,153 @@
+#include "jtc/pfcu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace jtc {
+
+Pfcu::Pfcu(PfcuConfig config)
+    : config_(config),
+      dac_(config.dac_bits,
+           config.dac_range > 0.0 ? config.dac_range : 0.0)
+{
+    pf_assert(config_.n_input_waveguides >= 2,
+              "PFCU needs at least 2 input waveguides");
+    pf_assert(config_.temporal_accumulation_depth >= 1,
+              "temporal accumulation depth must be >= 1");
+}
+
+size_t
+Pfcu::checkOperands(const std::vector<double> &input,
+                    const std::vector<double> &weights) const
+{
+    pf_assert(input.size() <= config_.n_input_waveguides,
+              "tiled input (", input.size(),
+              ") exceeds input waveguides (",
+              config_.n_input_waveguides, ")");
+    pf_assert(weights.size() <= config_.n_input_waveguides,
+              "tiled kernel (", weights.size(),
+              ") exceeds waveguides (", config_.n_input_waveguides, ")");
+    size_t nonzero = 0;
+    for (double w : weights)
+        nonzero += (w != 0.0);
+    if (nonzero > config_.n_active_weight_dacs) {
+        pf_warn("kernel uses ", nonzero, " nonzero weights but only ",
+                config_.n_active_weight_dacs,
+                " weight DACs are active; partition the filter "
+                "(Section III-B) to stay within hardware");
+    }
+    return nonzero;
+}
+
+void
+Pfcu::splitPseudoNegative(const std::vector<double> &weights,
+                          std::vector<double> &pos,
+                          std::vector<double> &neg)
+{
+    pos.assign(weights.size(), 0.0);
+    neg.assign(weights.size(), 0.0);
+    for (size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] >= 0.0)
+            pos[i] = weights[i];
+        else
+            neg[i] = -weights[i];
+    }
+}
+
+std::vector<double>
+Pfcu::opticalCorrelation(const std::vector<double> &input,
+                         const std::vector<double> &weights) const
+{
+    checkOperands(input, weights);
+
+    // Input DACs: activations are non-negative (post-ReLU); the DAC
+    // quantizes onto its positive half.
+    std::vector<double> driven = dac_.quantize(input);
+    for (double v : driven) {
+        pf_assert(v >= -1e-12,
+                  "negative activation on an input waveguide; "
+                  "activations must be non-negative (got ", v, ")");
+    }
+
+    JtcSystem optics(config_.optics);
+
+    bool any_negative =
+        std::any_of(weights.begin(), weights.end(),
+                    [](double w) { return w < 0.0; });
+    if (!any_negative) {
+        const auto w = dac_.quantize(weights);
+        return optics.correlationWindow(driven, w,
+                                        config_.n_input_waveguides);
+    }
+
+    pf_assert(config_.pseudo_negative,
+              "negative weights require pseudo-negative mode");
+    std::vector<double> pos, neg;
+    splitPseudoNegative(weights, pos, neg);
+    const auto out_p = optics.correlationWindow(
+        driven, dac_.quantize(pos), config_.n_input_waveguides);
+    const auto out_n = optics.correlationWindow(
+        driven, dac_.quantize(neg), config_.n_input_waveguides);
+
+    std::vector<double> out(out_p.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = out_p[i] - out_n[i];
+    return out;
+}
+
+PfcuReadout
+Pfcu::runChannelGroup(const std::vector<std::vector<double>> &inputs,
+                      const std::vector<std::vector<double>> &weights) const
+{
+    pf_assert(inputs.size() == weights.size(),
+              "channel count mismatch: ", inputs.size(), " inputs vs ",
+              weights.size(), " weight sets");
+    pf_assert(!inputs.empty(), "empty channel group");
+    pf_assert(inputs.size() <= config_.temporal_accumulation_depth,
+              "group of ", inputs.size(),
+              " channels exceeds temporal accumulation depth ",
+              config_.temporal_accumulation_depth);
+
+    // Photodetector charge accumulation across cycles — full precision.
+    std::vector<double> accumulated(config_.n_input_waveguides, 0.0);
+    size_t cycles = 0;
+    for (size_t ch = 0; ch < inputs.size(); ++ch) {
+        const auto partial = opticalCorrelation(inputs[ch], weights[ch]);
+        for (size_t i = 0; i < accumulated.size(); ++i)
+            accumulated[i] += partial[i];
+        cycles += cyclesPerConvolution();
+    }
+
+    // Single ADC readout of the integrated charge.
+    double range = config_.adc_range;
+    if (range <= 0.0) {
+        for (double v : accumulated)
+            range = std::max(range, std::abs(v));
+    }
+    photonics::Quantizer adc(config_.adc_bits, range);
+
+    PfcuReadout readout;
+    readout.values = adc.quantize(accumulated);
+    readout.optical_cycles = cycles;
+    readout.adc_reads = accumulated.size();
+    return readout;
+}
+
+size_t
+Pfcu::cyclesPerConvolution() const
+{
+    return config_.pseudo_negative ? 2 : 1;
+}
+
+double
+Pfcu::convolutionsPerCycle() const
+{
+    const double base = config_.pipelined ? 1.0 : 0.5;
+    return base / static_cast<double>(cyclesPerConvolution());
+}
+
+} // namespace jtc
+} // namespace photofourier

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * PhotoFourier Compute Unit (PFCU) — functional model.
+ *
+ * A PFCU is the optimized JTC of Section IV: pipelined (two stages split
+ * at the Fourier-plane sample-and-hold), with only 25 weight DACs kept
+ * for small CNN filters, 8-bit input/weight DACs, temporal accumulation
+ * at the output photodetectors, and 8-bit ADC readout.
+ *
+ * This class models the *numerics* of one PFCU: quantization points,
+ * optical correlation, charge-domain accumulation, pseudo-negative
+ * weight handling, plus cycle accounting for the pipeline. Energy/area
+ * live in the arch module.
+ */
+
+#ifndef PHOTOFOURIER_JTC_PFCU_HH
+#define PHOTOFOURIER_JTC_PFCU_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "jtc/jtc_system.hh"
+#include "photonics/converters.hh"
+
+namespace photofourier {
+namespace jtc {
+
+/** Static configuration of a PFCU (Section IV / Table IV). */
+struct PfcuConfig
+{
+    /** Input activation waveguides = max 1D convolution size. */
+    size_t n_input_waveguides = 256;
+
+    /** Weight waveguides with DACs kept after small-filter pruning. */
+    size_t n_active_weight_dacs = 25;
+
+    /** Input/weight DAC resolution (bits). */
+    int dac_bits = 8;
+
+    /** ADC resolution (bits). */
+    int adc_bits = 8;
+
+    /** Channels accumulated at the photodetector before one readout. */
+    size_t temporal_accumulation_depth = 16;
+
+    /** Use the pseudo-negative filter decomposition [13]. */
+    bool pseudo_negative = true;
+
+    /** Two-stage pipelining via Fourier-plane sample-and-hold. */
+    bool pipelined = true;
+
+    /** Photonic clock (GHz). */
+    double clock_ghz = 10.0;
+
+    /** Optical simulation settings (noise, readout model). */
+    JtcConfig optics;
+
+    /**
+     * ADC full-scale range; 0 = ideal auto-range (calibrated to the
+     * largest accumulated magnitude of the call). Accuracy experiments
+     * set an explicit per-layer range like real hardware would.
+     */
+    double adc_range = 0.0;
+
+    /** DAC full-scale range for activations and weights; 0 = auto. */
+    double dac_range = 1.0;
+};
+
+/** Result of one PFCU readout: values plus cycle cost. */
+struct PfcuReadout
+{
+    std::vector<double> values; ///< ADC-quantized correlation window
+    size_t optical_cycles = 0;  ///< photonic cycles consumed
+    size_t adc_reads = 0;       ///< ADC conversion count (per element)
+};
+
+/**
+ * Functional PFCU.
+ *
+ * Usage: call runChannelGroup() with up to temporal_accumulation_depth
+ * channel pairs. Each pair is one photonic cycle; the detector
+ * integrates the charge; a single quantized readout comes back.
+ */
+class Pfcu
+{
+  public:
+    /** Build a PFCU with the given configuration. */
+    explicit Pfcu(PfcuConfig config = {});
+
+    /**
+     * One raw (un-accumulated, un-quantized) optical correlation:
+     * out[j] = sum_t in[j+t] w[t], j in [0, n_input_waveguides).
+     * Inputs are DAC-quantized; weights may be signed only when
+     * pseudo_negative is enabled.
+     */
+    std::vector<double> opticalCorrelation(
+        const std::vector<double> &input,
+        const std::vector<double> &weights) const;
+
+    /**
+     * Temporal accumulation group: correlate each channel pair and
+     * integrate at the photodetector, then apply one ADC readout.
+     *
+     * @param inputs  per-channel tiled input vectors (all same length)
+     * @param weights per-channel tiled weight vectors
+     */
+    PfcuReadout runChannelGroup(
+        const std::vector<std::vector<double>> &inputs,
+        const std::vector<std::vector<double>> &weights) const;
+
+    /** Cycles to process one convolution (pseudo-negative costs 2x). */
+    size_t cyclesPerConvolution() const;
+
+    /**
+     * Pipeline latency in cycles for one convolution to traverse the
+     * optical path (2 stages when pipelined, 1 combined otherwise —
+     * the unpipelined system is slower per cycle, not shorter).
+     */
+    size_t pipelineLatencyCycles() const { return config_.pipelined ? 2 : 1; }
+
+    /** Throughput in convolutions per cycle (0.5 unpipelined). */
+    double convolutionsPerCycle() const;
+
+    /** The configuration. */
+    const PfcuConfig &config() const { return config_; }
+
+  private:
+    PfcuConfig config_;
+    photonics::Quantizer dac_;
+
+    /** Validate shapes; returns the nonzero weight count. */
+    size_t checkOperands(const std::vector<double> &input,
+                         const std::vector<double> &weights) const;
+
+    /** Split signed weights into the (p, n) non-negative pair. */
+    static void splitPseudoNegative(const std::vector<double> &weights,
+                                    std::vector<double> &pos,
+                                    std::vector<double> &neg);
+};
+
+} // namespace jtc
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_JTC_PFCU_HH

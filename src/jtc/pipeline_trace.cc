@@ -1,0 +1,109 @@
+#include "jtc/pipeline_trace.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace jtc {
+
+double
+PipelineTrace::utilization() const
+{
+    if (cycles.empty())
+        return 0.0;
+    size_t busy = 0;
+    for (const auto &c : cycles) {
+        busy += (c.stage_a_job >= 0);
+        busy += (c.stage_b_job >= 0);
+    }
+    return static_cast<double>(busy) /
+           static_cast<double>(2 * cycles.size());
+}
+
+size_t
+PipelineTrace::latencyOfJob(size_t job) const
+{
+    long issue = -1, finish = -1;
+    for (const auto &c : cycles) {
+        if (c.stage_a_job == static_cast<long>(job) && issue < 0)
+            issue = static_cast<long>(c.cycle);
+        if (c.completed_job == static_cast<long>(job))
+            finish = static_cast<long>(c.cycle);
+    }
+    pf_assert(issue >= 0 && finish >= 0, "job ", job, " not in trace");
+    return static_cast<size_t>(finish - issue + 1);
+}
+
+std::string
+PipelineTrace::render() const
+{
+    std::ostringstream oss;
+    oss << "cycle | stage A | stage B | done\n";
+    for (const auto &c : cycles) {
+        auto cell = [](long job) {
+            return job < 0 ? std::string("  .  ")
+                           : " c" + std::to_string(job) + "  ";
+        };
+        oss << "  " << c.cycle << "   |  " << cell(c.stage_a_job)
+            << " |  " << cell(c.stage_b_job) << " | "
+            << (c.completed_job < 0
+                    ? std::string("-")
+                    : "c" + std::to_string(c.completed_job))
+            << "\n";
+    }
+    return oss.str();
+}
+
+PipelineTrace
+tracePipeline(size_t n_convolutions, bool pipelined)
+{
+    pf_assert(n_convolutions >= 1, "empty pipeline trace");
+    PipelineTrace trace;
+
+    if (pipelined) {
+        // Stage A cycle t feeds stage B cycle t+1 via the sample and
+        // hold; a fresh convolution issues every cycle.
+        const size_t total = n_convolutions + 1;
+        for (size_t t = 0; t < total; ++t) {
+            PipelineCycle c;
+            c.cycle = t;
+            c.stage_a_job =
+                t < n_convolutions ? static_cast<long>(t) : -1;
+            c.stage_b_job = t >= 1 && t - 1 < n_convolutions
+                                ? static_cast<long>(t - 1)
+                                : -1;
+            c.completed_job = c.stage_b_job;
+            trace.cycles.push_back(c);
+            trace.completed += (c.completed_job >= 0);
+        }
+        trace.total_cycles = total;
+    } else {
+        // Without the sample and hold, the photodetector output must
+        // flow through stage B before the next input can load: each
+        // convolution occupies the whole system for 2 cycles, leaving
+        // one half idle each cycle (Section II-C2's 50% utilization).
+        const size_t total = 2 * n_convolutions;
+        for (size_t job = 0; job < n_convolutions; ++job) {
+            PipelineCycle a;
+            a.cycle = 2 * job;
+            a.stage_a_job = static_cast<long>(job);
+            a.stage_b_job = -1;
+            a.completed_job = -1;
+            trace.cycles.push_back(a);
+
+            PipelineCycle b;
+            b.cycle = 2 * job + 1;
+            b.stage_a_job = -1;
+            b.stage_b_job = static_cast<long>(job);
+            b.completed_job = static_cast<long>(job);
+            trace.cycles.push_back(b);
+            ++trace.completed;
+        }
+        trace.total_cycles = total;
+    }
+    return trace;
+}
+
+} // namespace jtc
+} // namespace photofourier

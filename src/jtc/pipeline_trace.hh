@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cycle-level trace of the two-stage PFCU pipeline (Section IV-A).
+ *
+ * The JTC splits at the Fourier-plane sample-and-hold into stage A
+ * (input modulation -> first lens -> photodetector row) and stage B
+ * (EOM re-modulation -> second lens -> output detectors). The paper's
+ * claims, which the trace reproduces cycle by cycle:
+ *
+ *  - unpipelined, the two halves cannot work on different
+ *    convolutions, so the system idles every other cycle — the "50%
+ *    utilization" of Section II-C2;
+ *  - pipelined, a new convolution enters every cycle after a 2-cycle
+ *    fill, sustaining 1 convolution/cycle (Section IV-A: "double the
+ *    throughput with a negligible increase in energy").
+ */
+
+#ifndef PHOTOFOURIER_JTC_PIPELINE_TRACE_HH
+#define PHOTOFOURIER_JTC_PIPELINE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace photofourier {
+namespace jtc {
+
+/** Occupancy of both stages in one cycle. */
+struct PipelineCycle
+{
+    size_t cycle = 0;
+    long stage_a_job = -1; ///< convolution id in stage A (-1 = idle)
+    long stage_b_job = -1; ///< convolution id in stage B
+    long completed_job = -1; ///< convolution finishing this cycle
+};
+
+/** Result of tracing a burst of convolutions through the PFCU. */
+struct PipelineTrace
+{
+    std::vector<PipelineCycle> cycles;
+    size_t total_cycles = 0;
+    size_t completed = 0;
+
+    /** Fraction of stage-slots doing useful work. */
+    double utilization() const;
+
+    /** Convolutions per cycle in steady state. */
+    double throughput() const
+    {
+        return static_cast<double>(completed) /
+               static_cast<double>(total_cycles);
+    }
+
+    /** Cycles from a job's issue to its completion. */
+    size_t latencyOfJob(size_t job) const;
+
+    /** ASCII rendering of the stage occupancy over time. */
+    std::string render() const;
+};
+
+/**
+ * Trace `n_convolutions` back-to-back convolutions through the PFCU.
+ *
+ * @param n_convolutions jobs to issue (>= 1)
+ * @param pipelined      sample-and-hold pipelining enabled
+ */
+PipelineTrace tracePipeline(size_t n_convolutions, bool pipelined);
+
+} // namespace jtc
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_JTC_PIPELINE_TRACE_HH

@@ -1,0 +1,210 @@
+#include "nn/conv_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "photonics/converters.hh"
+#include "tiling/tiled_convolution.hh"
+
+namespace photofourier {
+namespace nn {
+
+namespace {
+
+void
+checkConvShapes(const Tensor &input, const std::vector<Tensor> &weights,
+                const std::vector<double> &bias)
+{
+    pf_assert(!weights.empty(), "conv layer with no output channels");
+    pf_assert(weights[0].channels() == input.channels(),
+              "weight input channels ", weights[0].channels(),
+              " != input channels ", input.channels());
+    pf_assert(bias.empty() || bias.size() == weights.size(),
+              "bias size mismatch");
+    pf_assert(weights[0].height() == weights[0].width(),
+              "only square kernels are supported");
+}
+
+size_t
+outputDim(size_t in, size_t k, size_t stride, signal::ConvMode mode)
+{
+    const size_t full = mode == signal::ConvMode::Same ? in : in - k + 1;
+    return (full + stride - 1) / stride;
+}
+
+} // namespace
+
+Tensor
+DirectEngine::convolve(const Tensor &input,
+                       const std::vector<Tensor> &weights,
+                       const std::vector<double> &bias, size_t stride,
+                       signal::ConvMode mode) const
+{
+    checkConvShapes(input, weights, bias);
+    const size_t k = weights[0].height();
+    const size_t oh = outputDim(input.height(), k, stride, mode);
+    const size_t ow = outputDim(input.width(), k, stride, mode);
+
+    Tensor out(weights.size(), oh, ow);
+    for (size_t oc = 0; oc < weights.size(); ++oc) {
+        signal::Matrix acc(oh, ow);
+        for (size_t ic = 0; ic < input.channels(); ++ic) {
+            const auto partial = signal::conv2d(
+                input.channelMatrix(ic),
+                weights[oc].channelMatrix(ic), mode, stride);
+            for (size_t i = 0; i < acc.data.size(); ++i)
+                acc.data[i] += partial.data[i];
+        }
+        const double b = bias.empty() ? 0.0 : bias[oc];
+        for (size_t i = 0; i < acc.data.size(); ++i)
+            acc.data[i] += b;
+        out.setChannel(oc, acc);
+    }
+    return out;
+}
+
+PhotoFourierEngine::PhotoFourierEngine(PhotoFourierEngineConfig config)
+    : config_(config), noise_rng_(config.noise_seed)
+{
+    pf_assert(config_.temporal_accumulation_depth >= 1,
+              "temporal accumulation depth must be >= 1");
+}
+
+Tensor
+PhotoFourierEngine::convolve(const Tensor &input,
+                             const std::vector<Tensor> &weights,
+                             const std::vector<double> &bias,
+                             size_t stride,
+                             signal::ConvMode mode) const
+{
+    checkConvShapes(input, weights, bias);
+    pf_assert(input.height() == input.width(),
+              "PhotoFourier engine expects square feature maps");
+    const size_t k = weights[0].height();
+    const size_t n_in = input.channels();
+    const size_t n_out = weights.size();
+    const size_t nta = config_.temporal_accumulation_depth;
+
+    // --- DAC quantization (per-layer symmetric ranges) ---
+    double act_range = input.maxAbs();
+    double w_range = 0.0;
+    for (const auto &w : weights)
+        w_range = std::max(w_range, w.maxAbs());
+
+    photonics::Quantizer act_dac(
+        config_.dac_bits > 0 ? config_.dac_bits : 2,
+        config_.dac_bits > 0 ? act_range : 0.0);
+    photonics::Quantizer w_dac(
+        config_.dac_bits > 0 ? config_.dac_bits : 2,
+        config_.dac_bits > 0 ? w_range : 0.0);
+
+    Tensor q_input = input;
+    for (auto &v : q_input.data())
+        v = act_dac.quantize(v);
+    std::vector<Tensor> q_weights = weights;
+    for (auto &w : q_weights)
+        for (auto &v : w.data())
+            v = w_dac.quantize(v);
+
+    // --- Tiled convolution plan for this layer's geometry ---
+    tiling::TilingParams params{
+        .input_size = input.height(),
+        .kernel_size = k,
+        .n_conv = config_.n_conv,
+        .mode = mode,
+        .stride = stride,
+        .zero_pad_rows = config_.zero_pad_rows,
+    };
+    tiling::TiledConvolution tiled(
+        params, config_.optical_backend ? tiling::jtcBackend()
+                                        : tiling::cpuBackend());
+
+    const size_t oh = outputDim(input.height(), k, stride, mode);
+    const size_t ow = outputDim(input.width(), k, stride, mode);
+    const size_t groups = (n_in + nta - 1) / nta;
+
+    // Pseudo-negative execution [13]: each filter runs as a (p, n)
+    // pair of non-negative filters whose photodetector charges are
+    // read out *separately* and subtracted digitally. The ADC
+    // quantizes each readout on a grid fixed by the layer's output
+    // scale — that fixed grid is why fewer readouts (deeper temporal
+    // accumulation) mean less total quantization error (Section V-C1:
+    // "8-bit precision is not enough for partial sums").
+    std::vector<Tensor> w_pos = q_weights, w_neg = q_weights;
+    for (size_t oc = 0; oc < n_out; ++oc) {
+        for (size_t i = 0; i < w_pos[oc].data().size(); ++i) {
+            const double w = q_weights[oc].data()[i];
+            w_pos[oc].data()[i] = w >= 0.0 ? w : 0.0;
+            w_neg[oc].data()[i] = w < 0.0 ? -w : 0.0;
+        }
+    }
+
+    // First pass: per-group photodetector charges (full precision,
+    // plus optional sensing noise), p and n separately.
+    const double inv_snr = std::pow(10.0, -config_.snr_db / 20.0);
+    std::vector<std::vector<signal::Matrix>> group_p(n_out);
+    std::vector<std::vector<signal::Matrix>> group_n(n_out);
+    double adc_calib = 0.0; // max accumulated charge per polarity
+    for (size_t oc = 0; oc < n_out; ++oc) {
+        group_p[oc].assign(groups, signal::Matrix(oh, ow));
+        group_n[oc].assign(groups, signal::Matrix(oh, ow));
+        signal::Matrix total_p(oh, ow), total_n(oh, ow);
+        for (size_t g = 0; g < groups; ++g) {
+            auto &acc_p = group_p[oc][g];
+            auto &acc_n = group_n[oc][g];
+            const size_t ic_end = std::min(n_in, (g + 1) * nta);
+            for (size_t ic = g * nta; ic < ic_end; ++ic) {
+                const auto in_ch = q_input.channelMatrix(ic);
+                const auto part_p =
+                    tiled.execute(in_ch, w_pos[oc].channelMatrix(ic));
+                const auto part_n =
+                    tiled.execute(in_ch, w_neg[oc].channelMatrix(ic));
+                for (size_t i = 0; i < acc_p.data.size(); ++i) {
+                    acc_p.data[i] += part_p.data[i];
+                    acc_n.data[i] += part_n.data[i];
+                }
+            }
+            if (config_.noise) {
+                for (auto &v : acc_p.data)
+                    v += noise_rng_.normal(0.0, std::abs(v) * inv_snr);
+                for (auto &v : acc_n.data)
+                    v += noise_rng_.normal(0.0, std::abs(v) * inv_snr);
+            }
+            for (size_t i = 0; i < acc_p.data.size(); ++i) {
+                total_p.data[i] += acc_p.data[i];
+                total_n.data[i] += acc_n.data[i];
+            }
+        }
+        for (size_t i = 0; i < total_p.data.size(); ++i) {
+            adc_calib = std::max(adc_calib,
+                                 std::abs(total_p.data[i]));
+            adc_calib = std::max(adc_calib,
+                                 std::abs(total_n.data[i]));
+        }
+    }
+
+    // Second pass: one ADC readout per group per polarity on the
+    // layer-scale grid; digital subtraction and accumulation.
+    photonics::Quantizer adc(config_.adc_bits > 0 ? config_.adc_bits : 2,
+                             config_.adc_bits > 0 ? adc_calib : 0.0);
+    Tensor out(n_out, oh, ow);
+    for (size_t oc = 0; oc < n_out; ++oc) {
+        signal::Matrix acc(oh, ow);
+        for (size_t g = 0; g < groups; ++g) {
+            const auto &p = group_p[oc][g];
+            const auto &n = group_n[oc][g];
+            for (size_t i = 0; i < acc.data.size(); ++i)
+                acc.data[i] += adc.quantize(p.data[i]) -
+                               adc.quantize(n.data[i]);
+        }
+        const double b = bias.empty() ? 0.0 : bias[oc];
+        for (size_t i = 0; i < acc.data.size(); ++i)
+            acc.data[i] += b;
+        out.setChannel(oc, acc);
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace photofourier

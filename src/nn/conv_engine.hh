@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Convolution engines: how a Conv2d layer computes its output.
+ *
+ * DirectEngine is the floating-point reference. PhotoFourierEngine
+ * models execution on the accelerator: row-tiled 1D convolutions, 8-bit
+ * DAC quantization of activations and weights, photodetector temporal
+ * accumulation over input-channel groups, a single 8-bit ADC readout per
+ * group (Section V-C), optional per-readout sensing noise, and the
+ * pseudo-negative weight decomposition (implicit: the engine's math is
+ * sign-exact, matching the digitally subtracted pair).
+ *
+ * Accuracy experiments (Table I, Figure 7) swap the engine on a trained
+ * network and measure the drop.
+ */
+
+#ifndef PHOTOFOURIER_NN_CONV_ENGINE_HH
+#define PHOTOFOURIER_NN_CONV_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/tensor.hh"
+#include "signal/convolution.hh"
+
+namespace photofourier {
+namespace nn {
+
+/** Abstract convolution executor. */
+class ConvEngine
+{
+  public:
+    virtual ~ConvEngine() = default;
+
+    /**
+     * Compute a conv layer:
+     * out[oc] = sum_ic corr2d(input[ic], weights[oc] channel ic) + bias.
+     *
+     * @param input   CHW input activations
+     * @param weights one Tensor per output channel (ic x kh x kw)
+     * @param bias    one bias per output channel (may be empty)
+     * @param stride  spatial stride
+     * @param mode    Same or Valid padding
+     */
+    virtual Tensor convolve(const Tensor &input,
+                            const std::vector<Tensor> &weights,
+                            const std::vector<double> &bias,
+                            size_t stride,
+                            signal::ConvMode mode) const = 0;
+
+    /** Engine name for logs. */
+    virtual std::string name() const = 0;
+};
+
+/** Floating-point reference engine (direct 2D sliding window). */
+class DirectEngine : public ConvEngine
+{
+  public:
+    Tensor convolve(const Tensor &input,
+                    const std::vector<Tensor> &weights,
+                    const std::vector<double> &bias, size_t stride,
+                    signal::ConvMode mode) const override;
+
+    std::string name() const override { return "direct"; }
+};
+
+/** Numerical model of PhotoFourier execution. */
+struct PhotoFourierEngineConfig
+{
+    /** Hardware 1D convolution size (input waveguides per PFCU). */
+    size_t n_conv = 256;
+
+    /** Activation / weight DAC resolution; 0 bits = ideal. */
+    int dac_bits = 8;
+
+    /** ADC resolution for partial-sum readout; 0 = full precision
+     *  partial sums (the fp_psum reference of Figure 7). */
+    int adc_bits = 8;
+
+    /** Temporal accumulation depth N_TA (channels per PD readout). */
+    size_t temporal_accumulation_depth = 16;
+
+    /** Tile rows with zero padding (exact Same mode). Off by default,
+     *  reproducing the paper's edge-effect approximation. */
+    bool zero_pad_rows = false;
+
+    /** Inject photodetector sensing noise per readout sample. */
+    bool noise = false;
+
+    /** Detector SNR target (dB) when noise is on (Section VI-A). */
+    double snr_db = 20.0;
+
+    /** Noise seed (deterministic experiments). */
+    uint64_t noise_seed = 1;
+
+    /**
+     * Run the 1D convolutions through the field-level optical JTC
+     * simulation instead of the (numerically identical) digital
+     * backend. Slow; for end-to-end validation and demos.
+     */
+    bool optical_backend = false;
+};
+
+/**
+ * Row-tiled, quantization-aware engine.
+ *
+ * The 1D convolutions run on the exact digital backend (the optical
+ * path is validated equal to it elsewhere); what this engine adds is
+ * the numerics of the mixed-signal system around the optics.
+ */
+class PhotoFourierEngine : public ConvEngine
+{
+  public:
+    explicit PhotoFourierEngine(PhotoFourierEngineConfig config = {});
+
+    Tensor convolve(const Tensor &input,
+                    const std::vector<Tensor> &weights,
+                    const std::vector<double> &bias, size_t stride,
+                    signal::ConvMode mode) const override;
+
+    std::string name() const override { return "photofourier"; }
+
+    /** The configuration. */
+    const PhotoFourierEngineConfig &config() const { return config_; }
+
+  private:
+    PhotoFourierEngineConfig config_;
+    mutable Rng noise_rng_;
+};
+
+} // namespace nn
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_NN_CONV_ENGINE_HH

@@ -1,0 +1,94 @@
+#include "nn/datasets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace nn {
+
+SyntheticCifar::SyntheticCifar(SyntheticCifarConfig config, uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    pf_assert(config_.num_classes >= 2, "need at least two classes");
+    pf_assert(config_.image_size >= 8, "image too small");
+}
+
+Sample
+SyntheticCifar::makeSample(size_t label)
+{
+    const size_t n = config_.image_size;
+    Sample sample;
+    sample.label = label;
+    sample.image = Tensor(3, n, n);
+
+    // Class signature: orientation/frequency of a grating, a color
+    // tint, and a blob quadrant. Per-sample randomness: phases,
+    // amplitudes, blob jitter, clutter, pixel noise.
+    const double angle =
+        M_PI * static_cast<double>(label) /
+        static_cast<double>(config_.num_classes);
+    const double freq = 2.0 + static_cast<double>(label % 3);
+    const double phase = rng_.uniform(0.0, 2.0 * M_PI);
+    const double amp = rng_.uniform(0.10, 0.28);
+
+    const double tint[3] = {
+        0.5 + 0.4 * std::cos(2.0 * M_PI * label / config_.num_classes),
+        0.5 + 0.4 * std::sin(2.0 * M_PI * label / config_.num_classes),
+        0.5 + 0.4 * std::cos(2.0 * M_PI * label / config_.num_classes +
+                             M_PI / 3.0),
+    };
+
+    const double blob_r =
+        (label % 2 == 0 ? 0.3 : 0.7) * n + rng_.normal(0.0, 1.5);
+    const double blob_c =
+        ((label / 2) % 2 == 0 ? 0.3 : 0.7) * n + rng_.normal(0.0, 1.5);
+    const double blob_amp = rng_.uniform(0.08, 0.22);
+
+    const double clutter_phase = rng_.uniform(0.0, 2.0 * M_PI);
+    const double cos_a = std::cos(angle), sin_a = std::sin(angle);
+
+    for (size_t h = 0; h < n; ++h) {
+        for (size_t w = 0; w < n; ++w) {
+            const double u = (cos_a * h + sin_a * w) / n;
+            const double grating =
+                amp * std::sin(2.0 * M_PI * freq * u + phase);
+            const double d2 =
+                (h - blob_r) * (h - blob_r) +
+                (w - blob_c) * (w - blob_c);
+            const double blob =
+                blob_amp * std::exp(-d2 / (2.0 * 9.0));
+            const double clutter =
+                config_.distractor *
+                std::sin(2.0 * M_PI * (h + 2.0 * w) / n +
+                         clutter_phase);
+            for (size_t c = 0; c < 3; ++c) {
+                double v = 0.45 * tint[c] + grating * tint[c] + blob +
+                           0.3 * clutter +
+                           rng_.normal(0.0, config_.noise_sigma);
+                sample.image.at(c, h, w) = std::clamp(v, 0.0, 1.0);
+            }
+        }
+    }
+    return sample;
+}
+
+std::vector<Sample>
+SyntheticCifar::generate(size_t n)
+{
+    std::vector<Sample> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(makeSample(i % config_.num_classes));
+    // Shuffle so training batches are label-mixed.
+    const auto perm = rng_.permutation(n);
+    std::vector<Sample> shuffled;
+    shuffled.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        shuffled.push_back(std::move(out[perm[i]]));
+    return shuffled;
+}
+
+} // namespace nn
+} // namespace photofourier

@@ -1,0 +1,76 @@
+#include "nn/network.hh"
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace nn {
+
+void
+Network::add(std::unique_ptr<Layer> layer)
+{
+    pf_assert(layer != nullptr, "adding null layer");
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+Network::forward(const Tensor &input)
+{
+    pf_assert(!layers_.empty(), "forward through an empty network");
+    Tensor x = input;
+    for (auto &layer : layers_)
+        x = layer->forward(x);
+    return x;
+}
+
+std::vector<double>
+Network::logits(const Tensor &input)
+{
+    return forward(input).data();
+}
+
+Tensor
+Network::backward(const Tensor &grad_out)
+{
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+void
+Network::applyGradients(double lr)
+{
+    for (auto &layer : layers_)
+        layer->applyGradients(lr);
+}
+
+void
+Network::zeroGradients()
+{
+    for (auto &layer : layers_)
+        layer->zeroGradients();
+}
+
+void
+Network::setConvEngine(std::shared_ptr<const ConvEngine> engine)
+{
+    for (auto &layer : layers_)
+        layer->setConvEngine(engine);
+}
+
+double
+Network::macCount(const Tensor &input)
+{
+    // Shapes of intermediate activations are only known by running;
+    // do a forward pass and sum per-layer counts on the fly.
+    double macs = 0.0;
+    Tensor x = input;
+    for (auto &layer : layers_) {
+        macs += layer->macCount(x);
+        x = layer->forward(x);
+    }
+    return macs;
+}
+
+} // namespace nn
+} // namespace photofourier

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sequential network container.
+ */
+
+#ifndef PHOTOFOURIER_NN_NETWORK_HH
+#define PHOTOFOURIER_NN_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hh"
+
+namespace photofourier {
+namespace nn {
+
+/** A stack of layers executed in order. */
+class Network
+{
+  public:
+    Network() = default;
+    Network(Network &&) = default;
+    Network &operator=(Network &&) = default;
+
+    /** Append a layer (takes ownership). */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** Forward pass through all layers. */
+    Tensor forward(const Tensor &input);
+
+    /** Forward pass returning the flat output vector (logits). */
+    std::vector<double> logits(const Tensor &input);
+
+    /** Backward pass through all layers (after a forward). */
+    Tensor backward(const Tensor &grad_out);
+
+    /** SGD step on every layer. */
+    void applyGradients(double lr);
+
+    /** Clear accumulated gradients. */
+    void zeroGradients();
+
+    /** Swap the convolution engine on every conv layer. */
+    void setConvEngine(std::shared_ptr<const ConvEngine> engine);
+
+    /** Total MACs of a forward pass at the given input shape. */
+    double macCount(const Tensor &input);
+
+    /** Number of layers. */
+    size_t layerCount() const { return layers_.size(); }
+
+    /** Access a layer by index. */
+    Layer &layer(size_t i) { return *layers_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace nn
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_NN_NETWORK_HH

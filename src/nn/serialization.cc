@@ -1,0 +1,58 @@
+#include "nn/serialization.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace nn {
+
+void
+saveNetwork(Network &net, std::ostream &out)
+{
+    out << "photofourier-weights v1\n";
+    out << "layers " << net.layerCount() << "\n";
+    for (size_t i = 0; i < net.layerCount(); ++i)
+        net.layer(i).saveParams(out);
+}
+
+void
+saveNetwork(Network &net, const std::string &path)
+{
+    std::ofstream out(path);
+    pf_assert(out.good(), "cannot open ", path, " for writing");
+    saveNetwork(net, out);
+    pf_assert(out.good(), "write failure on ", path);
+}
+
+bool
+loadNetwork(Network &net, std::istream &in)
+{
+    std::string word;
+    if (!(in >> word) || word != "photofourier-weights")
+        return false;
+    if (!(in >> word) || word != "v1")
+        return false;
+    size_t count = 0;
+    if (!(in >> word) || word != "layers" || !(in >> count))
+        return false;
+    if (count != net.layerCount())
+        return false;
+    for (size_t i = 0; i < net.layerCount(); ++i)
+        if (!net.layer(i).loadParams(in))
+            return false;
+    return true;
+}
+
+bool
+loadNetwork(Network &net, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return false;
+    return loadNetwork(net, in);
+}
+
+} // namespace nn
+} // namespace photofourier

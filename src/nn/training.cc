@@ -1,0 +1,123 @@
+#include "nn/training.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace nn {
+
+TrainStats
+train(Network &net, const std::vector<Sample> &samples,
+      const TrainConfig &config)
+{
+    pf_assert(!samples.empty(), "training on an empty dataset");
+    TrainStats stats;
+    double lr = config.lr;
+
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        double loss_sum = 0.0;
+        size_t correct = 0;
+        size_t in_batch = 0;
+        net.zeroGradients();
+        for (size_t i = 0; i < samples.size(); ++i) {
+            const auto logits = net.logits(samples[i].image);
+            std::vector<double> grad;
+            loss_sum +=
+                softmaxCrossEntropy(logits, samples[i].label, grad);
+            correct += (argmax(logits) == samples[i].label);
+
+            Tensor grad_tensor(logits.size(), 1, 1);
+            grad_tensor.data() = grad;
+            net.backward(grad_tensor);
+            ++in_batch;
+
+            if (in_batch == config.batch_size ||
+                i + 1 == samples.size()) {
+                net.applyGradients(lr /
+                                   static_cast<double>(in_batch));
+                net.zeroGradients();
+                in_batch = 0;
+            }
+        }
+        const double avg_loss =
+            loss_sum / static_cast<double>(samples.size());
+        const double accuracy = static_cast<double>(correct) /
+                                static_cast<double>(samples.size());
+        stats.epoch_loss.push_back(avg_loss);
+        stats.epoch_accuracy.push_back(accuracy);
+        if (config.verbose) {
+            pf_inform("epoch ", epoch + 1, "/", config.epochs,
+                      ": loss=", avg_loss, " acc=", accuracy);
+        }
+        lr *= config.lr_decay;
+    }
+    return stats;
+}
+
+double
+evaluateTop1(Network &net, const std::vector<Sample> &samples)
+{
+    return evaluateTopK(net, samples, 1);
+}
+
+double
+evaluateTopK(Network &net, const std::vector<Sample> &samples, size_t k)
+{
+    return evaluateTopKs(net, samples, {k})[0];
+}
+
+std::vector<double>
+evaluateTopKs(Network &net, const std::vector<Sample> &samples,
+              const std::vector<size_t> &ks)
+{
+    pf_assert(!samples.empty(), "evaluating on an empty dataset");
+    pf_assert(!ks.empty(), "no k values requested");
+    std::vector<size_t> hits(ks.size(), 0);
+    for (const auto &sample : samples) {
+        const auto logits = net.logits(sample.image);
+        const double label_logit = logits[sample.label];
+        // Count logits strictly greater than the label's logit; the
+        // label is in the top-k iff fewer than k are greater.
+        size_t greater = 0;
+        for (double v : logits)
+            greater += (v > label_logit);
+        for (size_t i = 0; i < ks.size(); ++i) {
+            pf_assert(ks[i] >= 1 && ks[i] <= logits.size(),
+                      "k out of range: ", ks[i]);
+            hits[i] += (greater < ks[i]);
+        }
+    }
+    std::vector<double> out(ks.size());
+    for (size_t i = 0; i < ks.size(); ++i)
+        out[i] = static_cast<double>(hits[i]) /
+                 static_cast<double>(samples.size());
+    return out;
+}
+
+double
+meanLogitPerturbation(Network &net, const std::vector<Sample> &samples,
+                      std::shared_ptr<const ConvEngine> engine_a,
+                      std::shared_ptr<const ConvEngine> engine_b)
+{
+    pf_assert(!samples.empty(), "evaluating on an empty dataset");
+    double total = 0.0;
+    size_t count = 0;
+    for (const auto &sample : samples) {
+        net.setConvEngine(engine_a);
+        const auto a = net.logits(sample.image);
+        net.setConvEngine(engine_b);
+        const auto b = net.logits(sample.image);
+        double scale = 1e-12;
+        for (double v : a)
+            scale = std::max(scale, std::abs(v));
+        for (size_t i = 0; i < a.size(); ++i) {
+            total += std::abs(b[i] - a[i]) / scale;
+            ++count;
+        }
+    }
+    return total / static_cast<double>(count);
+}
+
+} // namespace nn
+} // namespace photofourier

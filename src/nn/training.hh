@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SGD training and evaluation loops for the small CNNs.
+ */
+
+#ifndef PHOTOFOURIER_NN_TRAINING_HH
+#define PHOTOFOURIER_NN_TRAINING_HH
+
+#include <vector>
+
+#include "nn/datasets.hh"
+#include "nn/network.hh"
+
+namespace photofourier {
+namespace nn {
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    double lr = 0.02;
+    size_t batch_size = 8;
+    size_t epochs = 6;
+    double lr_decay = 0.7; ///< multiplied into lr each epoch
+    bool verbose = false;
+};
+
+/** Epoch-level training statistics. */
+struct TrainStats
+{
+    std::vector<double> epoch_loss;
+    std::vector<double> epoch_accuracy; ///< on the training set
+};
+
+/**
+ * Train a network in-place with mini-batch SGD and softmax
+ * cross-entropy. Deterministic given the dataset ordering.
+ */
+TrainStats train(Network &net, const std::vector<Sample> &samples,
+                 const TrainConfig &config);
+
+/** Top-1 accuracy of the network on a sample set. */
+double evaluateTop1(Network &net, const std::vector<Sample> &samples);
+
+/** Top-k accuracy (label within the k largest logits). */
+double evaluateTopK(Network &net, const std::vector<Sample> &samples,
+                    size_t k);
+
+/**
+ * Top-k accuracy for several k values with a single forward pass per
+ * sample (evaluation with the accelerator engines is expensive).
+ */
+std::vector<double> evaluateTopKs(Network &net,
+                                  const std::vector<Sample> &samples,
+                                  const std::vector<size_t> &ks);
+
+/**
+ * Mean relative logit perturbation of `net` between two engines:
+ * runs each sample under both engines and reports
+ * mean(|logits_b - logits_a| / max|logits_a|). Used to quantify the
+ * row-tiling edge effect even when no classification flips.
+ */
+double meanLogitPerturbation(Network &net,
+                             const std::vector<Sample> &samples,
+                             std::shared_ptr<const ConvEngine> engine_a,
+                             std::shared_ptr<const ConvEngine> engine_b);
+
+} // namespace nn
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_NN_TRAINING_HH

@@ -1,0 +1,89 @@
+#include "photonics/converters.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace photofourier {
+namespace photonics {
+
+Quantizer::Quantizer(int bits, double range)
+    : bits_(bits), range_(range)
+{
+    pf_assert(bits >= 2 && bits <= 32, "quantizer bits out of range: ",
+              bits);
+    pf_assert(range >= 0.0, "quantizer range must be >= 0");
+    max_code_ = (int64_t{1} << (bits - 1)) - 1;
+    step_ = range > 0.0 ? range / static_cast<double>(max_code_) : 0.0;
+}
+
+int64_t
+Quantizer::code(double value) const
+{
+    if (ideal())
+        return 0;
+    const double scaled = value / step_;
+    const int64_t c = static_cast<int64_t>(std::llround(scaled));
+    return std::clamp(c, -max_code_, max_code_);
+}
+
+double
+Quantizer::dequantize(int64_t c) const
+{
+    return static_cast<double>(c) * step_;
+}
+
+double
+Quantizer::quantize(double value) const
+{
+    if (ideal())
+        return value;
+    return dequantize(code(value));
+}
+
+std::vector<double>
+Quantizer::quantize(const std::vector<double> &values) const
+{
+    std::vector<double> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        out[i] = quantize(values[i]);
+    return out;
+}
+
+ConverterPowerModel::ConverterPowerModel(double power_ref_mw,
+                                         double freq_ref_ghz)
+    : power_ref_mw_(power_ref_mw), freq_ref_ghz_(freq_ref_ghz)
+{
+    pf_assert(power_ref_mw > 0.0 && freq_ref_ghz > 0.0,
+              "converter reference point must be positive");
+}
+
+double
+ConverterPowerModel::powerAtMw(double freq_ghz) const
+{
+    pf_assert(freq_ghz > 0.0, "frequency must be positive");
+    return power_ref_mw_ * freq_ghz / freq_ref_ghz_;
+}
+
+double
+ConverterPowerModel::energyPerSamplePj(double freq_ghz) const
+{
+    // Linear power scaling implies constant energy per sample.
+    (void)freq_ghz;
+    return units::energyPerCyclePj(power_ref_mw_, freq_ref_ghz_);
+}
+
+double
+ConverterPowerModel::waldenFomFj(int bits) const
+{
+    // FOM = P / (2^bits * fs); canonical units give pJ, convert to fJ.
+    const double steps = std::pow(2.0, bits);
+    const double energy_pj =
+        units::energyPerCyclePj(power_ref_mw_, freq_ref_ghz_);
+    return energy_pj / steps * units::kFjPerPj;
+}
+
+} // namespace photonics
+} // namespace photofourier

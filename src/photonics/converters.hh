@@ -1,0 +1,106 @@
+/**
+ * @file
+ * DAC/ADC models: quantization transfer functions and power scaling.
+ *
+ * Two roles:
+ *  1. Functional — quantize values the way the 8-bit converters in the
+ *     PFCU input/readout paths do, so accuracy experiments (Table I,
+ *     Figure 7) see the real precision loss.
+ *  2. Power — scale converter power linearly with sample rate (the
+ *     assumption stated in Section V-D) and via the Walden
+ *     figure-of-merit across designs (Section VI-A).
+ */
+
+#ifndef PHOTOFOURIER_PHOTONICS_CONVERTERS_HH
+#define PHOTOFOURIER_PHOTONICS_CONVERTERS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace photofourier {
+namespace photonics {
+
+/**
+ * Uniform symmetric quantizer used for both DACs and ADCs.
+ *
+ * Maps [-range, +range] onto 2^bits - 1 signed levels (mid-tread). Values
+ * outside the range saturate, which matches converter clipping.
+ */
+class Quantizer
+{
+  public:
+    /**
+     * @param bits  resolution in bits (>= 2)
+     * @param range full-scale amplitude; 0 disables quantization
+     *              (an "ideal converter" for ablations)
+     */
+    Quantizer(int bits, double range);
+
+    /** Quantize one value (returns the reconstructed analog level). */
+    double quantize(double value) const;
+
+    /** Quantize a vector elementwise. */
+    std::vector<double> quantize(const std::vector<double> &values) const;
+
+    /** Integer code for a value, in [-(2^(b-1)-1), 2^(b-1)-1]. */
+    int64_t code(double value) const;
+
+    /** Reconstruction level for an integer code. */
+    double dequantize(int64_t code) const;
+
+    /** Quantization step size (0 when disabled). */
+    double step() const { return step_; }
+
+    /** Resolution in bits. */
+    int bits() const { return bits_; }
+
+    /** Full-scale range. */
+    double range() const { return range_; }
+
+    /** True when this quantizer is a pass-through (range == 0). */
+    bool ideal() const { return step_ == 0.0; }
+
+  private:
+    int bits_;
+    double range_;
+    double step_;
+    int64_t max_code_;
+};
+
+/**
+ * Converter power model.
+ *
+ * power(f) = power_ref * f / f_ref  — linear frequency scaling, the
+ * assumption used in the Section V-D parallelization analysis and when
+ * the paper derives its 625 MHz ADC figure from a 10 GS/s part.
+ */
+class ConverterPowerModel
+{
+  public:
+    /**
+     * @param power_ref_mw power at the reference frequency
+     * @param freq_ref_ghz reference frequency
+     */
+    ConverterPowerModel(double power_ref_mw, double freq_ref_ghz);
+
+    /** Power (mW) at the given sample rate. */
+    double powerAtMw(double freq_ghz) const;
+
+    /** Energy per conversion (pJ) at the given sample rate. */
+    double energyPerSamplePj(double freq_ghz) const;
+
+    /**
+     * Walden figure of merit (fJ per conversion-step) for an 8-bit
+     * converter at the reference point: FOM = P / (2^bits * fs).
+     */
+    double waldenFomFj(int bits = 8) const;
+
+  private:
+    double power_ref_mw_;
+    double freq_ref_ghz_;
+};
+
+} // namespace photonics
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_PHOTONICS_CONVERTERS_HH

@@ -1,0 +1,133 @@
+#include "signal/convolution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace signal {
+
+std::vector<double>
+convolve1d(const std::vector<double> &a, const std::vector<double> &b)
+{
+    pf_assert(!a.empty() && !b.empty(), "convolve1d with empty input");
+    std::vector<double> out(a.size() + b.size() - 1, 0.0);
+    for (size_t i = 0; i < a.size(); ++i)
+        for (size_t j = 0; j < b.size(); ++j)
+            out[i + j] += a[i] * b[j];
+    return out;
+}
+
+std::vector<double>
+correlate1d(const std::vector<double> &a, const std::vector<double> &b)
+{
+    std::vector<double> reversed(b.rbegin(), b.rend());
+    return convolve1d(a, reversed);
+}
+
+std::vector<double>
+convolve1dFft(const std::vector<double> &a, const std::vector<double> &b)
+{
+    pf_assert(!a.empty() && !b.empty(), "convolve1dFft with empty input");
+    const size_t out_size = a.size() + b.size() - 1;
+    const size_t n = nextPowerOfTwo(out_size);
+
+    ComplexVector fa(n, Complex(0.0, 0.0));
+    ComplexVector fb(n, Complex(0.0, 0.0));
+    for (size_t i = 0; i < a.size(); ++i)
+        fa[i] = Complex(a[i], 0.0);
+    for (size_t i = 0; i < b.size(); ++i)
+        fb[i] = Complex(b[i], 0.0);
+
+    fftRadix2(fa, false);
+    fftRadix2(fb, false);
+    for (size_t i = 0; i < n; ++i)
+        fa[i] *= fb[i];
+    fftRadix2(fa, true);
+
+    std::vector<double> out(out_size);
+    for (size_t i = 0; i < out_size; ++i)
+        out[i] = fa[i].real();
+    return out;
+}
+
+std::vector<double>
+convolveCircular(const std::vector<double> &a, const std::vector<double> &b)
+{
+    pf_assert(a.size() == b.size() && !a.empty(),
+              "convolveCircular needs equal non-empty sizes");
+    ComplexVector fa = fftReal(a);
+    ComplexVector fb = fftReal(b);
+    for (size_t i = 0; i < fa.size(); ++i)
+        fa[i] *= fb[i];
+    ComplexVector result = ifft(fa);
+    std::vector<double> out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = result[i].real();
+    return out;
+}
+
+Matrix
+conv2d(const Matrix &input, const Matrix &kernel, ConvMode mode,
+       size_t stride)
+{
+    pf_assert(input.rows > 0 && input.cols > 0, "conv2d: empty input");
+    pf_assert(kernel.rows > 0 && kernel.cols > 0, "conv2d: empty kernel");
+    pf_assert(stride >= 1, "conv2d: stride must be >= 1");
+
+    // Offsets of the first window in Same mode (centered kernel).
+    long pad_r = 0, pad_c = 0;
+    size_t out_rows, out_cols;
+    if (mode == ConvMode::Valid) {
+        pf_assert(input.rows >= kernel.rows && input.cols >= kernel.cols,
+                  "conv2d valid: kernel larger than input");
+        out_rows = (input.rows - kernel.rows) / stride + 1;
+        out_cols = (input.cols - kernel.cols) / stride + 1;
+    } else {
+        pad_r = static_cast<long>(kernel.rows / 2);
+        pad_c = static_cast<long>(kernel.cols / 2);
+        out_rows = (input.rows + stride - 1) / stride;
+        out_cols = (input.cols + stride - 1) / stride;
+    }
+
+    Matrix out(out_rows, out_cols);
+    for (size_t orow = 0; orow < out_rows; ++orow) {
+        for (size_t ocol = 0; ocol < out_cols; ++ocol) {
+            double acc = 0.0;
+            const long base_r =
+                static_cast<long>(orow * stride) - pad_r;
+            const long base_c =
+                static_cast<long>(ocol * stride) - pad_c;
+            for (size_t kr = 0; kr < kernel.rows; ++kr) {
+                const long ir = base_r + static_cast<long>(kr);
+                if (ir < 0 || ir >= static_cast<long>(input.rows))
+                    continue;
+                for (size_t kc = 0; kc < kernel.cols; ++kc) {
+                    const long ic = base_c + static_cast<long>(kc);
+                    if (ic < 0 || ic >= static_cast<long>(input.cols))
+                        continue;
+                    acc += input.at(static_cast<size_t>(ir),
+                                    static_cast<size_t>(ic)) *
+                           kernel.at(kr, kc);
+                }
+            }
+            out.at(orow, ocol) = acc;
+        }
+    }
+    return out;
+}
+
+double
+matrixMaxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    pf_assert(a.rows == b.rows && a.cols == b.cols,
+              "matrixMaxAbsDiff: shape mismatch");
+    double worst = 0.0;
+    for (size_t i = 0; i < a.data.size(); ++i)
+        worst = std::max(worst, std::abs(a.data[i] - b.data[i]));
+    return worst;
+}
+
+} // namespace signal
+} // namespace photofourier

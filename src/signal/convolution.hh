@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reference convolution/correlation kernels.
+ *
+ * These are the golden-model implementations that the JTC optics and the
+ * row-tiling algorithm are validated against:
+ *
+ *  - direct 1D convolution and cross-correlation ("full" support),
+ *  - FFT-based circular and linear 1D convolution,
+ *  - direct 2D convolution in `valid` and `same` modes (the two modes the
+ *    paper's Section III distinguishes).
+ */
+
+#ifndef PHOTOFOURIER_SIGNAL_CONVOLUTION_HH
+#define PHOTOFOURIER_SIGNAL_CONVOLUTION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/fft.hh"
+
+namespace photofourier {
+namespace signal {
+
+/** Padding behaviour of a 2D convolution (Section III terminology). */
+enum class ConvMode
+{
+    Valid, ///< no padding; output shrinks by kernel-1
+    Same,  ///< zero padding; output matches input size
+};
+
+/** Dense row-major 2D matrix of doubles used by the reference kernels. */
+struct Matrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    std::vector<double> data;
+
+    Matrix() = default;
+
+    /** Construct a zero-filled rows x cols matrix. */
+    Matrix(size_t r, size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
+
+    /** Element access (no bounds check in release paths). */
+    double &at(size_t r, size_t c) { return data[r * cols + c]; }
+
+    /** Const element access. */
+    double at(size_t r, size_t c) const { return data[r * cols + c]; }
+};
+
+/**
+ * Direct linear 1D convolution with full support:
+ * out[n] = sum_k a[k] * b[n - k], size = |a| + |b| - 1.
+ */
+std::vector<double> convolve1d(const std::vector<double> &a,
+                               const std::vector<double> &b);
+
+/**
+ * Direct 1D cross-correlation with full support:
+ * out[n] = sum_k a[k] * b[k + n - (|b| - 1)], size = |a| + |b| - 1.
+ * Equals convolve1d(a, reverse(b)).
+ */
+std::vector<double> correlate1d(const std::vector<double> &a,
+                                const std::vector<double> &b);
+
+/**
+ * FFT-based linear 1D convolution (zero-pads to the next power of two).
+ * Matches convolve1d up to floating-point error.
+ */
+std::vector<double> convolve1dFft(const std::vector<double> &a,
+                                  const std::vector<double> &b);
+
+/** Circular convolution of two equal-length signals via FFT. */
+std::vector<double> convolveCircular(const std::vector<double> &a,
+                                     const std::vector<double> &b);
+
+/**
+ * Direct 2D cross-correlation (the CNN "convolution") of input with
+ * kernel with the given stride.
+ *
+ * In Valid mode the output is (Si - Sk)/stride + 1 per dimension; in
+ * Same mode the input is implicitly zero padded by floor(Sk/2) so that
+ * with stride 1 the output matches the input size. This follows the
+ * deep-learning convention used by the paper (sliding dot products, no
+ * kernel flip).
+ */
+Matrix conv2d(const Matrix &input, const Matrix &kernel, ConvMode mode,
+              size_t stride = 1);
+
+/** Elementwise maximum absolute difference between two matrices. */
+double matrixMaxAbsDiff(const Matrix &a, const Matrix &b);
+
+} // namespace signal
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_SIGNAL_CONVOLUTION_HH

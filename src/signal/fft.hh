@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Self-contained FFT implementation.
+ *
+ * The JTC optical path is modelled with discrete Fourier transforms (an
+ * ideal 1D lens performs a continuous FT; on a sampled field that is a
+ * DFT). We implement our own transforms instead of depending on FFTW so
+ * the repository builds offline:
+ *
+ *  - iterative radix-2 Cooley-Tukey for power-of-two sizes,
+ *  - Bluestein's chirp-z algorithm for arbitrary sizes (used when a tiled
+ *    JTC input is not a power of two).
+ */
+
+#ifndef PHOTOFOURIER_SIGNAL_FFT_HH
+#define PHOTOFOURIER_SIGNAL_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace photofourier {
+namespace signal {
+
+using Complex = std::complex<double>;
+using ComplexVector = std::vector<Complex>;
+
+/** True when n is a power of two (n >= 1). */
+bool isPowerOfTwo(size_t n);
+
+/** Smallest power of two >= n. */
+size_t nextPowerOfTwo(size_t n);
+
+/**
+ * In-place forward/inverse FFT for power-of-two sizes.
+ *
+ * The inverse transform includes the 1/N normalization so that
+ * ifft(fft(x)) == x.
+ *
+ * @param data    signal; size must be a power of two
+ * @param inverse true to compute the inverse transform
+ */
+void fftRadix2(ComplexVector &data, bool inverse);
+
+/**
+ * Forward DFT of arbitrary size (Bluestein for non-powers of two).
+ * Returns a new vector; the input is untouched.
+ */
+ComplexVector fft(const ComplexVector &input);
+
+/** Inverse DFT of arbitrary size, normalized by 1/N. */
+ComplexVector ifft(const ComplexVector &input);
+
+/** Forward DFT of a real signal (returns full complex spectrum). */
+ComplexVector fftReal(const std::vector<double> &input);
+
+/** Naive O(N^2) DFT used as a test oracle. */
+ComplexVector dftNaive(const ComplexVector &input, bool inverse);
+
+/** Squared magnitudes of a spectrum (the power spectrum). */
+std::vector<double> powerSpectrum(const ComplexVector &spectrum);
+
+} // namespace signal
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_SIGNAL_FFT_HH

@@ -1,0 +1,102 @@
+#include "signal/fft2d.hh"
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace signal {
+
+namespace {
+
+ComplexMatrix
+transform2d(const ComplexMatrix &input, bool inverse)
+{
+    pf_assert(input.rows > 0 && input.cols > 0, "empty 2D transform");
+    ComplexMatrix out(input.rows, input.cols);
+
+    // Row transforms.
+    ComplexVector row(input.cols);
+    for (size_t r = 0; r < input.rows; ++r) {
+        for (size_t c = 0; c < input.cols; ++c)
+            row[c] = input.at(r, c);
+        ComplexVector spectrum = inverse ? ifft(row) : fft(row);
+        for (size_t c = 0; c < input.cols; ++c)
+            out.at(r, c) = spectrum[c];
+    }
+
+    // Column transforms.
+    ComplexVector col(input.rows);
+    for (size_t c = 0; c < input.cols; ++c) {
+        for (size_t r = 0; r < input.rows; ++r)
+            col[r] = out.at(r, c);
+        ComplexVector spectrum = inverse ? ifft(col) : fft(col);
+        for (size_t r = 0; r < input.rows; ++r)
+            out.at(r, c) = spectrum[r];
+    }
+    return out;
+}
+
+} // namespace
+
+ComplexMatrix
+fft2d(const ComplexMatrix &input)
+{
+    return transform2d(input, false);
+}
+
+ComplexMatrix
+ifft2d(const ComplexMatrix &input)
+{
+    return transform2d(input, true);
+}
+
+ComplexMatrix
+toComplex(const Matrix &input)
+{
+    ComplexMatrix out(input.rows, input.cols);
+    for (size_t i = 0; i < input.data.size(); ++i)
+        out.data[i] = Complex(input.data[i], 0.0);
+    return out;
+}
+
+Matrix
+realPart(const ComplexMatrix &input)
+{
+    Matrix out(input.rows, input.cols);
+    for (size_t i = 0; i < input.data.size(); ++i)
+        out.data[i] = input.data[i].real();
+    return out;
+}
+
+Matrix
+intensity(const ComplexMatrix &field)
+{
+    Matrix out(field.rows, field.cols);
+    for (size_t i = 0; i < field.data.size(); ++i)
+        out.data[i] = std::norm(field.data[i]);
+    return out;
+}
+
+Matrix
+convolve2dFft(const Matrix &a, const Matrix &b)
+{
+    pf_assert(a.rows > 0 && b.rows > 0, "empty convolution operand");
+    const size_t rows = a.rows + b.rows - 1;
+    const size_t cols = a.cols + b.cols - 1;
+
+    ComplexMatrix fa(rows, cols), fb(rows, cols);
+    for (size_t r = 0; r < a.rows; ++r)
+        for (size_t c = 0; c < a.cols; ++c)
+            fa.at(r, c) = Complex(a.at(r, c), 0.0);
+    for (size_t r = 0; r < b.rows; ++r)
+        for (size_t c = 0; c < b.cols; ++c)
+            fb.at(r, c) = Complex(b.at(r, c), 0.0);
+
+    auto sa = fft2d(fa);
+    const auto sb = fft2d(fb);
+    for (size_t i = 0; i < sa.data.size(); ++i)
+        sa.data[i] *= sb.data[i];
+    return realPart(ifft2d(sa));
+}
+
+} // namespace signal
+} // namespace photofourier

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * 2D discrete Fourier transforms.
+ *
+ * Used by the free-space comparators: a conventional 2D lens performs
+ * a 2D Fourier transform, which a free-space 4F system and a
+ * free-space 2D JTC both exploit. The on-chip system of the paper is
+ * restricted to 1D transforms; these routines exist so the row-tiling
+ * approximation can be validated against native 2D Fourier optics.
+ */
+
+#ifndef PHOTOFOURIER_SIGNAL_FFT2D_HH
+#define PHOTOFOURIER_SIGNAL_FFT2D_HH
+
+#include "signal/convolution.hh"
+#include "signal/fft.hh"
+
+namespace photofourier {
+namespace signal {
+
+/** Dense row-major complex matrix. */
+struct ComplexMatrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    ComplexVector data;
+
+    ComplexMatrix() = default;
+
+    /** Zero-filled rows x cols complex matrix. */
+    ComplexMatrix(size_t r, size_t c)
+        : rows(r), cols(c), data(r * c, Complex(0.0, 0.0))
+    {
+    }
+
+    Complex &at(size_t r, size_t c) { return data[r * cols + c]; }
+    Complex at(size_t r, size_t c) const { return data[r * cols + c]; }
+};
+
+/** Forward 2D DFT (row FFTs then column FFTs); any size. */
+ComplexMatrix fft2d(const ComplexMatrix &input);
+
+/** Inverse 2D DFT with the 1/(rows*cols) normalization. */
+ComplexMatrix ifft2d(const ComplexMatrix &input);
+
+/** Promote a real matrix to complex. */
+ComplexMatrix toComplex(const Matrix &input);
+
+/** Real parts of a complex matrix. */
+Matrix realPart(const ComplexMatrix &input);
+
+/** Elementwise squared magnitude (the detected intensity pattern). */
+Matrix intensity(const ComplexMatrix &field);
+
+/**
+ * Linear 2D convolution via the convolution theorem: zero-pad both
+ * operands to (ra+rb-1) x (ca+cb-1), multiply spectra, inverse
+ * transform. Matches conv2d(...) full support.
+ */
+Matrix convolve2dFft(const Matrix &a, const Matrix &b);
+
+} // namespace signal
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_SIGNAL_FFT2D_HH

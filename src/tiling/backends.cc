@@ -1,0 +1,83 @@
+#include "tiling/backends.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace tiling {
+
+Conv1dBackend
+cpuBackend()
+{
+    return [](const std::vector<double> &input,
+              const std::vector<double> &kernel, long start,
+              size_t count) {
+        return jtc::slidingCorrelationReference(input, kernel, count,
+                                                start);
+    };
+}
+
+Conv1dBackend
+jtcBackend(jtc::JtcConfig config)
+{
+    return [config](const std::vector<double> &input,
+                    const std::vector<double> &kernel, long start,
+                    size_t count) {
+        for (double v : input) {
+            pf_assert(v >= 0.0,
+                      "optical backend requires non-negative inputs "
+                      "(got ", v, ")");
+        }
+        jtc::JtcSystem optics(config);
+
+        const bool any_negative =
+            std::any_of(kernel.begin(), kernel.end(),
+                        [](double w) { return w < 0.0; });
+        if (!any_negative)
+            return optics.correlationWindow(input, kernel, count, start);
+
+        // Pseudo-negative decomposition [13]: k = p - n.
+        std::vector<double> pos(kernel.size(), 0.0);
+        std::vector<double> neg(kernel.size(), 0.0);
+        for (size_t i = 0; i < kernel.size(); ++i) {
+            if (kernel[i] >= 0.0)
+                pos[i] = kernel[i];
+            else
+                neg[i] = -kernel[i];
+        }
+        auto out = optics.correlationWindow(input, pos, count, start);
+        const auto out_n =
+            optics.correlationWindow(input, neg, count, start);
+        for (size_t i = 0; i < out.size(); ++i)
+            out[i] -= out_n[i];
+        return out;
+    };
+}
+
+Conv1dBackend
+variedBackend(Conv1dBackend base, std::vector<double> input_gains,
+              std::vector<double> weight_gains)
+{
+    pf_assert(base, "null base backend");
+    return [base = std::move(base), input_gains = std::move(input_gains),
+            weight_gains = std::move(weight_gains)](
+               const std::vector<double> &input,
+               const std::vector<double> &kernel, long start,
+               size_t count) {
+        pf_assert(input.size() <= input_gains.size(),
+                  "input longer than the device's gain map");
+        pf_assert(kernel.size() <= weight_gains.size(),
+                  "kernel longer than the device's gain map");
+        std::vector<double> varied_in(input.size());
+        for (size_t i = 0; i < input.size(); ++i)
+            varied_in[i] = input[i] * input_gains[i];
+        std::vector<double> varied_k(kernel.size());
+        for (size_t i = 0; i < kernel.size(); ++i)
+            varied_k[i] = kernel[i] * weight_gains[i];
+        return base(varied_in, varied_k, start, count);
+    };
+}
+
+} // namespace tiling
+} // namespace photofourier

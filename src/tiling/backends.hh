@@ -1,0 +1,65 @@
+/**
+ * @file
+ * 1D convolution backends for the tiled executor.
+ *
+ * The row-tiling executor is backend-agnostic: it hands flattened input
+ * and kernel vectors to a Conv1dBackend and scatters the returned
+ * sliding-correlation window into the 2D output. Backends:
+ *
+ *  - cpuBackend: exact digital sliding dot product (golden model).
+ *  - jtcBackend: the field-level optical JTC (optionally noisy),
+ *    handling signed kernels via the pseudo-negative decomposition.
+ */
+
+#ifndef PHOTOFOURIER_TILING_BACKENDS_HH
+#define PHOTOFOURIER_TILING_BACKENDS_HH
+
+#include <functional>
+#include <vector>
+
+#include "jtc/jtc_system.hh"
+
+namespace photofourier {
+namespace tiling {
+
+/**
+ * A 1D sliding-correlation engine.
+ *
+ * out[i] = sum_t input[start + i + t] * kernel[t], i in [0, count),
+ * out-of-range input samples read as zero.
+ */
+using Conv1dBackend = std::function<std::vector<double>(
+    const std::vector<double> &input, const std::vector<double> &kernel,
+    long start, size_t count)>;
+
+/** Exact digital backend. */
+Conv1dBackend cpuBackend();
+
+/**
+ * Optical JTC backend. Inputs must be non-negative (they are light
+ * amplitudes); signed kernels run as a pseudo-negative pair (two
+ * passes, subtracted digitally).
+ *
+ * @param config optical simulation settings (noise, readout model)
+ */
+Conv1dBackend jtcBackend(jtc::JtcConfig config = {});
+
+/**
+ * Decorate a backend with per-waveguide manufacturing variation:
+ * input samples are scaled by the input-side gain map and kernel taps
+ * by the weight-side gain map before the wrapped backend runs
+ * (photonics::VariationModel semantics — calibration removes the
+ * static component).
+ *
+ * @param base           backend to wrap
+ * @param input_gains    one multiplicative gain per input waveguide
+ * @param weight_gains   one gain per weight waveguide
+ */
+Conv1dBackend variedBackend(Conv1dBackend base,
+                            std::vector<double> input_gains,
+                            std::vector<double> weight_gains);
+
+} // namespace tiling
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_TILING_BACKENDS_HH

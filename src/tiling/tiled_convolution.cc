@@ -1,0 +1,220 @@
+#include "tiling/tiled_convolution.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace tiling {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Flatten the kernel with `row_stride - sk` zeros between rows. */
+std::vector<double>
+tileKernel(const signal::Matrix &kernel, size_t row_stride,
+           size_t first_row, size_t row_count)
+{
+    const size_t sk = kernel.cols;
+    std::vector<double> tiled((row_count - 1) * row_stride + sk, 0.0);
+    for (size_t t = 0; t < row_count; ++t)
+        for (size_t kc = 0; kc < sk; ++kc)
+            tiled[t * row_stride + kc] = kernel.at(first_row + t, kc);
+    return tiled;
+}
+
+/**
+ * Flatten input rows [first_row, first_row + row_count) with the given
+ * row stride; rows outside the input read as zero (vertical padding),
+ * columns beyond input.cols are the optional horizontal zero pad.
+ */
+std::vector<double>
+tileInputRows(const signal::Matrix &input, long first_row,
+              size_t row_count, size_t row_stride)
+{
+    std::vector<double> tiled(row_count * row_stride, 0.0);
+    for (size_t t = 0; t < row_count; ++t) {
+        const long src = first_row + static_cast<long>(t);
+        if (src < 0 || src >= static_cast<long>(input.rows))
+            continue;
+        for (size_t c = 0; c < input.cols; ++c)
+            tiled[t * row_stride + c] =
+                input.at(static_cast<size_t>(src), c);
+    }
+    return tiled;
+}
+
+} // namespace
+
+TiledConvolution::TiledConvolution(TilingParams params,
+                                   Conv1dBackend backend)
+    : params_(params), plan_(TilingPlan::design(params)),
+      backend_(std::move(backend))
+{
+    pf_assert(backend_, "null 1D convolution backend");
+}
+
+signal::Matrix
+TiledConvolution::applyStride(const signal::Matrix &full) const
+{
+    if (params_.stride == 1)
+        return full;
+    const size_t s = params_.stride;
+    signal::Matrix out(ceilDiv(full.rows, s), ceilDiv(full.cols, s));
+    for (size_t r = 0; r < out.rows; ++r)
+        for (size_t c = 0; c < out.cols; ++c)
+            out.at(r, c) = full.at(r * s, c * s);
+    return out;
+}
+
+signal::Matrix
+TiledConvolution::execute(const signal::Matrix &input,
+                          const signal::Matrix &kernel) const
+{
+    pf_assert(input.rows == params_.input_size &&
+              input.cols == params_.input_size,
+              "input is ", input.rows, "x", input.cols,
+              " but the plan was built for ", params_.input_size);
+    pf_assert(kernel.rows == params_.kernel_size &&
+              kernel.cols == params_.kernel_size,
+              "kernel is ", kernel.rows, "x", kernel.cols,
+              " but the plan was built for ", params_.kernel_size);
+
+    last_ops_ = 0;
+    signal::Matrix full;
+    switch (plan_.variant) {
+      case Variant::RowTiling:
+        full = executeRowTiling(input, kernel);
+        break;
+      case Variant::PartialRowTiling:
+        full = executePartialRowTiling(input, kernel);
+        break;
+      case Variant::RowPartitioning:
+        full = executeRowPartitioning(input, kernel);
+        break;
+    }
+    return applyStride(full);
+}
+
+signal::Matrix
+TiledConvolution::executeRowTiling(const signal::Matrix &input,
+                                   const signal::Matrix &kernel) const
+{
+    const size_t sk = params_.kernel_size;
+    const bool same = params_.mode == signal::ConvMode::Same;
+    const long pad = same ? static_cast<long>(sk / 2) : 0;
+    const size_t out_rows = same ? input.rows : input.rows - sk + 1;
+    const size_t out_cols = same ? input.cols : input.cols - sk + 1;
+    const size_t sp = plan_.row_stride;
+    const size_t nor = plan_.valid_rows_per_op;
+
+    const auto tiled_kernel = tileKernel(kernel, sp, 0, sk);
+
+    signal::Matrix out(out_rows, out_cols);
+    for (size_t r0 = 0; r0 < out_rows; r0 += nor) {
+        const size_t rows_this = std::min(nor, out_rows - r0);
+        const auto tiled_in =
+            tileInputRows(input, static_cast<long>(r0) - pad,
+                          plan_.rows_per_tile, sp);
+        const auto window = backend_(tiled_in, tiled_kernel, -pad,
+                                     rows_this * sp);
+        ++last_ops_;
+        for (size_t r = 0; r < rows_this; ++r)
+            for (size_t c = 0; c < out_cols; ++c)
+                out.at(r0 + r, c) = window[r * sp + c];
+    }
+    return out;
+}
+
+signal::Matrix
+TiledConvolution::executePartialRowTiling(
+    const signal::Matrix &input, const signal::Matrix &kernel) const
+{
+    const size_t sk = params_.kernel_size;
+    const bool same = params_.mode == signal::ConvMode::Same;
+    const long pad = same ? static_cast<long>(sk / 2) : 0;
+    const size_t out_rows = same ? input.rows : input.rows - sk + 1;
+    const size_t out_cols = same ? input.cols : input.cols - sk + 1;
+    const size_t sp = plan_.row_stride;
+    const size_t nir = plan_.rows_per_tile;
+    const size_t groups = ceilDiv(sk, nir);
+
+    signal::Matrix out(out_rows, out_cols);
+    for (size_t r0 = 0; r0 < out_rows; ++r0) {
+        for (size_t g = 0; g < groups; ++g) {
+            const size_t kr0 = g * nir;
+            const size_t rows_this = std::min(nir, sk - kr0);
+            const auto tiled_kernel =
+                tileKernel(kernel, sp, kr0, rows_this);
+            const auto tiled_in = tileInputRows(
+                input,
+                static_cast<long>(r0) - pad + static_cast<long>(kr0),
+                rows_this, sp);
+            const auto window =
+                backend_(tiled_in, tiled_kernel, -pad, sp);
+            ++last_ops_;
+            // Accumulate the kernel-row group's contribution.
+            for (size_t c = 0; c < out_cols; ++c)
+                out.at(r0, c) += window[c];
+        }
+    }
+    return out;
+}
+
+signal::Matrix
+TiledConvolution::executeRowPartitioning(
+    const signal::Matrix &input, const signal::Matrix &kernel) const
+{
+    const size_t sk = params_.kernel_size;
+    const bool same = params_.mode == signal::ConvMode::Same;
+    const long pad = same ? static_cast<long>(sk / 2) : 0;
+    const size_t out_rows = same ? input.rows : input.rows - sk + 1;
+    const size_t out_cols = same ? input.cols : input.cols - sk + 1;
+    const size_t n_conv = params_.n_conv;
+    // Overlapped partitions: each yields n_conv - sk + 1 exact outputs.
+    const size_t step = n_conv - sk + 1;
+    const size_t partitions = ceilDiv(out_cols, step);
+
+    signal::Matrix out(out_rows, out_cols);
+    std::vector<double> kernel_row(sk);
+    std::vector<double> piece(n_conv);
+    for (size_t r0 = 0; r0 < out_rows; ++r0) {
+        for (size_t kr = 0; kr < sk; ++kr) {
+            const long src_row =
+                static_cast<long>(r0) - pad + static_cast<long>(kr);
+            for (size_t kc = 0; kc < sk; ++kc)
+                kernel_row[kc] = kernel.at(kr, kc);
+            for (size_t p = 0; p < partitions; ++p) {
+                const long col0 =
+                    static_cast<long>(p * step) - pad;
+                std::fill(piece.begin(), piece.end(), 0.0);
+                if (src_row >= 0 &&
+                    src_row < static_cast<long>(input.rows)) {
+                    for (size_t i = 0; i < n_conv; ++i) {
+                        const long c = col0 + static_cast<long>(i);
+                        if (c >= 0 && c < static_cast<long>(input.cols))
+                            piece[i] = input.at(
+                                static_cast<size_t>(src_row),
+                                static_cast<size_t>(c));
+                    }
+                }
+                const size_t cols_this =
+                    std::min(step, out_cols - p * step);
+                const auto window =
+                    backend_(piece, kernel_row, 0, cols_this);
+                ++last_ops_;
+                for (size_t i = 0; i < cols_this; ++i)
+                    out.at(r0, p * step + i) += window[i];
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tiling
+} // namespace photofourier

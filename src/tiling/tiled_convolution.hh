@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Backend-agnostic executor for the Section III tiling algorithms.
+ *
+ * Flattens 2D inputs/kernels row-wise per the plan, invokes a 1D
+ * convolution backend (digital reference or optical JTC), and scatters
+ * the valid window samples into the 2D output. Strided convolutions are
+ * executed at unit stride and subsampled, matching the hardware's
+ * unit-stride-only JTC operation (Section VI-E).
+ */
+
+#ifndef PHOTOFOURIER_TILING_TILED_CONVOLUTION_HH
+#define PHOTOFOURIER_TILING_TILED_CONVOLUTION_HH
+
+#include "signal/convolution.hh"
+#include "tiling/backends.hh"
+#include "tiling/tiling_plan.hh"
+
+namespace photofourier {
+namespace tiling {
+
+/** Executes 2D convolutions through 1D tiling on a chosen backend. */
+class TiledConvolution
+{
+  public:
+    /**
+     * @param params  problem geometry; input/kernel passed to execute()
+     *                must match input_size/kernel_size
+     * @param backend 1D convolution engine
+     */
+    TiledConvolution(TilingParams params, Conv1dBackend backend);
+
+    /**
+     * Compute the 2D convolution of `input` with `kernel` through row
+     * tiling/partitioning. Result matches signal::conv2d() exactly in
+     * Valid mode (or Same mode with zero_pad_rows); Same mode without
+     * padding shows the paper's row-edge effect.
+     */
+    signal::Matrix execute(const signal::Matrix &input,
+                           const signal::Matrix &kernel) const;
+
+    /** 1D backend invocations made by the most recent execute(). */
+    size_t lastOpCount() const { return last_ops_; }
+
+    /** The derived plan (shapes, cycles, utilization). */
+    const TilingPlan &plan() const { return plan_; }
+
+  private:
+    TilingParams params_;
+    TilingPlan plan_;
+    Conv1dBackend backend_;
+    mutable size_t last_ops_ = 0;
+
+    signal::Matrix executeRowTiling(const signal::Matrix &input,
+                                    const signal::Matrix &kernel) const;
+    signal::Matrix executePartialRowTiling(
+        const signal::Matrix &input, const signal::Matrix &kernel) const;
+    signal::Matrix executeRowPartitioning(
+        const signal::Matrix &input, const signal::Matrix &kernel) const;
+
+    /** Subsample a unit-stride output by the configured stride. */
+    signal::Matrix applyStride(const signal::Matrix &full) const;
+};
+
+} // namespace tiling
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_TILING_TILED_CONVOLUTION_HH

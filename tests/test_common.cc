@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the common module: RNG determinism and distribution
+ * sanity, statistics helpers, table/plot rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/ascii_plot.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace pf = photofourier;
+
+TEST(Rng, SameSeedSameStream)
+{
+    pf::Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    pf::Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 100; ++i)
+        differing += (a.next() != b.next());
+    EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, UniformRange)
+{
+    pf::Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformBoundsRespected)
+{
+    pf::Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    pf::Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = rng.uniformInt(0, 9);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 9);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NormalMomentsApproximate)
+{
+    pf::Rng rng(13);
+    const size_t n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double v = rng.normal(2.0, 3.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double m = sum / n;
+    const double var = sum_sq / n - m * m;
+    EXPECT_NEAR(m, 2.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, PermutationIsBijective)
+{
+    pf::Rng rng(17);
+    const auto perm = rng.permutation(257);
+    std::set<size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 257u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(pf::mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(pf::geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+    EXPECT_NEAR(pf::geomean({4.0, 4.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, StddevOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(pf::stddev({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, RmseAndMaxDiff)
+{
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{1.0, 2.0, 7.0};
+    EXPECT_DOUBLE_EQ(pf::maxAbsDiff(a, b), 4.0);
+    EXPECT_NEAR(pf::rmse(a, b), 4.0 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(Stats, RelativeRmseZeroForIdentical)
+{
+    const std::vector<double> a{1.0, -2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pf::relativeRmse(a, a), 0.0);
+}
+
+TEST(Stats, SnrDb)
+{
+    EXPECT_NEAR(pf::snrDb(100.0, 1.0), 20.0, 1e-12);
+    EXPECT_NEAR(pf::snrDb(1.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(Stats, RunningStatsTracksMinMaxMean)
+{
+    pf::RunningStats rs;
+    rs.add(3.0);
+    rs.add(-1.0);
+    rs.add(4.0);
+    EXPECT_EQ(rs.count(), 3u);
+    EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    pf::TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(pf::TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(pf::TextTable::num(-1.0, 0), "-1");
+}
+
+TEST(AsciiPlot, ProfileMarksPeaks)
+{
+    std::vector<double> values(100, 0.0);
+    values[50] = 1.0;
+    const std::string out = pf::AsciiPlot::profile(values, 50, 8);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, BarsRenderAllLabels)
+{
+    const std::string out =
+        pf::AsciiPlot::bars({"adc", "dac"}, {1.0, 2.0}, 20);
+    EXPECT_NE(out.find("adc"), std::string::npos);
+    EXPECT_NE(out.find("dac"), std::string::npos);
+}
+
+TEST(AsciiPlot, LineIncludesLegend)
+{
+    pf::PlotSeries s{"curve", {0.0, 1.0, 2.0}, {0.0, 1.0, 4.0}};
+    const std::string out = pf::AsciiPlot::line({s}, 32, 8);
+    EXPECT_NE(out.find("curve"), std::string::npos);
+}

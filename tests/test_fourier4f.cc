@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the 2D Fourier substrate and the free-space comparators:
+ * 2D FFT correctness, the 4F convolution engine, Fourier-filter
+ * quantization behaviour, the 2D JTC, and the Section VIII claims
+ * (filter size = input size, complex modulation) in quantified form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "fourier4f/jtc2d.hh"
+#include "fourier4f/system4f.hh"
+#include "signal/fft2d.hh"
+#include "tiling/backends.hh"
+#include "tiling/tiled_convolution.hh"
+
+namespace pf = photofourier;
+namespace sig = photofourier::signal;
+namespace f4 = photofourier::fourier4f;
+
+namespace {
+
+sig::Matrix
+randomMatrix(pf::Rng &rng, size_t rows, size_t cols, double lo = 0.0,
+             double hi = 1.0)
+{
+    sig::Matrix m(rows, cols);
+    m.data = rng.uniformVector(rows * cols, lo, hi);
+    return m;
+}
+
+} // namespace
+
+TEST(Fft2d, InverseRecoversInput)
+{
+    pf::Rng rng(1);
+    sig::ComplexMatrix m(6, 10);
+    for (auto &v : m.data)
+        v = sig::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    const auto roundtrip = sig::ifft2d(sig::fft2d(m));
+    for (size_t i = 0; i < m.data.size(); ++i)
+        EXPECT_LT(std::abs(roundtrip.data[i] - m.data[i]), 1e-9);
+}
+
+TEST(Fft2d, SeparableAgainstNaiveDft)
+{
+    // Small 2D DFT vs direct double sum.
+    pf::Rng rng(2);
+    sig::ComplexMatrix m(4, 5);
+    for (auto &v : m.data)
+        v = sig::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    const auto fast = sig::fft2d(m);
+    for (size_t kr = 0; kr < 4; ++kr) {
+        for (size_t kc = 0; kc < 5; ++kc) {
+            sig::Complex acc(0, 0);
+            for (size_t r = 0; r < 4; ++r) {
+                for (size_t c = 0; c < 5; ++c) {
+                    const double angle =
+                        -2.0 * M_PI *
+                        (static_cast<double>(kr * r) / 4.0 +
+                         static_cast<double>(kc * c) / 5.0);
+                    acc += m.at(r, c) * sig::Complex(std::cos(angle),
+                                                     std::sin(angle));
+                }
+            }
+            EXPECT_LT(std::abs(fast.at(kr, kc) - acc), 1e-9);
+        }
+    }
+}
+
+TEST(Fft2d, ParsevalHolds)
+{
+    pf::Rng rng(3);
+    sig::ComplexMatrix m(8, 12);
+    for (auto &v : m.data)
+        v = sig::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    const auto spectrum = sig::fft2d(m);
+    double et = 0.0, ef = 0.0;
+    for (const auto &v : m.data)
+        et += std::norm(v);
+    for (const auto &v : spectrum.data)
+        ef += std::norm(v);
+    EXPECT_NEAR(ef / (8.0 * 12.0), et, 1e-8 * et);
+}
+
+TEST(Fft2d, Convolve2dFftMatchesDirectFull)
+{
+    pf::Rng rng(4);
+    const auto a = randomMatrix(rng, 7, 9, -1, 1);
+    const auto b = randomMatrix(rng, 3, 4, -1, 1);
+    const auto fast = sig::convolve2dFft(a, b);
+    ASSERT_EQ(fast.rows, 9u);
+    ASSERT_EQ(fast.cols, 12u);
+    // Direct full 2D convolution.
+    for (size_t r = 0; r < fast.rows; ++r) {
+        for (size_t c = 0; c < fast.cols; ++c) {
+            double acc = 0.0;
+            for (size_t i = 0; i < a.rows; ++i)
+                for (size_t j = 0; j < a.cols; ++j) {
+                    const long kr = static_cast<long>(r) -
+                                    static_cast<long>(i);
+                    const long kc = static_cast<long>(c) -
+                                    static_cast<long>(j);
+                    if (kr >= 0 && kr < static_cast<long>(b.rows) &&
+                        kc >= 0 && kc < static_cast<long>(b.cols))
+                        acc += a.at(i, j) *
+                               b.at(static_cast<size_t>(kr),
+                                    static_cast<size_t>(kc));
+                }
+            EXPECT_NEAR(fast.at(r, c), acc, 1e-9);
+        }
+    }
+}
+
+TEST(System4f, IdealFilterMatchesFftConvolution)
+{
+    pf::Rng rng(5);
+    const auto image = randomMatrix(rng, 12, 12);
+    const auto kernel = randomMatrix(rng, 3, 3, -0.5, 0.5);
+    f4::System4f system;
+    const auto out = system.convolve(image, kernel);
+    const auto ref = sig::convolve2dFft(image, kernel);
+    EXPECT_LT(sig::matrixMaxAbsDiff(out, ref), 1e-9);
+}
+
+TEST(System4f, FilterIsInputSizedAndComplex)
+{
+    // Section VIII: "4F systems require filter sizes to match input
+    // activation sizes" and complex modulation.
+    f4::System4f system;
+    const auto filter = system.programFilter(
+        sig::Matrix(3, 3), 16, 16);
+    EXPECT_EQ(filter.rows, 16u);
+    EXPECT_EQ(filter.cols, 16u);
+    // A generic 3x3 kernel's spectrum has nonzero imaginary parts.
+    pf::Rng rng(6);
+    sig::Matrix k(3, 3);
+    k.data = rng.uniformVector(9, -1, 1);
+    const auto f2 = system.programFilter(k, 16, 16);
+    double max_imag = 0.0;
+    for (const auto &h : f2.data)
+        max_imag = std::max(max_imag, std::abs(h.imag()));
+    EXPECT_GT(max_imag, 0.01);
+}
+
+TEST(System4f, QuantizedFilterDegradesGracefully)
+{
+    pf::Rng rng(7);
+    const auto image = randomMatrix(rng, 16, 16);
+    const auto kernel = randomMatrix(rng, 3, 3, -0.5, 0.5);
+    const auto exact = sig::convolve2dFft(image, kernel);
+
+    double prev = 1e300;
+    for (int bits : {4, 6, 8, 10}) {
+        f4::System4fConfig cfg;
+        cfg.amplitude_bits = bits;
+        cfg.phase_bits = bits;
+        f4::System4f system(cfg);
+        const auto out = system.convolve(image, kernel);
+        const double err = pf::relativeRmse(exact.data, out.data);
+        EXPECT_LT(err, prev) << bits;
+        prev = err;
+    }
+    // 8-bit amplitude+phase should be within a few percent.
+    f4::System4fConfig cfg8;
+    cfg8.amplitude_bits = 8;
+    cfg8.phase_bits = 8;
+    const auto out8 = f4::System4f(cfg8).convolve(image, kernel);
+    EXPECT_LT(pf::relativeRmse(exact.data, out8.data), 0.05);
+}
+
+TEST(System4f, RequirementsQuantifySectionViii)
+{
+    // 3x3 kernel on a 32x32 input: the 4F filter needs 1024 complex
+    // pixels (2048 DOFs) vs 9 real JTC taps — a ~228x weight
+    // bandwidth waste.
+    const auto req = f4::System4f::requirements(32, 3);
+    EXPECT_EQ(req.modulators, 1024u);
+    EXPECT_EQ(req.dofs, 2048u);
+    EXPECT_EQ(req.jtc_weight_taps, 9u);
+    EXPECT_NEAR(req.bandwidthWasteFactor(), 2048.0 / 9.0, 1e-12);
+}
+
+TEST(Jtc2d, LayoutSeparatesTerms)
+{
+    const auto layout = f4::Jtc2dLayout::design(8, 8, 3, 3);
+    const size_t longest = 8;
+    EXPECT_GT(layout.kernel_row_pos - (8 - 1), longest - 1);
+    EXPECT_GE(layout.plane_rows,
+              2 * layout.kernel_row_pos + 2 * 3);
+    EXPECT_GE(layout.plane_cols, 8u + 3u);
+}
+
+TEST(Jtc2d, CorrelateMatchesConv2dValid)
+{
+    pf::Rng rng(8);
+    for (auto shape : {std::pair<size_t, size_t>{8, 3},
+                       std::pair<size_t, size_t>{12, 5},
+                       std::pair<size_t, size_t>{9, 1}}) {
+        const auto s = randomMatrix(rng, shape.first, shape.first);
+        const auto k = randomMatrix(rng, shape.second, shape.second);
+        f4::Jtc2d jtc;
+        const auto optical = jtc.correlate(s, k);
+        const auto ref = sig::conv2d(s, k, sig::ConvMode::Valid);
+        ASSERT_EQ(optical.rows, ref.rows);
+        ASSERT_EQ(optical.cols, ref.cols);
+        EXPECT_LT(sig::matrixMaxAbsDiff(optical, ref), 1e-7)
+            << shape.first << "x" << shape.second;
+    }
+}
+
+TEST(Jtc2d, OnChipRowTilingMatchesFreeSpace2dInValidMode)
+{
+    // The central cross-validation: the on-chip pipeline (1D lenses +
+    // row tiling) computes the same convolution a free-space 2D JTC
+    // computes natively.
+    pf::Rng rng(9);
+    const auto s = randomMatrix(rng, 10, 10);
+    const auto k = randomMatrix(rng, 3, 3, 0.0, 0.5);
+
+    f4::Jtc2d free_space;
+    const auto native_2d = free_space.correlate(s, k);
+
+    pf::tiling::TilingParams params{.input_size = 10, .kernel_size = 3,
+                                    .n_conv = 256,
+                                    .mode = sig::ConvMode::Valid};
+    pf::tiling::TiledConvolution on_chip(params,
+                                         pf::tiling::jtcBackend());
+    const auto tiled_1d = on_chip.execute(s, k);
+
+    ASSERT_EQ(native_2d.rows, tiled_1d.rows);
+    ASSERT_EQ(native_2d.cols, tiled_1d.cols);
+    EXPECT_LT(sig::matrixMaxAbsDiff(native_2d, tiled_1d), 1e-7);
+}

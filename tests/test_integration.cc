@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cross-module integration tests: the whole stack wired together.
+ *
+ *  - A CNN layer computed three ways (direct 2D float, row-tiled
+ *    digital, row-tiled field-level optics) agrees.
+ *  - Whole-network logits through the optical backend match the
+ *    digital backend.
+ *  - Dataflow mapping self-consistency (energy/latency aggregation).
+ *  - The facade reproduces the headline EDP relation end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/photofourier.hh"
+
+namespace pf = photofourier;
+namespace arch = photofourier::arch;
+namespace nn = photofourier::nn;
+
+TEST(Integration, ConvLayerThreeWaysAgree)
+{
+    pf::Rng rng(31);
+    nn::Tensor input(4, 12, 12);
+    input.data() = rng.uniformVector(input.size(), 0.0, 1.0);
+    std::vector<nn::Tensor> weights;
+    for (int oc = 0; oc < 3; ++oc) {
+        nn::Tensor w(4, 3, 3);
+        w.data() = rng.uniformVector(w.size(), -0.4, 0.4);
+        weights.push_back(std::move(w));
+    }
+    const std::vector<double> bias{0.1, -0.1, 0.0};
+
+    nn::DirectEngine direct;
+    nn::PhotoFourierEngineConfig ideal;
+    ideal.dac_bits = 0;
+    ideal.adc_bits = 0;
+    ideal.zero_pad_rows = true;
+    nn::PhotoFourierEngine digital(ideal);
+    ideal.optical_backend = true;
+    nn::PhotoFourierEngine optical(ideal);
+
+    const auto a = direct.convolve(input, weights, bias, 1,
+                                   pf::signal::ConvMode::Same);
+    const auto b = digital.convolve(input, weights, bias, 1,
+                                    pf::signal::ConvMode::Same);
+    const auto c = optical.convolve(input, weights, bias, 1,
+                                    pf::signal::ConvMode::Same);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), c.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a.data()[i], b.data()[i], 1e-9);
+        EXPECT_NEAR(b.data()[i], c.data()[i], 1e-6);
+    }
+}
+
+TEST(Integration, NetworkLogitsOpticalMatchesDigital)
+{
+    pf::Rng rng(37);
+    auto net = nn::buildSmallVgg(4, rng);
+    nn::Tensor input(3, 32, 32);
+    for (size_t i = 0; i < input.size(); ++i)
+        input.data()[i] = 0.2 + 0.6 * ((i * 97) % 53) / 53.0;
+
+    // Ideal converters: the optical path must match the digital
+    // backend to numerical precision. (With 8-bit converters active,
+    // the optical FFT's ~1e-10 noise can flip an ADC code at a bin
+    // boundary — a threshold effect, checked loosely below.)
+    nn::PhotoFourierEngineConfig cfg;
+    cfg.dac_bits = 0;
+    cfg.adc_bits = 0;
+    cfg.zero_pad_rows = true;
+    net.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(cfg));
+    const auto digital = net.logits(input);
+
+    cfg.optical_backend = true;
+    net.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(cfg));
+    const auto optical = net.logits(input);
+
+    ASSERT_EQ(digital.size(), optical.size());
+    for (size_t i = 0; i < digital.size(); ++i)
+        EXPECT_NEAR(digital[i], optical[i],
+                    1e-5 * std::max(1.0, std::abs(digital[i])));
+
+    // 8-bit converters: same classification, logits within a few ADC
+    // steps.
+    nn::PhotoFourierEngineConfig q_cfg;
+    q_cfg.zero_pad_rows = true;
+    net.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(q_cfg));
+    const auto q_digital = net.logits(input);
+    q_cfg.optical_backend = true;
+    net.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(q_cfg));
+    const auto q_optical = net.logits(input);
+    EXPECT_EQ(nn::argmax(q_digital), nn::argmax(q_optical));
+    for (size_t i = 0; i < q_digital.size(); ++i)
+        EXPECT_NEAR(q_digital[i], q_optical[i],
+                    0.15 * std::max(1.0, std::abs(q_digital[i])));
+}
+
+TEST(Integration, DataflowAggregationConsistent)
+{
+    arch::DataflowMapper mapper(arch::AcceleratorConfig::currentGen());
+    const auto perf = mapper.mapNetwork(nn::resnet18Spec());
+
+    double cycles = 0.0, energy_pj = 0.0;
+    for (const auto &layer : perf.layers) {
+        cycles += layer.cycles;
+        energy_pj += layer.energy_pj;
+    }
+    EXPECT_NEAR(cycles, perf.total_cycles, 1e-6 * cycles);
+    EXPECT_NEAR(energy_pj, perf.energy_breakdown_pj.totalPj(),
+                1e-6 * energy_pj);
+    // latency = cycles / clock.
+    EXPECT_NEAR(perf.latency_s, cycles / 10e9, 1e-12);
+    // FPS/W identity: fps/W == 1 / energy-per-inference.
+    EXPECT_NEAR(perf.fpsPerW(), 1.0 / perf.energyPerInferenceJ(),
+                1e-6 * perf.fpsPerW());
+}
+
+TEST(Integration, HeadlineEdpRelationEndToEnd)
+{
+    // The abstract's claim: more than 28x better EDP than
+    // state-of-the-art photonic accelerators (Albireo-c).
+    arch::DataflowMapper cg(arch::AcceleratorConfig::currentGen());
+    arch::DataflowMapper ng(arch::AcceleratorConfig::nextGen());
+    double best = 0.0;
+    for (const auto &spec :
+         {nn::alexnetSpec(), nn::vgg16Spec(), nn::resnet18Spec()}) {
+        const auto entries = pf::baselines::figure13Entries(
+            cg.mapNetwork(spec), ng.mapNetwork(spec));
+        const pf::baselines::ComparisonEntry *pcg = nullptr;
+        const pf::baselines::ComparisonEntry *alb = nullptr;
+        for (const auto &e : entries) {
+            if (e.accelerator == "PhotoFourier-CG")
+                pcg = &e;
+            if (e.accelerator == "Albireo-c")
+                alb = &e;
+        }
+        ASSERT_NE(pcg, nullptr);
+        ASSERT_NE(alb, nullptr);
+        best = std::max(best, pcg->invEdp() / alb->invEdp());
+    }
+    EXPECT_GE(best, 28.0);
+}
+
+TEST(Integration, FacadeSimulationMatchesMapper)
+{
+    const auto cfg = arch::AcceleratorConfig::currentGen();
+    pf::PhotoFourierAccelerator accel(cfg);
+    arch::DataflowMapper mapper(cfg);
+    const auto a = accel.simulate(nn::vgg16Spec());
+    const auto b = mapper.mapNetwork(nn::vgg16Spec());
+    EXPECT_DOUBLE_EQ(a.fps(), b.fps());
+    EXPECT_DOUBLE_EQ(a.energyPerInferenceJ(), b.energyPerInferenceJ());
+}
+
+TEST(Integration, ConvMacFractionJustifiesConvOnlyAcceleration)
+{
+    // Section VI-A: accelerating only conv layers is fine because
+    // >99% of MACs are convolutions for the common CNNs.
+    for (const auto &spec : {nn::vgg16Spec(), nn::resnet18Spec(),
+                             nn::resnet34Spec(), nn::resnet50Spec()}) {
+        EXPECT_GT(spec.convMacFraction(), 0.99) << spec.name;
+    }
+    // AlexNet is the exception (big FC head) — the paper's caveat.
+    EXPECT_LT(nn::alexnetSpec().convMacFraction(), 0.99);
+}

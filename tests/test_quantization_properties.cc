@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Quantization-theory properties behind the paper's accuracy results:
+ * quantizer SQNR scaling, the fixed-grid partial-sum error law that
+ * drives Figure 7 (error ~ sqrt(readouts per output)), and edge-case
+ * hardening of the planners.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "photonics/converters.hh"
+#include "tiling/tiling_plan.hh"
+
+namespace pf = photofourier;
+namespace ph = photofourier::photonics;
+namespace tl = photofourier::tiling;
+
+TEST(QuantizationTheory, SqnrGrowsSixDbPerBit)
+{
+    // Classic result: uniform quantization of a full-scale uniform
+    // signal yields SQNR ~ 6.02*b dB. Verify within 1 dB for the
+    // Quantizer used by the DAC/ADC models.
+    pf::Rng rng(1);
+    const auto signal_values = rng.uniformVector(20000, -1.0, 1.0);
+    double prev_snr = 0.0;
+    for (int bits : {4, 6, 8, 10}) {
+        ph::Quantizer q(bits, 1.0);
+        double sig = 0.0, noise = 0.0;
+        for (double v : signal_values) {
+            const double e = q.quantize(v) - v;
+            sig += v * v;
+            noise += e * e;
+        }
+        const double snr_db = 10.0 * std::log10(sig / noise);
+        EXPECT_NEAR(snr_db, 6.02 * bits, 1.5) << bits;
+        EXPECT_GT(snr_db, prev_snr);
+        prev_snr = snr_db;
+    }
+}
+
+TEST(QuantizationTheory, FixedGridPsumErrorScalesWithSqrtReadouts)
+{
+    // The Figure 7 mechanism in isolation: accumulate G partial sums
+    // of a fixed total, quantizing each on a grid fixed by the TOTAL's
+    // scale. The error grows ~sqrt(G); deeper temporal accumulation
+    // (fewer readouts) shrinks it.
+    pf::Rng rng(2);
+    const int bits = 8;
+    const size_t n_outputs = 4000;
+
+    auto rms_error_at = [&](size_t readouts) {
+        double err_acc = 0.0;
+        for (size_t i = 0; i < n_outputs; ++i) {
+            // Random per-readout contributions, total ~ O(1).
+            std::vector<double> parts =
+                rng.uniformVector(readouts, 0.0, 2.0 / readouts);
+            double exact = 0.0;
+            for (double p : parts)
+                exact += p;
+            ph::Quantizer adc(bits, 2.0); // grid fixed by total scale
+            double quantized = 0.0;
+            for (double p : parts)
+                quantized += adc.quantize(p);
+            err_acc += (quantized - exact) * (quantized - exact);
+        }
+        return std::sqrt(err_acc / n_outputs);
+    };
+
+    const double e1 = rms_error_at(1);
+    const double e4 = rms_error_at(4);
+    const double e16 = rms_error_at(16);
+    const double e64 = rms_error_at(64);
+    // Monotone in readout count...
+    EXPECT_LT(e1, e4);
+    EXPECT_LT(e4, e16);
+    EXPECT_LT(e16, e64);
+    // ...and roughly square-root: quadrupling readouts ~doubles error.
+    EXPECT_NEAR(e64 / e16, 2.0, 0.5);
+    EXPECT_NEAR(e16 / e4, 2.0, 0.5);
+}
+
+TEST(QuantizationTheory, PseudoNegativeSubtractionAmplifiesRelError)
+{
+    // Quantizing p and n separately before subtracting amplifies the
+    // *relative* error when p ~ n (cancellation) — why signed-weight
+    // layers are the quantization-sensitive ones.
+    pf::Rng rng(3);
+    ph::Quantizer adc(8, 10.0);
+    double direct_err = 0.0, pn_err = 0.0;
+    size_t count = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const double p = rng.uniform(4.0, 6.0);
+        const double n = rng.uniform(4.0, 6.0);
+        const double x = p - n; // small difference of large halves
+        direct_err += std::abs(adc.quantize(x) - x);
+        pn_err += std::abs((adc.quantize(p) - adc.quantize(n)) - x);
+        ++count;
+    }
+    EXPECT_GT(pn_err / count, direct_err / count);
+}
+
+TEST(TilingPlanEdgeCases, DegenerateShapesPanic)
+{
+    tl::TilingParams p{.input_size = 4, .kernel_size = 5, .n_conv = 64};
+    EXPECT_DEATH((void)tl::TilingPlan::design(p), "kernel larger");
+
+    tl::TilingParams q{.input_size = 8, .kernel_size = 3, .n_conv = 2};
+    EXPECT_DEATH((void)tl::TilingPlan::design(q), "smaller than");
+}
+
+TEST(TilingPlanEdgeCases, OneByOneKernel)
+{
+    // 1x1 convolutions (ResNet projections) are a degenerate tiling:
+    // every sample is a valid output, utilization is maximal.
+    tl::TilingParams p{.input_size = 14, .kernel_size = 1,
+                       .n_conv = 256};
+    const auto plan = tl::TilingPlan::design(p);
+    EXPECT_EQ(plan.variant, tl::Variant::RowTiling);
+    EXPECT_EQ(plan.valid_rows_per_op, plan.rows_per_tile);
+    EXPECT_EQ(plan.tiled_kernel_len, 1u);
+    EXPECT_EQ(plan.active_weights, 1u);
+}
+
+TEST(TilingPlanEdgeCases, KernelEqualsInput)
+{
+    // Sk == Si: one valid output per plane position; still plannable.
+    tl::TilingParams p{.input_size = 8, .kernel_size = 8,
+                       .n_conv = 256};
+    const auto plan = tl::TilingPlan::design(p);
+    EXPECT_EQ(plan.variant, tl::Variant::RowTiling);
+    EXPECT_GE(plan.valid_rows_per_op, 1u);
+}
+
+TEST(TilingPlanEdgeCases, ExactBoundaryNconvEqualsSkSi)
+{
+    // Nconv == Sk*Si is the smallest row-tiling configuration.
+    tl::TilingParams p{.input_size = 8, .kernel_size = 3, .n_conv = 24};
+    const auto plan = tl::TilingPlan::design(p);
+    EXPECT_EQ(plan.variant, tl::Variant::RowTiling);
+    EXPECT_EQ(plan.rows_per_tile, 3u);
+    EXPECT_EQ(plan.valid_rows_per_op, 1u);
+}
+
+TEST(QuantizationTheory, QuantizerDeterministicAndIdempotent)
+{
+    ph::Quantizer q(8, 1.0);
+    pf::Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-1.2, 1.2);
+        const double once = q.quantize(v);
+        // Quantizing a reconstruction level is the identity.
+        EXPECT_DOUBLE_EQ(q.quantize(once), once);
+    }
+}

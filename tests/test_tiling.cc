@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests for the Section III row tiling/partitioning algorithms.
+ *
+ * Core claims verified:
+ *  - plans match the paper's closed-form formulas (Nor, cycle counts,
+ *    variant selection boundaries, the Figure 3 worked example);
+ *  - Valid mode is bit-exact vs the 2D reference for all variants;
+ *  - Same mode with zero_pad_rows is bit-exact; without padding only
+ *    row-edge columns deviate (the paper's edge effect);
+ *  - the optical JTC backend reproduces the digital backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "signal/convolution.hh"
+#include "tiling/backends.hh"
+#include "tiling/tiled_convolution.hh"
+#include "tiling/tiling_plan.hh"
+
+namespace pf = photofourier;
+namespace sig = photofourier::signal;
+namespace tl = photofourier::tiling;
+
+namespace {
+
+sig::Matrix
+randomMatrix(pf::Rng &rng, size_t rows, size_t cols, double lo = 0.0,
+             double hi = 1.0)
+{
+    sig::Matrix m(rows, cols);
+    m.data = rng.uniformVector(rows * cols, lo, hi);
+    return m;
+}
+
+} // namespace
+
+TEST(TilingPlan, VariantSelectionBoundaries)
+{
+    // Nconv >= Sk*Si -> row tiling.
+    tl::TilingParams p{.input_size = 8, .kernel_size = 3, .n_conv = 24};
+    EXPECT_EQ(tl::TilingPlan::design(p).variant, tl::Variant::RowTiling);
+
+    // Si <= Nconv < Sk*Si -> partial row tiling.
+    p.n_conv = 23;
+    EXPECT_EQ(tl::TilingPlan::design(p).variant,
+              tl::Variant::PartialRowTiling);
+    p.n_conv = 8;
+    EXPECT_EQ(tl::TilingPlan::design(p).variant,
+              tl::Variant::PartialRowTiling);
+
+    // Nconv < Si -> row partitioning.
+    p.n_conv = 7;
+    EXPECT_EQ(tl::TilingPlan::design(p).variant,
+              tl::Variant::RowPartitioning);
+}
+
+TEST(TilingPlan, Figure3WorkedExample)
+{
+    // Si=5, Sk=3, Nconv=20: 4 rows tiled, 2 valid output rows,
+    // 20-sample output with the middle 10 valid, kernel length 13.
+    tl::TilingParams p{.input_size = 5, .kernel_size = 3, .n_conv = 20};
+    const auto plan = tl::TilingPlan::design(p);
+    EXPECT_EQ(plan.variant, tl::Variant::RowTiling);
+    EXPECT_EQ(plan.rows_per_tile, 4u);
+    EXPECT_EQ(plan.valid_rows_per_op, 2u);
+    EXPECT_EQ(plan.tiled_kernel_len, 13u);
+    // ceil(5 output rows / 2 per op) = 3 ops for the full plane.
+    EXPECT_EQ(plan.ops_per_plane, 3u);
+    EXPECT_EQ(plan.cycles_per_plane, 3u);
+    // 10 valid of 20 read samples.
+    EXPECT_DOUBLE_EQ(plan.utilization, 0.5);
+    EXPECT_EQ(plan.active_weights, 9u);
+}
+
+TEST(TilingPlan, NorFormula)
+{
+    // Nor = floor(Nconv/Si) - Sk + 1 (paper Section III-A).
+    for (size_t si : {5u, 7u, 14u, 28u, 56u}) {
+        for (size_t sk : {1u, 3u, 5u}) {
+            const size_t n_conv = 256;
+            if (sk > si || n_conv < sk * si)
+                continue;
+            tl::TilingParams p{.input_size = si, .kernel_size = sk,
+                               .n_conv = n_conv};
+            const auto plan = tl::TilingPlan::design(p);
+            EXPECT_EQ(plan.valid_rows_per_op, n_conv / si - sk + 1)
+                << "si=" << si << " sk=" << sk;
+            EXPECT_EQ(plan.ops_per_plane,
+                      (si + plan.valid_rows_per_op - 1) /
+                          plan.valid_rows_per_op);
+        }
+    }
+}
+
+TEST(TilingPlan, PartialRowTilingCycles)
+{
+    // cycles = Si * ceil(Sk / Nir), Nir = floor(Nconv / Si).
+    tl::TilingParams p{.input_size = 32, .kernel_size = 5, .n_conv = 64};
+    const auto plan = tl::TilingPlan::design(p);
+    EXPECT_EQ(plan.variant, tl::Variant::PartialRowTiling);
+    EXPECT_EQ(plan.rows_per_tile, 2u); // floor(64/32)
+    EXPECT_EQ(plan.cycles_per_plane, 32u * 3u); // ceil(5/2) = 3
+}
+
+TEST(TilingPlan, RowPartitioningCycles)
+{
+    // cycles = Si * Sk * ceil(Si / Nconv) (paper Section III-C).
+    tl::TilingParams p{.input_size = 224, .kernel_size = 3,
+                       .n_conv = 100};
+    const auto plan = tl::TilingPlan::design(p);
+    EXPECT_EQ(plan.variant, tl::Variant::RowPartitioning);
+    EXPECT_EQ(plan.cycles_per_plane, 224u * 3u * 3u); // ceil(224/100)=3
+}
+
+TEST(TilingPlan, ZeroPaddingReducesRowsPerTile)
+{
+    tl::TilingParams p{.input_size = 16, .kernel_size = 3,
+                       .n_conv = 256};
+    const auto plain = tl::TilingPlan::design(p);
+    p.zero_pad_rows = true;
+    const auto padded = tl::TilingPlan::design(p);
+    EXPECT_EQ(plain.row_stride, 16u);
+    EXPECT_EQ(padded.row_stride, 18u);
+    EXPECT_GE(plain.rows_per_tile, padded.rows_per_tile);
+    EXPECT_GE(padded.cycles_per_plane, plain.cycles_per_plane);
+}
+
+TEST(TilingPlan, UtilizationHigherForSmallInputs)
+{
+    // Section III-A: efficiency higher when Nconv large or Si small.
+    tl::TilingParams small{.input_size = 7, .kernel_size = 3,
+                           .n_conv = 256};
+    tl::TilingParams large{.input_size = 56, .kernel_size = 3,
+                           .n_conv = 256};
+    EXPECT_GT(tl::TilingPlan::design(small).utilization,
+              tl::TilingPlan::design(large).utilization * 0.9);
+}
+
+/** (Si, Sk, Nconv) sweep exercising all variants. */
+struct TilingCase
+{
+    size_t si, sk, n_conv;
+};
+
+class TilingEquivalenceTest : public ::testing::TestWithParam<TilingCase>
+{
+};
+
+TEST_P(TilingEquivalenceTest, ValidModeExact)
+{
+    const auto tc = GetParam();
+    pf::Rng rng(tc.si * 1000 + tc.sk * 10 + tc.n_conv);
+    const auto input = randomMatrix(rng, tc.si, tc.si, -1.0, 1.0);
+    const auto kernel = randomMatrix(rng, tc.sk, tc.sk, -1.0, 1.0);
+
+    tl::TilingParams p{.input_size = tc.si, .kernel_size = tc.sk,
+                       .n_conv = tc.n_conv,
+                       .mode = sig::ConvMode::Valid};
+    tl::TiledConvolution conv(p, tl::cpuBackend());
+    const auto tiled = conv.execute(input, kernel);
+    const auto reference =
+        sig::conv2d(input, kernel, sig::ConvMode::Valid);
+    ASSERT_EQ(tiled.rows, reference.rows);
+    ASSERT_EQ(tiled.cols, reference.cols);
+    EXPECT_LT(sig::matrixMaxAbsDiff(tiled, reference), 1e-10)
+        << tl::variantName(conv.plan().variant);
+}
+
+TEST_P(TilingEquivalenceTest, SameModeZeroPadExact)
+{
+    const auto tc = GetParam();
+    pf::Rng rng(tc.si * 2000 + tc.sk * 20 + tc.n_conv);
+    const auto input = randomMatrix(rng, tc.si, tc.si, -1.0, 1.0);
+    const auto kernel = randomMatrix(rng, tc.sk, tc.sk, -1.0, 1.0);
+
+    tl::TilingParams p{.input_size = tc.si, .kernel_size = tc.sk,
+                       .n_conv = tc.n_conv,
+                       .mode = sig::ConvMode::Same,
+                       .zero_pad_rows = true};
+    if (p.n_conv < tc.si + tc.sk - 1)
+        GTEST_SKIP() << "padded row does not fit";
+    tl::TiledConvolution conv(p, tl::cpuBackend());
+    const auto tiled = conv.execute(input, kernel);
+    const auto reference =
+        sig::conv2d(input, kernel, sig::ConvMode::Same);
+    ASSERT_EQ(tiled.rows, reference.rows);
+    ASSERT_EQ(tiled.cols, reference.cols);
+    EXPECT_LT(sig::matrixMaxAbsDiff(tiled, reference), 1e-10)
+        << tl::variantName(conv.plan().variant);
+}
+
+TEST_P(TilingEquivalenceTest, SameModeEdgeEffectConfinedToEdges)
+{
+    const auto tc = GetParam();
+    pf::Rng rng(tc.si * 3000 + tc.sk * 30 + tc.n_conv);
+    const auto input = randomMatrix(rng, tc.si, tc.si);
+    const auto kernel = randomMatrix(rng, tc.sk, tc.sk);
+
+    tl::TilingParams p{.input_size = tc.si, .kernel_size = tc.sk,
+                       .n_conv = tc.n_conv,
+                       .mode = sig::ConvMode::Same};
+    tl::TiledConvolution conv(p, tl::cpuBackend());
+    const auto tiled = conv.execute(input, kernel);
+    const auto reference =
+        sig::conv2d(input, kernel, sig::ConvMode::Same);
+
+    const size_t pad = tc.sk / 2;
+    for (size_t r = 0; r < reference.rows; ++r) {
+        for (size_t c = pad; c + pad < reference.cols; ++c) {
+            // Interior columns must be exact regardless of variant.
+            EXPECT_NEAR(tiled.at(r, c), reference.at(r, c), 1e-10)
+                << "interior (" << r << "," << c << ") "
+                << tl::variantName(conv.plan().variant);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TilingEquivalenceTest,
+    ::testing::Values(TilingCase{5, 3, 20},    // Figure 3
+                      TilingCase{8, 3, 256},   // deep tiling
+                      TilingCase{14, 3, 256},  // ResNet later layer
+                      TilingCase{16, 5, 256},
+                      TilingCase{28, 3, 256},
+                      TilingCase{7, 7, 256},   // kernel == row chunk
+                      TilingCase{32, 3, 64},   // partial row tiling
+                      TilingCase{32, 5, 64},
+                      TilingCase{16, 3, 16},   // Nconv == Si
+                      TilingCase{24, 3, 12},   // row partitioning
+                      TilingCase{40, 5, 16},
+                      TilingCase{9, 1, 32}));  // 1x1 kernel
+
+TEST(TiledConvolution, StrideTwoMatchesReference)
+{
+    pf::Rng rng(71);
+    const auto input = randomMatrix(rng, 12, 12, -1.0, 1.0);
+    const auto kernel = randomMatrix(rng, 3, 3, -1.0, 1.0);
+
+    tl::TilingParams p{.input_size = 12, .kernel_size = 3,
+                       .n_conv = 256, .mode = sig::ConvMode::Valid,
+                       .stride = 2};
+    tl::TiledConvolution conv(p, tl::cpuBackend());
+    const auto tiled = conv.execute(input, kernel);
+    const auto reference =
+        sig::conv2d(input, kernel, sig::ConvMode::Valid, 2);
+    ASSERT_EQ(tiled.rows, reference.rows);
+    ASSERT_EQ(tiled.cols, reference.cols);
+    EXPECT_LT(sig::matrixMaxAbsDiff(tiled, reference), 1e-10);
+}
+
+TEST(TiledConvolution, AlexNetFirstLayerStride4)
+{
+    // 11x11 stride-4 Same conv on a 32x32 plane (scaled-down AlexNet
+    // geometry) — the strided case the paper calls out as inefficient.
+    pf::Rng rng(73);
+    const auto input = randomMatrix(rng, 32, 32);
+    const auto kernel = randomMatrix(rng, 11, 11, -0.2, 0.2);
+
+    tl::TilingParams p{.input_size = 32, .kernel_size = 11,
+                       .n_conv = 256, .mode = sig::ConvMode::Same,
+                       .stride = 4, .zero_pad_rows = true};
+    tl::TiledConvolution conv(p, tl::cpuBackend());
+    const auto tiled = conv.execute(input, kernel);
+    const auto reference =
+        sig::conv2d(input, kernel, sig::ConvMode::Same, 4);
+    ASSERT_EQ(tiled.rows, reference.rows);
+    ASSERT_EQ(tiled.cols, reference.cols);
+    EXPECT_LT(sig::matrixMaxAbsDiff(tiled, reference), 1e-10);
+}
+
+TEST(TiledConvolution, OpCountMatchesPlanRowTiling)
+{
+    pf::Rng rng(79);
+    const auto input = randomMatrix(rng, 14, 14);
+    const auto kernel = randomMatrix(rng, 3, 3);
+    tl::TilingParams p{.input_size = 14, .kernel_size = 3,
+                       .n_conv = 256};
+    tl::TiledConvolution conv(p, tl::cpuBackend());
+    (void)conv.execute(input, kernel);
+    EXPECT_EQ(conv.lastOpCount(), conv.plan().ops_per_plane);
+}
+
+TEST(TiledConvolution, JtcBackendMatchesCpuRowTiling)
+{
+    pf::Rng rng(83);
+    const auto input = randomMatrix(rng, 14, 14); // non-negative
+    const auto kernel = randomMatrix(rng, 3, 3, -0.5, 0.5);
+
+    tl::TilingParams p{.input_size = 14, .kernel_size = 3,
+                       .n_conv = 256};
+    tl::TiledConvolution cpu(p, tl::cpuBackend());
+    tl::TiledConvolution optical(p, tl::jtcBackend());
+    const auto a = cpu.execute(input, kernel);
+    const auto b = optical.execute(input, kernel);
+    EXPECT_LT(sig::matrixMaxAbsDiff(a, b), 1e-7);
+}
+
+TEST(TiledConvolution, JtcBackendMatchesCpuPartialRowTiling)
+{
+    pf::Rng rng(89);
+    const auto input = randomMatrix(rng, 32, 32);
+    const auto kernel = randomMatrix(rng, 5, 5, -0.3, 0.3);
+
+    tl::TilingParams p{.input_size = 32, .kernel_size = 5,
+                       .n_conv = 64};
+    tl::TiledConvolution cpu(p, tl::cpuBackend());
+    tl::TiledConvolution optical(p, tl::jtcBackend());
+    const auto a = cpu.execute(input, kernel);
+    const auto b = optical.execute(input, kernel);
+    EXPECT_EQ(cpu.plan().variant, tl::Variant::PartialRowTiling);
+    EXPECT_LT(sig::matrixMaxAbsDiff(a, b), 1e-7);
+}
+
+TEST(TiledConvolution, JtcBackendMatchesCpuRowPartitioning)
+{
+    pf::Rng rng(97);
+    const auto input = randomMatrix(rng, 24, 24);
+    const auto kernel = randomMatrix(rng, 3, 3, -0.4, 0.4);
+
+    tl::TilingParams p{.input_size = 24, .kernel_size = 3,
+                       .n_conv = 12};
+    tl::TiledConvolution cpu(p, tl::cpuBackend());
+    tl::TiledConvolution optical(p, tl::jtcBackend());
+    const auto a = cpu.execute(input, kernel);
+    const auto b = optical.execute(input, kernel);
+    EXPECT_EQ(cpu.plan().variant, tl::Variant::RowPartitioning);
+    EXPECT_LT(sig::matrixMaxAbsDiff(a, b), 1e-7);
+}
+
+TEST(TiledConvolution, EdgeEffectSmallRelativeToSignal)
+{
+    // The paper's claim: the edge effect's impact is minimal for small
+    // kernels (only columns within pad of a row edge deviate — here 2
+    // of 28 columns). Layer-level relative RMSE stays bounded; the
+    // network-level accuracy claim is exercised in the Table I bench.
+    pf::Rng rng(101);
+    sig::Matrix input(28, 28);
+    for (size_t r = 0; r < 28; ++r)
+        for (size_t c = 0; c < 28; ++c)
+            input.at(r, c) =
+                0.5 + 0.4 * std::sin(0.3 * r) * std::cos(0.2 * c);
+    const auto kernel = randomMatrix(rng, 3, 3, 0.0, 0.3);
+
+    tl::TilingParams p{.input_size = 28, .kernel_size = 3,
+                       .n_conv = 256, .mode = sig::ConvMode::Same};
+    tl::TiledConvolution conv(p, tl::cpuBackend());
+    const auto tiled = conv.execute(input, kernel);
+    const auto reference =
+        sig::conv2d(input, kernel, sig::ConvMode::Same);
+    const double err = pf::rmse(tiled.data, reference.data);
+    double ref_rms = 0.0;
+    for (double v : reference.data)
+        ref_rms += v * v;
+    ref_rms = std::sqrt(ref_rms / reference.data.size());
+    // 2/28 columns affected with O(1) relative deviation each.
+    EXPECT_LT(err / ref_rms, 0.15);
+    // And zero error on the 26 interior columns (checked elsewhere too).
+    double interior_err = 0.0;
+    for (size_t r = 0; r < 28; ++r)
+        for (size_t c = 1; c < 27; ++c)
+            interior_err = std::max(
+                interior_err,
+                std::abs(tiled.at(r, c) - reference.at(r, c)));
+    EXPECT_LT(interior_err, 1e-10);
+}
+
+TEST(TiledConvolution, MismatchedInputPanics)
+{
+    tl::TilingParams p{.input_size = 8, .kernel_size = 3, .n_conv = 64};
+    tl::TiledConvolution conv(p, tl::cpuBackend());
+    sig::Matrix input(9, 9);
+    sig::Matrix kernel(3, 3);
+    EXPECT_DEATH((void)conv.execute(input, kernel), "plan was built");
+}

@@ -1,0 +1,55 @@
+// Scratch probe: is the synthetic task hard enough that tiling /
+// quantization effects are measurable, and does the Figure 7 shape
+// (accuracy vs temporal accumulation depth) emerge?
+#include <cstdio>
+
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+int
+main()
+{
+    nn::SyntheticCifarConfig dcfg;
+    dcfg.num_classes = 10;
+    nn::SyntheticCifar gen(dcfg, 7);
+    const auto train_set = gen.generate(240);
+    const auto test_set = gen.generate(120);
+
+    Rng rng(5);
+    auto net = nn::buildSmallResNet(dcfg.num_classes, rng);
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 5;
+    tcfg.lr = 0.04;
+    tcfg.verbose = true;
+    nn::train(net, train_set, tcfg);
+
+    const double f1 = nn::evaluateTop1(net, test_set);
+    std::printf("float top1 = %.3f\n", f1);
+
+    // Tiling only.
+    nn::PhotoFourierEngineConfig t;
+    t.dac_bits = 0;
+    t.adc_bits = 0;
+    net.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(t));
+    std::printf("tiled  top1 = %.3f\n", nn::evaluateTop1(net, test_set));
+
+    for (size_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        nn::PhotoFourierEngineConfig c;
+        c.dac_bits = 8;
+        c.adc_bits = 8;
+        c.temporal_accumulation_depth = depth;
+        c.noise = true;
+        c.snr_db = 20.0;
+        net.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(c));
+        std::printf("NTA=%2zu top1 = %.3f\n", depth,
+                    nn::evaluateTop1(net, test_set));
+    }
+    nn::PhotoFourierEngineConfig fp;
+    fp.dac_bits = 8;
+    fp.adc_bits = 0;
+    fp.noise = true;
+    net.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(fp));
+    std::printf("fp-psum top1 = %.3f\n", nn::evaluateTop1(net, test_set));
+    return 0;
+}

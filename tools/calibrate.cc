@@ -1,0 +1,75 @@
+// Scratch calibration driver (not installed): dumps model outputs so
+// the paper-vs-model numbers can be compared while developing.
+#include <cstdio>
+
+#include "arch/area_model.hh"
+#include "arch/dataflow.hh"
+#include "arch/design_space.hh"
+#include "nn/model_zoo.hh"
+
+using namespace photofourier;
+
+int
+main()
+{
+    const auto nets = nn::tableIIINetworks();
+    for (auto gen_cfg : {arch::AcceleratorConfig::currentGen(),
+                         arch::AcceleratorConfig::nextGen(),
+                         arch::AcceleratorConfig::baselineJtc()}) {
+        arch::DataflowMapper mapper(gen_cfg);
+        std::printf("=== %s ===\n", gen_cfg.name.c_str());
+        for (const auto &net : nets) {
+            const auto perf = mapper.mapNetwork(net);
+            std::printf(
+                "%-12s fps=%9.1f P=%6.2fW fps/W=%8.2f edp=%.3e\n",
+                net.name.c_str(), perf.fps(), perf.avgPowerW(),
+                perf.fpsPerW(), perf.edp());
+            if (net.name == "VGG-16") {
+                const auto &e = perf.energy_breakdown_pj;
+                const double total = e.totalPj();
+                std::printf("  breakdown: iDAC %.1f%% wDAC %.1f%% MRR "
+                            "%.1f%% ADC %.1f%% laser %.1f%% SRAM %.1f%% "
+                            "CMOS %.1f%%\n",
+                            100 * e.input_dac_pj / total,
+                            100 * e.weight_dac_pj / total,
+                            100 * e.mrr_pj / total,
+                            100 * e.adc_pj / total,
+                            100 * e.laser_pj / total,
+                            100 * e.sram_pj / total,
+                            100 * e.cmos_pj / total);
+            }
+        }
+        arch::AreaModel area(gen_cfg.generation);
+        const auto breakdown = area.breakdown(gen_cfg);
+        std::printf("area: PIC %.1f (lens %.1f dev %.1f route %.1f) "
+                    "SRAM %.2f CMOS %.2f total %.1f\n",
+                    breakdown.picMm2(), breakdown.lenses_mm2,
+                    breakdown.devices_mm2, breakdown.routing_mm2,
+                    breakdown.sram_mm2, breakdown.cmos_tiles_mm2,
+                    breakdown.totalMm2());
+    }
+
+    std::printf("\n=== Table III sweep (CG) ===\n");
+    const auto cg_points = arch::sweepDesignSpace(
+        arch::AcceleratorConfig::currentGen(), {4, 8, 16, 32, 64},
+        100.0, nets);
+    for (const auto &p : cg_points)
+        std::printf("N=%2zu W=%3zu geomean=%8.2f norm=%.2f\n",
+                    p.n_pfcus, p.max_waveguides, p.geomean_fps_per_w,
+                    p.normalized);
+    std::printf("=== Table III sweep (NG) ===\n");
+    const auto ng_points = arch::sweepDesignSpace(
+        arch::AcceleratorConfig::nextGen(), {4, 8, 16, 32, 64}, 100.0,
+        nets);
+    for (const auto &p : ng_points)
+        std::printf("N=%2zu W=%3zu geomean=%8.2f norm=%.2f\n",
+                    p.n_pfcus, p.max_waveguides, p.geomean_fps_per_w,
+                    p.normalized);
+
+    std::printf("\n=== CrossLight CNN energy (CG) ===\n");
+    arch::DataflowMapper cg(arch::AcceleratorConfig::currentGen());
+    const auto cl = cg.mapNetwork(nn::crosslightCnnSpec());
+    std::printf("energy/inference = %.3f uJ (paper: 4.76)\n",
+                cl.energyPerInferenceJ() * 1e6);
+    return 0;
+}
