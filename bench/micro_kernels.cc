@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.hh"
 #include "jtc/jtc_system.hh"
 #include "signal/convolution.hh"
 #include "signal/fft.hh"
+#include "signal/fft_plan.hh"
 #include "tiling/tiled_convolution.hh"
 
 namespace pf = photofourier;
@@ -58,6 +61,159 @@ BM_FftBluestein(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FftBluestein)->Arg(63)->Arg(257)->Arg(1000)->Arg(4093);
+
+// --- Plan cache: repeated same-size FFTs with a cached plan vs paying
+// --- plan construction (twiddle tables, chirp spectra) on every call,
+// --- and vs the pre-plan seed algorithms (per-call twiddle recurrence,
+// --- three-FFT Bluestein). The ratios are the plan-cache speedup
+// --- recorded in BENCH_micro.json.
+
+namespace seed_baseline {
+
+// The repository's original fftRadix2: no tables, twiddles generated
+// by a per-stage recurrence on every call. Kept here (bench-local)
+// as the fixed baseline the plan path is measured against.
+void
+fftRadix2(sig::ComplexVector &data, bool inverse)
+{
+    const size_t n = data.size();
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const sig::Complex wlen(std::cos(angle), std::sin(angle));
+        for (size_t i = 0; i < n; i += len) {
+            sig::Complex w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; ++k) {
+                const sig::Complex u = data[i + k];
+                const sig::Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (auto &value : data)
+            value *= scale;
+    }
+}
+
+// The original Bluestein: chirp rebuilt and three full-size FFTs run
+// on every call (the plan precomputes the chirp spectra, leaving two).
+sig::ComplexVector
+bluestein(const sig::ComplexVector &input)
+{
+    const size_t n = input.size();
+    sig::ComplexVector chirp(n);
+    for (size_t k = 0; k < n; ++k) {
+        const uintmax_t k2 =
+            (static_cast<uintmax_t>(k) * k) % (2 * static_cast<uintmax_t>(n));
+        const double angle =
+            -M_PI * static_cast<double>(k2) / static_cast<double>(n);
+        chirp[k] = sig::Complex(std::cos(angle), std::sin(angle));
+    }
+    const size_t m = sig::nextPowerOfTwo(2 * n - 1);
+    sig::ComplexVector a(m, sig::Complex(0.0, 0.0));
+    sig::ComplexVector b(m, sig::Complex(0.0, 0.0));
+    for (size_t k = 0; k < n; ++k)
+        a[k] = input[k] * chirp[k];
+    b[0] = std::conj(chirp[0]);
+    for (size_t k = 1; k < n; ++k)
+        b[k] = b[m - k] = std::conj(chirp[k]);
+    fftRadix2(a, false);
+    fftRadix2(b, false);
+    for (size_t k = 0; k < m; ++k)
+        a[k] *= b[k];
+    fftRadix2(a, true);
+    sig::ComplexVector out(n);
+    for (size_t k = 0; k < n; ++k)
+        out[k] = a[k] * chirp[k];
+    return out;
+}
+
+} // namespace seed_baseline
+
+static void
+BM_FftSeedRadix2(benchmark::State &state)
+{
+    const auto input = randomComplex(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto copy = input;
+        seed_baseline::fftRadix2(copy, false);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_FftSeedRadix2)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void
+BM_FftSeedBluestein(benchmark::State &state)
+{
+    const auto input = randomComplex(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto out = seed_baseline::bluestein(input);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FftSeedBluestein)->Arg(1000)->Arg(4093);
+
+static void
+BM_FftPlanCached(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const auto input = randomComplex(n);
+    const auto plan = sig::fftPlanFor(n);
+    for (auto _ : state) {
+        auto copy = input;
+        plan->execute(copy, false);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_FftPlanCached)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Arg(1000)->Arg(4093);
+
+static void
+BM_FftPlanConstructEachCall(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const auto input = randomComplex(n);
+    for (auto _ : state) {
+        sig::FftPlan plan(n);
+        auto copy = input;
+        plan.execute(copy, false);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_FftPlanConstructEachCall)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Arg(1000)->Arg(4093);
+
+// --- batchFft scaling: 64 rows of 1024 fanned across the worker pool.
+// --- Thread counts 1/2/4 chart the scaling curve (bounded by the
+// --- machine's available cores).
+
+static void
+BM_BatchFft(benchmark::State &state)
+{
+    const size_t threads = static_cast<size_t>(state.range(0));
+    const size_t batch = 64, n = 1024;
+    const auto input = randomComplex(batch * n);
+    for (auto _ : state) {
+        auto copy = input;
+        sig::batchFft(copy.data(), batch, n, false, threads);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.counters["threads"] =
+        static_cast<double>(std::min<size_t>(threads, batch));
+}
+BENCHMARK(BM_BatchFft)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 static void
 BM_Convolve1dDirect(benchmark::State &state)

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Build the Release tree, run the micro-kernel benchmarks, and record
+# the results as BENCH_micro.json at the repo root. This file is the
+# start of the measured-perf trajectory: later PRs append comparable
+# runs instead of re-deriving a baseline.
+#
+# Usage: bench/run_benches.sh [extra google-benchmark flags...]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir="$repo_root/build-bench"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+    -DPHOTOFOURIER_BUILD_TESTS=OFF
+cmake --build "$build_dir" -j --target micro_kernels
+
+"$build_dir/micro_kernels" \
+    --benchmark_out="$repo_root/BENCH_micro.json" \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "Wrote $repo_root/BENCH_micro.json"

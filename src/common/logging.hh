@@ -76,9 +76,14 @@ buildMessage(Args &&...args)
         ::photofourier::detail::buildMessage(__VA_ARGS__))
 
 /**
- * Assert an invariant with a formatted message. Active in all build
- * types — model code is not performance critical enough to justify
- * compiling checks out.
+ * Assert an invariant with a formatted message.
+ *
+ * Deliberately NOT gated on NDEBUG: unlike <cassert>, this macro stays
+ * active in Release builds. The FFT entry points (fftRadix2, fft,
+ * FftPlan::execute) rely on it for input validation — a silent
+ * out-of-contract call there corrupts results instead of trapping, and
+ * the checks are O(1) against O(n log n) work. The Release leg of the
+ * CI matrix runs the death tests that pin this behaviour.
  */
 #define pf_assert(cond, ...)                                               \
     do {                                                                   \

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "signal/fft_plan.hh"
 
 namespace photofourier {
 namespace jtc {
@@ -65,6 +66,10 @@ JtcSystem::outputPlane(const std::vector<double> &s,
 {
     const JtcPlaneLayout layout = layoutFor(s, k);
     const size_t n = layout.plane_size;
+    // Both lens transforms reuse one cached plan for the plane size; a
+    // CNN layer evaluates thousands of same-geometry JTC passes, so the
+    // twiddle/bit-reversal tables are built exactly once per layout.
+    const auto plan = signal::fftPlanFor(n);
 
     // Joint input plane.
     std::vector<double> plane(n, 0.0);
@@ -77,7 +82,7 @@ JtcSystem::outputPlane(const std::vector<double> &s,
     signal::ComplexVector field(n);
     for (size_t i = 0; i < n; ++i)
         field[i] = signal::Complex(plane[i], 0.0);
-    signal::fftRadix2(field, false);
+    plan->execute(field, false);
 
     // Fourier plane: photodetectors record |F|^2; EOMs re-emit the
     // intensity as a fresh (real, non-negative) optical amplitude. The
@@ -101,7 +106,7 @@ JtcSystem::outputPlane(const std::vector<double> &s,
     signal::ComplexVector spectrum(n);
     for (size_t i = 0; i < n; ++i)
         spectrum[i] = signal::Complex(intensity[i], 0.0);
-    signal::fftRadix2(spectrum, true);
+    plan->execute(spectrum, true);
 
     photonics::Photodetector out_pd(config_.detector,
                                     config_.noise_seed + 1);

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "photonics/converters.hh"
+#include "signal/fft_plan.hh"
 #include "tiling/tiled_convolution.hh"
 
 namespace photofourier {
@@ -46,8 +47,17 @@ DirectEngine::convolve(const Tensor &input,
     const size_t oh = outputDim(input.height(), k, stride, mode);
     const size_t ow = outputDim(input.width(), k, stride, mode);
 
+    // Output channels are independent; fan them across the worker
+    // pool. Each channel's input-channel accumulation keeps its
+    // sequential order, so results are bit-exact vs the serial loop.
+    // Tiny layers run sequentially: below the shared dispatch
+    // threshold a pool publication costs more than the convolution.
+    const size_t total_macs =
+        weights.size() * input.channels() * oh * ow * k * k;
+    const size_t oc_workers =
+        total_macs < signal::kParallelDispatchThreshold ? 1 : 0;
     Tensor out(weights.size(), oh, ow);
-    for (size_t oc = 0; oc < weights.size(); ++oc) {
+    signal::parallelFor(weights.size(), oc_workers, [&](size_t oc) {
         signal::Matrix acc(oh, ow);
         for (size_t ic = 0; ic < input.channels(); ++ic) {
             const auto partial = signal::conv2d(
@@ -60,7 +70,7 @@ DirectEngine::convolve(const Tensor &input,
         for (size_t i = 0; i < acc.data.size(); ++i)
             acc.data[i] += b;
         out.setChannel(oc, acc);
-    }
+    });
     return out;
 }
 
@@ -145,8 +155,14 @@ PhotoFourierEngine::convolve(const Tensor &input,
     const double inv_snr = std::pow(10.0, -config_.snr_db / 20.0);
     std::vector<std::vector<signal::Matrix>> group_p(n_out);
     std::vector<std::vector<signal::Matrix>> group_n(n_out);
-    double adc_calib = 0.0; // max accumulated charge per polarity
-    for (size_t oc = 0; oc < n_out; ++oc) {
+    std::vector<double> oc_calib(n_out, 0.0);
+    // Output channels are independent, so the noiseless path fans them
+    // across the worker pool (each channel touches only its own
+    // group_p/group_n/oc_calib slots). With noise enabled the shared
+    // RNG stream must be consumed in a fixed order, so that path stays
+    // sequential to keep experiments reproducible.
+    const size_t oc_workers = config_.noise ? 1 : 0;
+    signal::parallelFor(n_out, oc_workers, [&](size_t oc) {
         group_p[oc].assign(groups, signal::Matrix(oh, ow));
         group_n[oc].assign(groups, signal::Matrix(oh, ow));
         signal::Matrix total_p(oh, ow), total_n(oh, ow);
@@ -177,12 +193,15 @@ PhotoFourierEngine::convolve(const Tensor &input,
             }
         }
         for (size_t i = 0; i < total_p.data.size(); ++i) {
-            adc_calib = std::max(adc_calib,
-                                 std::abs(total_p.data[i]));
-            adc_calib = std::max(adc_calib,
-                                 std::abs(total_n.data[i]));
+            oc_calib[oc] = std::max(oc_calib[oc],
+                                    std::abs(total_p.data[i]));
+            oc_calib[oc] = std::max(oc_calib[oc],
+                                    std::abs(total_n.data[i]));
         }
-    }
+    });
+    double adc_calib = 0.0; // max accumulated charge per polarity
+    for (double calib : oc_calib)
+        adc_calib = std::max(adc_calib, calib);
 
     // Second pass: one ADC readout per group per polarity on the
     // layer-scale grid; digital subtraction and accumulation.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "signal/fft_plan.hh"
 
 namespace photofourier {
 namespace signal {
@@ -27,114 +28,25 @@ fftRadix2(ComplexVector &data, bool inverse)
 {
     const size_t n = data.size();
     pf_assert(isPowerOfTwo(n), "fftRadix2 needs power-of-two size, got ", n);
-
-    // Bit-reversal permutation.
-    for (size_t i = 1, j = 0; i < n; ++i) {
-        size_t bit = n >> 1;
-        for (; j & bit; bit >>= 1)
-            j ^= bit;
-        j ^= bit;
-        if (i < j)
-            std::swap(data[i], data[j]);
-    }
-
-    // Iterative butterflies.
-    for (size_t len = 2; len <= n; len <<= 1) {
-        const double angle =
-            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-        const Complex wlen(std::cos(angle), std::sin(angle));
-        for (size_t i = 0; i < n; i += len) {
-            Complex w(1.0, 0.0);
-            for (size_t k = 0; k < len / 2; ++k) {
-                const Complex u = data[i + k];
-                const Complex v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-        }
-    }
-
-    if (inverse) {
-        const double scale = 1.0 / static_cast<double>(n);
-        for (auto &value : data)
-            value *= scale;
-    }
+    fftPlanFor(n)->execute(data.data(), inverse);
 }
-
-namespace {
-
-/**
- * Bluestein chirp-z transform: expresses an arbitrary-size DFT as a
- * convolution, evaluated with a power-of-two FFT.
- */
-ComplexVector
-bluestein(const ComplexVector &input, bool inverse)
-{
-    const size_t n = input.size();
-    const double sign = inverse ? 1.0 : -1.0;
-
-    // Chirp: w[k] = exp(sign * i * pi * k^2 / n). k^2 mod 2n avoids the
-    // precision loss of huge k^2 arguments.
-    ComplexVector chirp(n);
-    for (size_t k = 0; k < n; ++k) {
-        const uintmax_t k2 =
-            (static_cast<uintmax_t>(k) * k) % (2 * static_cast<uintmax_t>(n));
-        const double angle = sign * M_PI * static_cast<double>(k2) /
-                             static_cast<double>(n);
-        chirp[k] = Complex(std::cos(angle), std::sin(angle));
-    }
-
-    const size_t m = nextPowerOfTwo(2 * n - 1);
-    ComplexVector a(m, Complex(0.0, 0.0));
-    ComplexVector b(m, Complex(0.0, 0.0));
-    for (size_t k = 0; k < n; ++k)
-        a[k] = input[k] * chirp[k];
-    b[0] = std::conj(chirp[0]);
-    for (size_t k = 1; k < n; ++k)
-        b[k] = b[m - k] = std::conj(chirp[k]);
-
-    fftRadix2(a, false);
-    fftRadix2(b, false);
-    for (size_t k = 0; k < m; ++k)
-        a[k] *= b[k];
-    fftRadix2(a, true);
-
-    ComplexVector out(n);
-    for (size_t k = 0; k < n; ++k)
-        out[k] = a[k] * chirp[k];
-    if (inverse) {
-        const double scale = 1.0 / static_cast<double>(n);
-        for (auto &value : out)
-            value *= scale;
-    }
-    return out;
-}
-
-} // namespace
 
 ComplexVector
 fft(const ComplexVector &input)
 {
     pf_assert(!input.empty(), "fft of empty vector");
-    if (isPowerOfTwo(input.size())) {
-        ComplexVector data = input;
-        fftRadix2(data, false);
-        return data;
-    }
-    return bluestein(input, false);
+    ComplexVector data = input;
+    fftPlanFor(data.size())->execute(data.data(), false);
+    return data;
 }
 
 ComplexVector
 ifft(const ComplexVector &input)
 {
     pf_assert(!input.empty(), "ifft of empty vector");
-    if (isPowerOfTwo(input.size())) {
-        ComplexVector data = input;
-        fftRadix2(data, true);
-        return data;
-    }
-    return bluestein(input, true);
+    ComplexVector data = input;
+    fftPlanFor(data.size())->execute(data.data(), true);
+    return data;
 }
 
 ComplexVector
@@ -154,11 +66,16 @@ dftNaive(const ComplexVector &input, bool inverse)
     const double sign = inverse ? 2.0 : -2.0;
     ComplexVector out(n, Complex(0.0, 0.0));
     for (size_t k = 0; k < n; ++k) {
+        // Phase recurrence: w steps by exp(sign*i*2*pi*k/n) per sample,
+        // so the O(n^2) inner loop is trig-free. The multiplicative
+        // error growth (~n*eps) is far below the oracle tolerances.
+        const double step_angle =
+            sign * M_PI * static_cast<double>(k) / static_cast<double>(n);
+        const Complex step(std::cos(step_angle), std::sin(step_angle));
+        Complex w(1.0, 0.0);
         for (size_t t = 0; t < n; ++t) {
-            const double angle = sign * M_PI * static_cast<double>(k) *
-                                 static_cast<double>(t) /
-                                 static_cast<double>(n);
-            out[k] += input[t] * Complex(std::cos(angle), std::sin(angle));
+            out[k] += input[t] * w;
+            w *= step;
         }
     }
     if (inverse) {

@@ -1,6 +1,7 @@
 #include "signal/fft2d.hh"
 
 #include "common/logging.hh"
+#include "signal/fft_plan.hh"
 
 namespace photofourier {
 namespace signal {
@@ -11,27 +12,24 @@ ComplexMatrix
 transform2d(const ComplexMatrix &input, bool inverse)
 {
     pf_assert(input.rows > 0 && input.cols > 0, "empty 2D transform");
-    ComplexMatrix out(input.rows, input.cols);
 
-    // Row transforms.
-    ComplexVector row(input.cols);
-    for (size_t r = 0; r < input.rows; ++r) {
-        for (size_t c = 0; c < input.cols; ++c)
-            row[c] = input.at(r, c);
-        ComplexVector spectrum = inverse ? ifft(row) : fft(row);
-        for (size_t c = 0; c < input.cols; ++c)
-            out.at(r, c) = spectrum[c];
-    }
+    // Row pass: every row is contiguous in the row-major layout, so the
+    // whole pass is one batched call fanned across the worker pool.
+    ComplexMatrix out = input;
+    batchFft(out.data.data(), out.rows, out.cols, inverse);
 
-    // Column transforms.
-    ComplexVector col(input.rows);
-    for (size_t c = 0; c < input.cols; ++c) {
-        for (size_t r = 0; r < input.rows; ++r)
-            col[r] = out.at(r, c);
-        ComplexVector spectrum = inverse ? ifft(col) : fft(col);
-        for (size_t r = 0; r < input.rows; ++r)
-            out.at(r, c) = spectrum[r];
-    }
+    // Column pass: transpose, batch the (now contiguous) columns,
+    // transpose back. The two copies are cheaper than strided FFTs for
+    // the matrix sizes the comparators use.
+    ComplexMatrix transposed(out.cols, out.rows);
+    for (size_t r = 0; r < out.rows; ++r)
+        for (size_t c = 0; c < out.cols; ++c)
+            transposed.at(c, r) = out.at(r, c);
+    batchFft(transposed.data.data(), transposed.rows, transposed.cols,
+             inverse);
+    for (size_t r = 0; r < out.rows; ++r)
+        for (size_t c = 0; c < out.cols; ++c)
+            out.at(r, c) = transposed.at(c, r);
     return out;
 }
 

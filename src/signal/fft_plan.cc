@@ -1,0 +1,502 @@
+#include "signal/fft_plan.hh"
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace signal {
+
+// ---------------------------------------------------------------------------
+// FftPlan
+// ---------------------------------------------------------------------------
+
+FftPlan::FftPlan(size_t n) : n_(n), pow2_(isPowerOfTwo(n))
+{
+    pf_assert(n >= 1, "FftPlan of size 0");
+
+    if (pow2_) {
+        // Bit-reversal permutation table.
+        bit_reversal_.resize(n);
+        for (size_t i = 1, j = 0; i < n; ++i) {
+            size_t bit = n >> 1;
+            for (; j & bit; bit >>= 1)
+                j ^= bit;
+            j ^= bit;
+            bit_reversal_[i] = static_cast<uint32_t>(j);
+        }
+
+        // Twiddle tables: one half-turn of roots of unity per direction.
+        const size_t half = n / 2;
+        twiddle_fwd_.resize(half > 0 ? half : 1);
+        twiddle_inv_.resize(half > 0 ? half : 1);
+        for (size_t j = 0; j < twiddle_fwd_.size(); ++j) {
+            const double angle =
+                -2.0 * M_PI * static_cast<double>(j) /
+                static_cast<double>(n);
+            twiddle_fwd_[j] = Complex(std::cos(angle), std::sin(angle));
+            twiddle_inv_[j] = std::conj(twiddle_fwd_[j]);
+        }
+        return;
+    }
+
+    // Bluestein setup: chirp[k] = exp(-i*pi*k^2/n) with k^2 reduced
+    // mod 2n to keep the argument small and precise.
+    chirp_.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+        const uintmax_t k2 =
+            (static_cast<uintmax_t>(k) * k) % (2 * static_cast<uintmax_t>(n));
+        const double angle =
+            -M_PI * static_cast<double>(k2) / static_cast<double>(n);
+        chirp_[k] = Complex(std::cos(angle), std::sin(angle));
+    }
+
+    m_ = nextPowerOfTwo(2 * n - 1);
+    inner_ = fftPlanFor(m_);
+
+    // Precompute the padded spectra of b[k] = conj(chirp[k]) (forward)
+    // and b[k] = chirp[k] (inverse) once; execute() then needs only two
+    // inner FFTs per transform instead of three.
+    ComplexVector b(m_, Complex(0.0, 0.0));
+    b[0] = std::conj(chirp_[0]);
+    for (size_t k = 1; k < n; ++k)
+        b[k] = b[m_ - k] = std::conj(chirp_[k]);
+    inner_->execute(b.data(), false);
+    chirp_spectrum_fwd_ = std::move(b);
+
+    ComplexVector bi(m_, Complex(0.0, 0.0));
+    bi[0] = chirp_[0];
+    for (size_t k = 1; k < n; ++k)
+        bi[k] = bi[m_ - k] = chirp_[k];
+    inner_->execute(bi.data(), false);
+    chirp_spectrum_inv_ = std::move(bi);
+}
+
+void
+FftPlan::execute(Complex *data, bool inverse) const
+{
+    pf_assert(data != nullptr, "FftPlan::execute on null data");
+    if (pow2_)
+        executeRadix2(data, inverse);
+    else
+        executeBluestein(data, inverse);
+}
+
+void
+FftPlan::execute(ComplexVector &data, bool inverse) const
+{
+    pf_assert(data.size() == n_, "FftPlan for size ", n_,
+              " executed on ", data.size(), " samples");
+    execute(data.data(), inverse);
+}
+
+void
+FftPlan::executeRadix2(Complex *data, bool inverse) const
+{
+    const size_t n = n_;
+    for (size_t i = 1; i < n; ++i) {
+        const size_t j = bit_reversal_[i];
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    const Complex *twiddle =
+        inverse ? twiddle_inv_.data() : twiddle_fwd_.data();
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const size_t half = len / 2;
+        const size_t stride = n / len;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t k = 0; k < half; ++k) {
+                const Complex w = twiddle[k * stride];
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + half] * w;
+                data[i + k] = u + v;
+                data[i + k + half] = u - v;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (size_t i = 0; i < n; ++i)
+            data[i] *= scale;
+    }
+}
+
+void
+FftPlan::executeBluestein(Complex *data, bool inverse) const
+{
+    const size_t n = n_;
+    const size_t m = m_;
+    const ComplexVector &bspec =
+        inverse ? chirp_spectrum_inv_ : chirp_spectrum_fwd_;
+
+    // Per-thread scratch, reused across calls (capacity persists).
+    static thread_local ComplexVector scratch;
+    scratch.assign(m, Complex(0.0, 0.0));
+
+    if (inverse) {
+        for (size_t k = 0; k < n; ++k)
+            scratch[k] = data[k] * std::conj(chirp_[k]);
+    } else {
+        for (size_t k = 0; k < n; ++k)
+            scratch[k] = data[k] * chirp_[k];
+    }
+
+    inner_->executeRadix2(scratch.data(), false);
+    for (size_t k = 0; k < m; ++k)
+        scratch[k] *= bspec[k];
+    inner_->executeRadix2(scratch.data(), true);
+
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (size_t k = 0; k < n; ++k)
+            data[k] = scratch[k] * std::conj(chirp_[k]) * scale;
+    } else {
+        for (size_t k = 0; k < n; ++k)
+            data[k] = scratch[k] * chirp_[k];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex plan_cache_mutex;
+std::unordered_map<size_t, std::shared_ptr<const FftPlan>> plan_cache;
+
+} // namespace
+
+std::shared_ptr<const FftPlan>
+fftPlanFor(size_t n)
+{
+    pf_assert(n >= 1, "fftPlanFor(0)");
+    {
+        std::lock_guard<std::mutex> lock(plan_cache_mutex);
+        auto it = plan_cache.find(n);
+        if (it != plan_cache.end())
+            return it->second;
+    }
+    // Construct outside the lock: Bluestein plans recursively request
+    // their power-of-two inner plan from this cache.
+    auto plan = std::make_shared<const FftPlan>(n);
+    std::lock_guard<std::mutex> lock(plan_cache_mutex);
+    auto [it, inserted] = plan_cache.emplace(n, std::move(plan));
+    (void)inserted; // a racing thread may have built it first; keep theirs
+    return it->second;
+}
+
+size_t
+fftPlanCacheSize()
+{
+    std::lock_guard<std::mutex> lock(plan_cache_mutex);
+    return plan_cache.size();
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<size_t> thread_override{0};
+
+/**
+ * True on any thread currently executing pool work: the pool's worker
+ * threads (always) and a dispatching thread while it participates in
+ * its own batch. Nested parallelFor calls on such threads run
+ * sequentially instead of touching the (already busy, non-recursive)
+ * dispatch machinery.
+ */
+thread_local bool in_pool_context = false;
+
+/** RAII for in_pool_context (restored even if a job throws). */
+struct PoolContextGuard
+{
+    bool previous;
+    PoolContextGuard() : previous(in_pool_context) { in_pool_context = true; }
+    ~PoolContextGuard() { in_pool_context = previous; }
+};
+
+/**
+ * A lazily started pool of persistent workers. parallelFor() publishes
+ * a batch under the pool mutex, wakes the workers, and participates
+ * with the calling thread; workers claim indices from a shared atomic
+ * counter, so no job runs twice and load balances dynamically.
+ *
+ * Retirement handshake: the dispatcher returns only once (a) every
+ * job completed, (b) every worker has *observed* the batch's
+ * generation (pending_ == 0 — each observation is a check-in under
+ * the mutex, whether or not the worker participates), and (c) every
+ * participating worker has left work() (active_ == 0). (b) is what
+ * makes publication safe: without it, a worker could wake late,
+ * register for an already-retired generation, and race the next
+ * batch's state.
+ *
+ * Job exceptions are captured (first wins), the batch drains, and the
+ * dispatcher rethrows after the handshake — a throwing backend cannot
+ * terminate a worker thread or unwind past live jobs.
+ */
+class WorkerPool
+{
+  public:
+    static WorkerPool &
+    instance()
+    {
+        static WorkerPool pool;
+        return pool;
+    }
+
+    void
+    parallelFor(size_t jobs, size_t threads,
+                const std::function<void(size_t)> &fn)
+    {
+        if (jobs == 0)
+            return;
+        if (threads == 0)
+            threads = defaultFftThreads();
+        threads = std::min(threads, jobs);
+        if (threads <= 1 || in_pool_context) {
+            for (size_t i = 0; i < jobs; ++i)
+                fn(i);
+            return;
+        }
+
+        // One batch in flight at a time; concurrent top-level callers
+        // queue here. Threads inside the pool never reach this lock
+        // (the in_pool_context check above), so it cannot self-deadlock.
+        std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+
+        ensureWorkers(threads - 1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            fn_ = &fn;
+            jobs_ = jobs;
+            completed_.store(0, std::memory_order_relaxed);
+            active_workers_ = threads - 1;
+            // Only the selected workers owe a check-in: non-selected
+            // workers never touch batch state (they re-read
+            // generation_/active_workers_ under the mutex whenever
+            // they wake), so retirement doesn't wait on them and
+            // dispatch latency scales with the batch's thread count,
+            // not the historical pool size.
+            pending_ = active_workers_;
+            next_.store(0, std::memory_order_relaxed);
+            ++generation_;
+        }
+        wake_cv_.notify_all();
+
+        {
+            PoolContextGuard guard;
+            work(); // the calling thread is a worker too
+        }
+
+        std::exception_ptr error;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            done_cv_.wait(lock, [&] {
+                return completed_.load(std::memory_order_acquire) ==
+                           jobs_ &&
+                       pending_ == 0 && active_ == 0;
+            });
+            fn_ = nullptr;
+            error = error_;
+            error_ = nullptr;
+            has_error_.store(false, std::memory_order_relaxed);
+        }
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+  private:
+    WorkerPool() = default;
+
+    ~WorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_cv_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    void
+    ensureWorkers(size_t count)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (workers_.size() < count) {
+            const size_t id = workers_.size();
+            // New workers start already caught up with the current
+            // generation so they never check in for a batch that was
+            // published (and counted pending_) before they existed.
+            const uint64_t seen = generation_;
+            workers_.emplace_back(
+                [this, id, seen] { workerLoop(id, seen); });
+        }
+    }
+
+    void
+    workerLoop(size_t id, uint64_t seen)
+    {
+        in_pool_context = true;
+        for (;;) {
+            bool participate = false;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_cv_.wait(lock,
+                              [&] { return stop_ || generation_ != seen; });
+                if (stop_)
+                    return;
+                seen = generation_;
+                participate = id < active_workers_;
+                // Check-in: the dispatcher waits for pending_ == 0
+                // over the selected workers, so it cannot retire the
+                // batch — and the next batch cannot publish — while
+                // one of them has observed the generation but not yet
+                // finished. This is what makes the lock-free reads
+                // inside work() safe.
+                if (participate) {
+                    --pending_;
+                    ++active_;
+                }
+            }
+            if (participate) {
+                work();
+                std::lock_guard<std::mutex> lock(mutex_);
+                --active_;
+            }
+            done_cv_.notify_all();
+        }
+    }
+
+    void
+    work()
+    {
+        // fn_/jobs_/next_ reads are safe without the lock: this thread
+        // either published the batch itself (the dispatcher) or
+        // checked in for its generation under mutex_, and the
+        // pending_/active_ handshake keeps any worker from reaching
+        // here once its batch has been retired.
+        for (;;) {
+            const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs_)
+                return;
+            if (!has_error_.load(std::memory_order_relaxed)) {
+                try {
+                    (*fn_)(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (!error_)
+                        error_ = std::current_exception();
+                    has_error_.store(true, std::memory_order_relaxed);
+                }
+            }
+            if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                jobs_) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                done_cv_.notify_all();
+            }
+        }
+    }
+
+    std::mutex dispatch_mutex_; ///< serializes whole batches
+    std::mutex mutex_;          ///< guards batch state + wakeups
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t jobs_ = 0;
+    size_t active_workers_ = 0;
+    size_t active_ = 0;  ///< workers currently inside work()
+    size_t pending_ = 0; ///< workers yet to observe this generation
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::exception_ptr error_; ///< first job exception of the batch
+    std::atomic<bool> has_error_{false};
+    std::atomic<size_t> next_{0};
+    std::atomic<size_t> completed_{0};
+};
+
+} // namespace
+
+size_t
+defaultFftThreads()
+{
+    const size_t overridden = thread_override.load(std::memory_order_relaxed);
+    if (overridden > 0)
+        return overridden;
+    if (const char *env = std::getenv("PHOTOFOURIER_THREADS")) {
+        const long parsed = std::atol(env);
+        if (parsed > 0)
+            return static_cast<size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+setDefaultFftThreads(size_t threads)
+{
+    thread_override.store(threads, std::memory_order_relaxed);
+}
+
+void
+parallelFor(size_t jobs, size_t threads,
+            const std::function<void(size_t)> &fn)
+{
+    WorkerPool::instance().parallelFor(jobs, threads, fn);
+}
+
+// ---------------------------------------------------------------------------
+// Batched transforms
+// ---------------------------------------------------------------------------
+
+// Small auto-threaded (threads == 0) batches — e.g. the row passes of
+// a 28x28 comparator transform — run inline per
+// kParallelDispatchThreshold. An explicit thread count is always
+// honored (tests and scaling benches rely on that).
+
+void
+batchFft(Complex *data, size_t batch, size_t n, bool inverse,
+         size_t threads)
+{
+    if (batch == 0)
+        return;
+    pf_assert(data != nullptr, "batchFft on null data");
+    const auto plan = fftPlanFor(n);
+    if (threads == 0 && batch * n < kParallelDispatchThreshold)
+        threads = 1;
+    parallelFor(batch, threads, [&](size_t row) {
+        plan->execute(data + row * n, inverse);
+    });
+}
+
+void
+batchFft(std::vector<ComplexVector> &rows, bool inverse, size_t threads)
+{
+    if (rows.empty())
+        return;
+    const size_t n = rows.front().size();
+    for (const auto &row : rows)
+        pf_assert(row.size() == n, "batchFft rows must share one length");
+    const auto plan = fftPlanFor(n);
+    if (threads == 0 && rows.size() * n < kParallelDispatchThreshold)
+        threads = 1;
+    parallelFor(rows.size(), threads,
+                [&](size_t row) { plan->execute(rows[row], inverse); });
+}
+
+} // namespace signal
+} // namespace photofourier

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cached FFT plans and a batched, multithreaded execution API.
+ *
+ * Every JTC correlation in the simulator funnels through a handful of
+ * transform sizes (the plane sizes chosen by JtcPlaneLayout and the
+ * Bluestein padding sizes). Recomputing twiddle factors and
+ * reallocating chirp/scratch buffers per call — as the free functions
+ * in fft.hh originally did — dominates the cost of small transforms.
+ * An FftPlan precomputes, per size:
+ *
+ *  - the bit-reversal permutation and twiddle tables (radix-2 path),
+ *  - the chirp sequence and its padded spectra (Bluestein path),
+ *
+ * and exposes an in-place execute() that is safe to call concurrently
+ * from many threads (per-thread scratch, immutable tables).
+ *
+ * fftPlanFor(n) memoizes plans in a process-wide cache, and batchFft()
+ * fans a batch of independent rows across a lazily started std::thread
+ * worker pool — mirroring in software the multi-channel parallelism
+ * that multi-lens diffraction accelerators exploit in hardware.
+ */
+
+#ifndef PHOTOFOURIER_SIGNAL_FFT_PLAN_HH
+#define PHOTOFOURIER_SIGNAL_FFT_PLAN_HH
+
+#include <functional>
+#include <memory>
+
+#include "signal/fft.hh"
+
+namespace photofourier {
+namespace signal {
+
+/**
+ * A reusable DFT plan for one transform size.
+ *
+ * Construction is O(n log n) (it builds tables and, off powers of two,
+ * runs two setup FFTs); execution reuses the tables. Plans are
+ * immutable after construction, so one plan may execute on any number
+ * of threads at once.
+ */
+class FftPlan
+{
+  public:
+    /** Build a plan for size-n transforms (n >= 1, any size). */
+    explicit FftPlan(size_t n);
+
+    /** The transform size this plan was built for. */
+    size_t size() const { return n_; }
+
+    /** True when this plan uses the radix-2 path (n a power of two). */
+    bool radix2() const { return pow2_; }
+
+    /**
+     * In-place DFT of exactly size() contiguous values. The inverse
+     * transform includes the 1/N normalization.
+     */
+    void execute(Complex *data, bool inverse) const;
+
+    /** Convenience overload; data.size() must equal size(). */
+    void execute(ComplexVector &data, bool inverse) const;
+
+  private:
+    void executeRadix2(Complex *data, bool inverse) const;
+    void executeBluestein(Complex *data, bool inverse) const;
+
+    size_t n_;
+    bool pow2_;
+
+    // Radix-2 path: bit-reversal permutation and per-stage twiddles.
+    // twiddle_fwd_[j] = exp(-2*pi*i*j/n) for j in [0, n/2); stage `len`
+    // indexes it with stride n/len. twiddle_inv_ is the conjugate table
+    // so the inverse inner loop stays multiply-only.
+    std::vector<uint32_t> bit_reversal_;
+    ComplexVector twiddle_fwd_;
+    ComplexVector twiddle_inv_;
+
+    // Bluestein path: chirp[k] = exp(-i*pi*k^2/n) (forward sign) and
+    // the precomputed padded spectra of the chirp-conjugate sequence
+    // for both directions; m_ is the power-of-two convolution size.
+    size_t m_ = 0;
+    std::shared_ptr<const FftPlan> inner_;
+    ComplexVector chirp_;
+    ComplexVector chirp_spectrum_fwd_;
+    ComplexVector chirp_spectrum_inv_;
+};
+
+/**
+ * The process-wide plan cache: returns a shared plan for size n,
+ * constructing it on first use. Thread-safe; plans are never evicted
+ * (the simulator touches a few dozen sizes at most).
+ */
+std::shared_ptr<const FftPlan> fftPlanFor(size_t n);
+
+/** Number of plans currently memoized (for tests/diagnostics). */
+size_t fftPlanCacheSize();
+
+/**
+ * Default worker count used by batchFft/parallelFor when `threads` is
+ * 0: the PHOTOFOURIER_THREADS environment variable if set, else
+ * std::thread::hardware_concurrency(), else 1.
+ */
+size_t defaultFftThreads();
+
+/** Override defaultFftThreads() for this process (0 = back to auto). */
+void setDefaultFftThreads(size_t threads);
+
+/**
+ * Amortization bound for auto-threaded fan-outs, in elementary
+ * operations (complex butterflies, MACs): below this much total work a
+ * pool dispatch (publish, notify, per-worker check-in) costs more than
+ * it buys, so callers in auto mode (threads == 0) should run
+ * sequentially. One constant, shared by batchFft, the tiled-convolution
+ * executor, and the nn engines, so retuning it moves every cutoff
+ * together.
+ */
+constexpr size_t kParallelDispatchThreshold = 1 << 15;
+
+/**
+ * Run fn(i) for every i in [0, jobs) on a shared worker pool, using up
+ * to `threads` workers including the calling thread (0 = default).
+ * Blocks until every job finished. Jobs must be independent; each
+ * index is executed exactly once, so writes to disjoint slots are
+ * deterministic regardless of scheduling.
+ */
+void parallelFor(size_t jobs, size_t threads,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * Batched in-place DFT: transform `batch` contiguous rows of length n
+ * starting at data, fanned across the worker pool. Equivalent to
+ * calling fftPlanFor(n)->execute(...) on each row sequentially —
+ * bit-exact, since rows never share state.
+ */
+void batchFft(Complex *data, size_t batch, size_t n, bool inverse,
+              size_t threads = 0);
+
+/** Batched DFT over separately allocated rows, all of length n. */
+void batchFft(std::vector<ComplexVector> &rows, bool inverse,
+              size_t threads = 0);
+
+} // namespace signal
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_SIGNAL_FFT_PLAN_HH

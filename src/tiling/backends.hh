@@ -9,6 +9,12 @@
  *  - cpuBackend: exact digital sliding dot product (golden model).
  *  - jtcBackend: the field-level optical JTC (optionally noisy),
  *    handling signed kernels via the pseudo-negative decomposition.
+ *
+ * Layering: both backends are implemented on top of jtc/ (cpuBackend
+ * wraps jtc::slidingCorrelationReference, jtcBackend wraps
+ * jtc::JtcSystem), so tiling sits strictly above jtc in the library
+ * layer order declared in CMakeLists.txt. Backends returned here hold
+ * no mutable shared state and are safe to invoke concurrently.
  */
 
 #ifndef PHOTOFOURIER_TILING_BACKENDS_HH

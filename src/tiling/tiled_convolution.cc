@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "signal/fft_plan.hh"
 
 namespace photofourier {
 namespace tiling {
@@ -52,11 +53,26 @@ tileInputRows(const signal::Matrix &input, long first_row,
 } // namespace
 
 TiledConvolution::TiledConvolution(TilingParams params,
-                                   Conv1dBackend backend)
+                                   Conv1dBackend backend, size_t workers)
     : params_(params), plan_(TilingPlan::design(params)),
-      backend_(std::move(backend))
+      backend_(std::move(backend)), workers_(workers)
 {
     pf_assert(backend_, "null 1D convolution backend");
+}
+
+size_t
+TiledConvolution::effectiveWorkers() const
+{
+    if (workers_ != 0)
+        return workers_;
+    // MAC-count proxy for the digital backend; the optical backend
+    // does far more work per op, so small problems lose a little
+    // potential overlap there, while the common small-input case (the
+    // nn engines issuing thousands of tiny CIFAR-sized executes)
+    // skips thousands of dispatches.
+    const size_t macs = params_.input_size * params_.input_size *
+                        params_.kernel_size * params_.kernel_size;
+    return macs < signal::kParallelDispatchThreshold ? 1 : 0;
 }
 
 signal::Matrix
@@ -115,19 +131,24 @@ TiledConvolution::executeRowTiling(const signal::Matrix &input,
 
     const auto tiled_kernel = tileKernel(kernel, sp, 0, sk);
 
+    // Every tile is an independent backend invocation writing a
+    // disjoint block of output rows, so the fan-out is bit-exact
+    // regardless of scheduling.
+    const size_t tiles = ceilDiv(out_rows, nor);
     signal::Matrix out(out_rows, out_cols);
-    for (size_t r0 = 0; r0 < out_rows; r0 += nor) {
+    signal::parallelFor(tiles, effectiveWorkers(), [&](size_t tile) {
+        const size_t r0 = tile * nor;
         const size_t rows_this = std::min(nor, out_rows - r0);
         const auto tiled_in =
             tileInputRows(input, static_cast<long>(r0) - pad,
                           plan_.rows_per_tile, sp);
         const auto window = backend_(tiled_in, tiled_kernel, -pad,
                                      rows_this * sp);
-        ++last_ops_;
         for (size_t r = 0; r < rows_this; ++r)
             for (size_t c = 0; c < out_cols; ++c)
                 out.at(r0 + r, c) = window[r * sp + c];
-    }
+    });
+    last_ops_ = tiles;
     return out;
 }
 
@@ -144,25 +165,33 @@ TiledConvolution::executePartialRowTiling(
     const size_t nir = plan_.rows_per_tile;
     const size_t groups = ceilDiv(sk, nir);
 
+    // The kernel-row-group tilings depend only on the group index:
+    // build each once instead of once per output row.
+    std::vector<std::vector<double>> group_kernels(groups);
+    for (size_t g = 0; g < groups; ++g) {
+        const size_t kr0 = g * nir;
+        group_kernels[g] =
+            tileKernel(kernel, sp, kr0, std::min(nir, sk - kr0));
+    }
+
+    // Each output row accumulates its kernel-row groups sequentially
+    // (fixed order), rows fan out across the pool.
     signal::Matrix out(out_rows, out_cols);
-    for (size_t r0 = 0; r0 < out_rows; ++r0) {
+    signal::parallelFor(out_rows, effectiveWorkers(), [&](size_t r0) {
         for (size_t g = 0; g < groups; ++g) {
             const size_t kr0 = g * nir;
             const size_t rows_this = std::min(nir, sk - kr0);
-            const auto tiled_kernel =
-                tileKernel(kernel, sp, kr0, rows_this);
             const auto tiled_in = tileInputRows(
                 input,
                 static_cast<long>(r0) - pad + static_cast<long>(kr0),
                 rows_this, sp);
             const auto window =
-                backend_(tiled_in, tiled_kernel, -pad, sp);
-            ++last_ops_;
-            // Accumulate the kernel-row group's contribution.
+                backend_(tiled_in, group_kernels[g], -pad, sp);
             for (size_t c = 0; c < out_cols; ++c)
                 out.at(r0, c) += window[c];
         }
-    }
+    });
+    last_ops_ = out_rows * groups;
     return out;
 }
 
@@ -180,15 +209,20 @@ TiledConvolution::executeRowPartitioning(
     const size_t step = n_conv - sk + 1;
     const size_t partitions = ceilDiv(out_cols, step);
 
+    std::vector<std::vector<double>> kernel_rows(sk,
+                                                 std::vector<double>(sk));
+    for (size_t kr = 0; kr < sk; ++kr)
+        for (size_t kc = 0; kc < sk; ++kc)
+            kernel_rows[kr][kc] = kernel.at(kr, kc);
+
+    // Rows fan out; within a row the (kernel row x partition)
+    // accumulation keeps its sequential order.
     signal::Matrix out(out_rows, out_cols);
-    std::vector<double> kernel_row(sk);
-    std::vector<double> piece(n_conv);
-    for (size_t r0 = 0; r0 < out_rows; ++r0) {
+    signal::parallelFor(out_rows, effectiveWorkers(), [&](size_t r0) {
+        std::vector<double> piece(n_conv);
         for (size_t kr = 0; kr < sk; ++kr) {
             const long src_row =
                 static_cast<long>(r0) - pad + static_cast<long>(kr);
-            for (size_t kc = 0; kc < sk; ++kc)
-                kernel_row[kc] = kernel.at(kr, kc);
             for (size_t p = 0; p < partitions; ++p) {
                 const long col0 =
                     static_cast<long>(p * step) - pad;
@@ -206,13 +240,13 @@ TiledConvolution::executeRowPartitioning(
                 const size_t cols_this =
                     std::min(step, out_cols - p * step);
                 const auto window =
-                    backend_(piece, kernel_row, 0, cols_this);
-                ++last_ops_;
+                    backend_(piece, kernel_rows[kr], 0, cols_this);
                 for (size_t i = 0; i < cols_this; ++i)
                     out.at(r0, p * step + i) += window[i];
             }
         }
-    }
+    });
+    last_ops_ = out_rows * sk * partitions;
     return out;
 }
 

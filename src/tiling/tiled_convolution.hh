@@ -12,6 +12,8 @@
 #ifndef PHOTOFOURIER_TILING_TILED_CONVOLUTION_HH
 #define PHOTOFOURIER_TILING_TILED_CONVOLUTION_HH
 
+#include <atomic>
+
 #include "signal/convolution.hh"
 #include "tiling/backends.hh"
 #include "tiling/tiling_plan.hh"
@@ -26,9 +28,14 @@ class TiledConvolution
     /**
      * @param params  problem geometry; input/kernel passed to execute()
      *                must match input_size/kernel_size
-     * @param backend 1D convolution engine
+     * @param backend 1D convolution engine; must be safe to invoke from
+     *                multiple threads at once (both built-in backends
+     *                are — they hold no mutable shared state)
+     * @param workers worker threads for the tile fan-out (0 = the
+     *                signal-layer default, 1 = fully sequential)
      */
-    TiledConvolution(TilingParams params, Conv1dBackend backend);
+    TiledConvolution(TilingParams params, Conv1dBackend backend,
+                     size_t workers = 0);
 
     /**
      * Compute the 2D convolution of `input` with `kernel` through row
@@ -40,7 +47,7 @@ class TiledConvolution
                            const signal::Matrix &kernel) const;
 
     /** 1D backend invocations made by the most recent execute(). */
-    size_t lastOpCount() const { return last_ops_; }
+    size_t lastOpCount() const { return last_ops_.load(); }
 
     /** The derived plan (shapes, cycles, utilization). */
     const TilingPlan &plan() const { return plan_; }
@@ -49,7 +56,16 @@ class TiledConvolution
     TilingParams params_;
     TilingPlan plan_;
     Conv1dBackend backend_;
-    mutable size_t last_ops_ = 0;
+    size_t workers_;
+    // Atomic: one TiledConvolution may serve several caller threads
+    // (e.g. the nn engine fanning output channels); the count is set
+    // once per execute(), not incremented in the hot loop.
+    mutable std::atomic<size_t> last_ops_{0};
+
+    /** Worker count for the fan-outs: the explicit setting, or — in
+     *  auto mode — 1 when the whole problem is too small to amortize
+     *  a pool dispatch. */
+    size_t effectiveWorkers() const;
 
     signal::Matrix executeRowTiling(const signal::Matrix &input,
                                     const signal::Matrix &kernel) const;

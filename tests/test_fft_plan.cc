@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the FftPlan subsystem: plan-vs-oracle equivalence on both
+ * the radix-2 and Bluestein paths, plan cache reuse, bit-exactness of
+ * the batch API against the sequential loop, determinism of the worker
+ * pool under repeated runs, and the always-on pf_assert contract that
+ * the Release leg of the CI matrix depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hh"
+#include "signal/fft_plan.hh"
+
+namespace pf = photofourier;
+namespace sig = photofourier::signal;
+
+namespace {
+
+sig::ComplexVector
+randomComplex(pf::Rng &rng, size_t n)
+{
+    sig::ComplexVector v(n);
+    for (auto &c : v)
+        c = sig::Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return v;
+}
+
+double
+maxAbsDiff(const sig::ComplexVector &a, const sig::ComplexVector &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+} // namespace
+
+TEST(FftPlan, MatchesNaiveDftPowerOfTwo)
+{
+    pf::Rng rng(11);
+    for (size_t n : {1u, 2u, 8u, 64u, 256u}) {
+        const auto input = randomComplex(rng, n);
+        const auto oracle = sig::dftNaive(input, false);
+
+        sig::FftPlan plan(n);
+        EXPECT_TRUE(plan.radix2());
+        auto data = input;
+        plan.execute(data, false);
+        EXPECT_LT(maxAbsDiff(data, oracle), 1e-9) << "n=" << n;
+    }
+}
+
+TEST(FftPlan, MatchesNaiveDftArbitrarySize)
+{
+    pf::Rng rng(12);
+    for (size_t n : {3u, 5u, 12u, 63u, 100u, 257u}) {
+        const auto input = randomComplex(rng, n);
+        const auto oracle = sig::dftNaive(input, false);
+
+        sig::FftPlan plan(n);
+        EXPECT_FALSE(plan.radix2());
+        auto data = input;
+        plan.execute(data, false);
+        EXPECT_LT(maxAbsDiff(data, oracle), 1e-9) << "n=" << n;
+    }
+}
+
+TEST(FftPlan, InverseMatchesNaiveAndRoundTrips)
+{
+    pf::Rng rng(13);
+    for (size_t n : {8u, 17u, 64u, 100u}) {
+        const auto input = randomComplex(rng, n);
+        sig::FftPlan plan(n);
+
+        auto inv = input;
+        plan.execute(inv, true);
+        EXPECT_LT(maxAbsDiff(inv, sig::dftNaive(input, true)), 1e-9)
+            << "n=" << n;
+
+        auto round = input;
+        plan.execute(round, false);
+        plan.execute(round, true);
+        EXPECT_LT(maxAbsDiff(round, input), 1e-9) << "n=" << n;
+    }
+}
+
+TEST(FftPlan, CacheReturnsSamePlanPerSize)
+{
+    const auto a = sig::fftPlanFor(1024);
+    const auto b = sig::fftPlanFor(1024);
+    EXPECT_EQ(a.get(), b.get()) << "same size must share one plan";
+
+    const auto c = sig::fftPlanFor(2048);
+    EXPECT_NE(a.get(), c.get()) << "distinct sizes get distinct plans";
+    EXPECT_EQ(a->size(), 1024u);
+    EXPECT_EQ(c->size(), 2048u);
+}
+
+TEST(FftPlan, CacheGrowsOncePerNewSize)
+{
+    // Idempotent under --gtest_repeat: the first lookup may insert (or
+    // find a plan cached by an earlier iteration); what must hold is
+    // that repeat lookups never grow the cache further.
+    const size_t before = sig::fftPlanCacheSize();
+    (void)sig::fftPlanFor(1 << 13);
+    const size_t after_first = sig::fftPlanCacheSize();
+    EXPECT_LE(after_first, before + 1);
+    (void)sig::fftPlanFor(1 << 13);
+    (void)sig::fftPlanFor(1 << 13);
+    EXPECT_EQ(sig::fftPlanCacheSize(), after_first)
+        << "repeated lookups of one size must not duplicate plans";
+}
+
+TEST(FftPlan, FreeFunctionsAgreeWithPlans)
+{
+    pf::Rng rng(14);
+    for (size_t n : {64u, 100u}) {
+        const auto input = randomComplex(rng, n);
+        auto planned = input;
+        sig::fftPlanFor(n)->execute(planned, false);
+        const auto freefn = sig::fft(input);
+        // Identical code path underneath: bit-exact, not just close.
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(planned[i], freefn[i]);
+    }
+}
+
+TEST(BatchFft, ContiguousMatchesSequentialBitExact)
+{
+    pf::Rng rng(15);
+    const size_t batch = 17, n = 128;
+    sig::ComplexVector data(batch * n);
+    for (auto &c : data)
+        c = sig::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+    auto sequential = data;
+    const auto plan = sig::fftPlanFor(n);
+    for (size_t r = 0; r < batch; ++r)
+        plan->execute(sequential.data() + r * n, false);
+
+    auto batched = data;
+    sig::batchFft(batched.data(), batch, n, false, 4);
+
+    for (size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(batched[i], sequential[i]) << "index " << i;
+}
+
+TEST(BatchFft, RowVectorOverloadMatchesSequentialBitExact)
+{
+    pf::Rng rng(16);
+    const size_t batch = 9, n = 100; // Bluestein path
+    std::vector<sig::ComplexVector> rows(batch);
+    for (auto &row : rows)
+        row = randomComplex(rng, n);
+
+    auto sequential = rows;
+    const auto plan = sig::fftPlanFor(n);
+    for (auto &row : sequential)
+        plan->execute(row, true);
+
+    auto batched = rows;
+    sig::batchFft(batched, true, 3);
+
+    for (size_t r = 0; r < batch; ++r)
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(batched[r][i], sequential[r][i]);
+}
+
+TEST(BatchFft, DeterministicAcrossRepeatedThreadedRuns)
+{
+    pf::Rng rng(17);
+    const size_t batch = 32, n = 256;
+    sig::ComplexVector input(batch * n);
+    for (auto &c : input)
+        c = sig::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+    auto reference = input;
+    sig::batchFft(reference.data(), batch, n, false, 1);
+
+    // Scheduling varies run to run; the output must not.
+    for (int run = 0; run < 8; ++run) {
+        auto data = input;
+        sig::batchFft(data.data(), batch, n, false, 4);
+        for (size_t i = 0; i < data.size(); ++i)
+            ASSERT_EQ(data[i], reference[i])
+                << "run " << run << " index " << i;
+    }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    const size_t jobs = 1000;
+    std::vector<int> hits(jobs, 0);
+    // Disjoint writes per index: any double execution shows as hits>1.
+    sig::parallelFor(jobs, 4, [&](size_t i) { hits[i] += 1; });
+    for (size_t i = 0; i < jobs; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, JobExceptionPropagatesToCallerAndPoolSurvives)
+{
+    EXPECT_THROW(
+        sig::parallelFor(64, 4,
+                         [](size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("job 37 failed");
+                         }),
+        std::runtime_error);
+
+    // The pool must be fully usable (and deterministic) afterwards.
+    std::vector<int> hits(100, 0);
+    sig::parallelFor(100, 4, [&](size_t i) { hits[i] += 1; });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, NestedCallsFallBackToSequentialWithoutDeadlock)
+{
+    std::vector<int> outer_hits(8, 0);
+    std::vector<std::vector<int>> inner_hits(8, std::vector<int>(16, 0));
+    sig::parallelFor(8, 4, [&](size_t i) {
+        outer_hits[i] += 1;
+        sig::parallelFor(16, 4, [&](size_t j) { inner_hits[i][j] += 1; });
+    });
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(outer_hits[i], 1);
+        for (size_t j = 0; j < 16; ++j)
+            ASSERT_EQ(inner_hits[i][j], 1) << i << "," << j;
+    }
+}
+
+// pf_assert must stay active regardless of NDEBUG: these death tests
+// run identically in the Debug and Release legs of the CI matrix.
+TEST(FftPlanValidation, WrongSizeExecutePanicsInEveryBuildType)
+{
+    sig::FftPlan plan(64);
+    sig::ComplexVector wrong(32);
+    EXPECT_DEATH(plan.execute(wrong, false), "executed on");
+}
+
+TEST(FftPlanValidation, NonPowerOfTwoRadix2PanicsInEveryBuildType)
+{
+    sig::ComplexVector data(100);
+    EXPECT_DEATH(sig::fftRadix2(data, false), "power-of-two");
+}
