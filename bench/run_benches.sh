@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Build the Release tree, run the micro-kernel benchmarks, and record
-# the results as BENCH_micro.json at the repo root. This file is the
-# start of the measured-perf trajectory: later PRs append comparable
-# runs instead of re-deriving a baseline.
+# Build the Release tree, run the micro-kernel benchmarks and the
+# serving smoke bench, and record the results as BENCH_micro.json and
+# BENCH_serving.json at the repo root. These files are the measured-
+# perf trajectory: later PRs append comparable runs instead of
+# re-deriving a baseline.
 #
 # Usage: bench/run_benches.sh [extra google-benchmark flags...]
 set -eu
@@ -12,7 +13,7 @@ build_dir="$repo_root/build-bench"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
     -DPHOTOFOURIER_BUILD_TESTS=OFF
-cmake --build "$build_dir" -j --target micro_kernels
+cmake --build "$build_dir" -j --target micro_kernels serve_loadgen
 
 "$build_dir/micro_kernels" \
     --benchmark_out="$repo_root/BENCH_micro.json" \
@@ -20,3 +21,13 @@ cmake --build "$build_dir" -j --target micro_kernels
     "$@"
 
 echo "Wrote $repo_root/BENCH_micro.json"
+
+# Serving smoke: closed-loop throughput vs micro-batch cap on the
+# digital engine (fast enough for CI); wall-clock scaling is bounded
+# by the machine's core count, recorded as hardware_threads.
+"$build_dir/serve_loadgen" \
+    --model small-vgg --mode closed \
+    --requests 96 --workers 2 --clients 4 --batch-list 1,2,4,8 \
+    --out "$repo_root/BENCH_serving.json"
+
+echo "Wrote $repo_root/BENCH_serving.json"

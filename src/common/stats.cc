@@ -111,4 +111,101 @@ RunningStats::max() const
     return max_;
 }
 
+Histogram::Histogram(double min_bucket, double growth)
+    : min_bucket_(min_bucket), growth_(growth),
+      inv_log_growth_(1.0 / std::log(growth))
+{
+    pf_assert(min_bucket > 0.0, "histogram min_bucket must be > 0, got ",
+              min_bucket);
+    pf_assert(growth > 1.0, "histogram growth must be > 1, got ", growth);
+}
+
+void
+Histogram::add(double v)
+{
+    pf_assert(v >= 0.0, "histogram sample must be >= 0, got ", v);
+    size_t idx = 0;
+    if (v > min_bucket_)
+        idx = 1 + static_cast<size_t>(
+                      std::floor(std::log(v / min_bucket_) *
+                                 inv_log_growth_));
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::min() const
+{
+    pf_assert(count_ > 0, "min of empty Histogram");
+    return min_;
+}
+
+double
+Histogram::max() const
+{
+    pf_assert(count_ > 0, "max of empty Histogram");
+    return max_;
+}
+
+double
+Histogram::percentile(double pct) const
+{
+    pf_assert(count_ > 0, "percentile of empty Histogram");
+    pf_assert(pct >= 0.0 && pct <= 100.0, "percentile ", pct,
+              " outside [0, 100]");
+    const double exact = pct / 100.0 * static_cast<double>(count_);
+    const uint64_t target =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(exact)));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= target) {
+            // Bucket i covers (edge/growth, edge]; report the upper
+            // edge, clamped to the observed range.
+            const double edge =
+                min_bucket_ * std::pow(growth_, static_cast<double>(i));
+            return std::min(std::max(edge, min_), max_);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    pf_assert(min_bucket_ == other.min_bucket_ &&
+                  growth_ == other.growth_,
+              "merging histograms with different bucket geometry");
+    if (other.count_ == 0)
+        return;
+    if (buckets_.size() < other.buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
 } // namespace photofourier

@@ -7,6 +7,7 @@
 #define PHOTOFOURIER_COMMON_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace photofourier {
@@ -59,6 +60,64 @@ class RunningStats
     double sum() const { return sum_; }
 
   private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Log-bucketed histogram for latency-style non-negative samples.
+ *
+ * Buckets grow geometrically from `min_bucket` by a factor of `growth`
+ * per bucket, giving fixed relative resolution (growth - 1) over an
+ * unbounded range with O(1) insertion and O(buckets) quantile queries.
+ * percentile() reports a bucket upper edge clamped to the exact
+ * observed min/max, so the quantile error is bounded by one growth
+ * factor. Values are unit-agnostic; the serving layer records
+ * microseconds.
+ *
+ * Not internally synchronized — callers that share a histogram across
+ * threads guard it themselves (serve::InferenceServer holds its
+ * per-model histograms under a stats mutex).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param min_bucket upper edge of the first bucket (> 0); samples
+     *                   at or below it land in bucket 0
+     * @param growth     per-bucket geometric growth factor (> 1)
+     */
+    explicit Histogram(double min_bucket = 1.0, double growth = 1.05);
+
+    /** Fold one sample in (negative values panic). */
+    void add(double v);
+
+    /** Number of samples recorded. */
+    size_t count() const { return count_; }
+
+    /** Mean of the samples (0 when empty). */
+    double mean() const;
+
+    /** Smallest / largest recorded sample (panics when empty). */
+    double min() const;
+    double max() const;
+
+    /**
+     * Value at or below which `pct` percent of samples fall
+     * (0 <= pct <= 100; panics when empty).
+     */
+    double percentile(double pct) const;
+
+    /** Fold another histogram in (must share bucket geometry). */
+    void merge(const Histogram &other);
+
+  private:
+    double min_bucket_;
+    double growth_;
+    double inv_log_growth_;
+    std::vector<uint64_t> buckets_;
     size_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;

@@ -29,6 +29,14 @@ void
 PhotoFourierAccelerator::attach(nn::Network &network, bool with_noise,
                                 double snr_db) const
 {
+    network.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(
+        engineConfig(with_noise, snr_db)));
+}
+
+nn::PhotoFourierEngineConfig
+PhotoFourierAccelerator::engineConfig(bool with_noise,
+                                      double snr_db) const
+{
     nn::PhotoFourierEngineConfig engine_cfg;
     engine_cfg.n_conv = config_.n_input_waveguides;
     engine_cfg.dac_bits = config_.dac_bits;
@@ -37,8 +45,21 @@ PhotoFourierAccelerator::attach(nn::Network &network, bool with_noise,
         config_.temporal_accumulation_depth;
     engine_cfg.noise = with_noise;
     engine_cfg.snr_db = snr_db;
-    network.setConvEngine(
-        std::make_shared<nn::PhotoFourierEngine>(engine_cfg));
+    return engine_cfg;
+}
+
+serve::ServerConfig
+PhotoFourierAccelerator::servingConfig(serve::BatchingConfig batching,
+                                       bool with_noise,
+                                       double snr_db) const
+{
+    serve::ServerConfig server_cfg;
+    server_cfg.batching = batching;
+    const auto engine_cfg = engineConfig(with_noise, snr_db);
+    server_cfg.engine_factory = [engine_cfg](size_t) {
+        return std::make_shared<nn::PhotoFourierEngine>(engine_cfg);
+    };
+    return server_cfg;
 }
 
 void

@@ -16,8 +16,15 @@
  *   accel.attach(network);           // swaps the conv engine
  *   auto logits = network.logits(x);
  *
- * Lower layers (jtc::, tiling::, arch::, photonics::) stay public for
- * users who need the pieces.
+ *   // Online serving on those numerics: micro-batching scheduler +
+ *   // worker replicas, each with its own engine instance.
+ *   serve::InferenceServer server(accel.servingConfig());
+ *   server.registry().add("vgg", std::move(network));
+ *   auto result = server.submit("vgg", x);
+ *   result.logits();
+ *
+ * Lower layers (jtc::, tiling::, arch::, photonics::, serve::) stay
+ * public for users who need the pieces.
  */
 
 #ifndef PHOTOFOURIER_CORE_PHOTOFOURIER_HH
@@ -40,6 +47,7 @@
 #include "nn/model_zoo.hh"
 #include "nn/network.hh"
 #include "nn/training.hh"
+#include "serve/inference_server.hh"
 #include "tiling/tiled_convolution.hh"
 
 namespace photofourier {
@@ -72,6 +80,22 @@ class PhotoFourierAccelerator
 
     /** Restore the floating-point reference engine. */
     static void detach(nn::Network &network);
+
+    /**
+     * The conv-engine configuration matching this accelerator's
+     * numerics (what attach() binds).
+     */
+    nn::PhotoFourierEngineConfig engineConfig(
+        bool with_noise = false, double snr_db = 20.0) const;
+
+    /**
+     * A serving configuration whose worker replicas execute on this
+     * accelerator's numerics: every serve::InferenceServer worker gets
+     * its own PhotoFourierEngine instance built from engineConfig().
+     */
+    serve::ServerConfig servingConfig(serve::BatchingConfig batching = {},
+                                      bool with_noise = false,
+                                      double snr_db = 20.0) const;
 
     /** The configuration. */
     const arch::AcceleratorConfig &config() const { return config_; }

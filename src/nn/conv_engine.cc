@@ -1,6 +1,7 @@
 #include "nn/conv_engine.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -32,6 +33,25 @@ outputDim(size_t in, size_t k, size_t stride, signal::ConvMode mode)
 {
     const size_t full = mode == signal::ConvMode::Same ? in : in - k + 1;
     return (full + stride - 1) / stride;
+}
+
+/** Fold one 64-bit word into a running hash (hash_combine style). */
+uint64_t
+hashBits(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+uint64_t
+hashTensor(uint64_t h, const Tensor &t)
+{
+    h = hashBits(h, t.channels());
+    h = hashBits(h, t.height());
+    h = hashBits(h, t.width());
+    for (double v : t.data())
+        h = hashBits(h, std::bit_cast<uint64_t>(v));
+    return h;
 }
 
 } // namespace
@@ -75,7 +95,7 @@ DirectEngine::convolve(const Tensor &input,
 }
 
 PhotoFourierEngine::PhotoFourierEngine(PhotoFourierEngineConfig config)
-    : config_(config), noise_rng_(config.noise_seed)
+    : config_(config)
 {
     pf_assert(config_.temporal_accumulation_depth >= 1,
               "temporal accumulation depth must be >= 1");
@@ -150,19 +170,39 @@ PhotoFourierEngine::convolve(const Tensor &input,
         }
     }
 
+    // Per-call noise key: sensing noise is a pure function of the
+    // seed, the quantized activations, and the quantized weights. No
+    // engine state is consumed, so convolve() stays const-and-parallel
+    // safe, and a request's noise does not depend on which thread (or
+    // serving worker) executed it or on how many calls came before.
+    uint64_t noise_key = 0;
+    if (config_.noise) {
+        uint64_t h = hashBits(config_.noise_seed, n_out);
+        h = hashTensor(h, q_input);
+        for (const auto &w : q_weights)
+            h = hashTensor(h, w);
+        noise_key = h;
+    }
+
     // First pass: per-group photodetector charges (full precision,
     // plus optional sensing noise), p and n separately.
     const double inv_snr = std::pow(10.0, -config_.snr_db / 20.0);
     std::vector<std::vector<signal::Matrix>> group_p(n_out);
     std::vector<std::vector<signal::Matrix>> group_n(n_out);
     std::vector<double> oc_calib(n_out, 0.0);
-    // Output channels are independent, so the noiseless path fans them
-    // across the worker pool (each channel touches only its own
-    // group_p/group_n/oc_calib slots). With noise enabled the shared
-    // RNG stream must be consumed in a fixed order, so that path stays
-    // sequential to keep experiments reproducible.
-    const size_t oc_workers = config_.noise ? 1 : 0;
+    // Output channels are independent, so both paths fan them across
+    // the worker pool (each channel touches only its own
+    // group_p/group_n/oc_calib slots). Noise draws come from a
+    // per-channel stream forked off the call key, so the result is
+    // identical for any worker count. Small layers stay sequential,
+    // like DirectEngine: below the shared dispatch threshold a pool
+    // publication costs more than it buys — and, for serving, keeps
+    // concurrent workers off the pool's dispatch lock.
+    const size_t total_macs = n_out * n_in * oh * ow * k * k;
+    const size_t oc_workers =
+        total_macs < signal::kParallelDispatchThreshold ? 1 : 0;
     signal::parallelFor(n_out, oc_workers, [&](size_t oc) {
+        Rng noise_rng(hashBits(noise_key, oc + 1));
         group_p[oc].assign(groups, signal::Matrix(oh, ow));
         group_n[oc].assign(groups, signal::Matrix(oh, ow));
         signal::Matrix total_p(oh, ow), total_n(oh, ow);
@@ -183,9 +223,9 @@ PhotoFourierEngine::convolve(const Tensor &input,
             }
             if (config_.noise) {
                 for (auto &v : acc_p.data)
-                    v += noise_rng_.normal(0.0, std::abs(v) * inv_snr);
+                    v += noise_rng.normal(0.0, std::abs(v) * inv_snr);
                 for (auto &v : acc_n.data)
-                    v += noise_rng_.normal(0.0, std::abs(v) * inv_snr);
+                    v += noise_rng.normal(0.0, std::abs(v) * inv_snr);
             }
             for (size_t i = 0; i < acc_p.data.size(); ++i) {
                 total_p.data[i] += acc_p.data[i];

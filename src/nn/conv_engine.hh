@@ -27,7 +27,19 @@
 namespace photofourier {
 namespace nn {
 
-/** Abstract convolution executor. */
+/**
+ * Abstract convolution executor.
+ *
+ * Thread-safety contract: convolve() is const and must be safe to call
+ * concurrently from any number of threads on one engine instance, with
+ * results that are a pure function of the arguments (and the engine's
+ * immutable configuration). The serving layer relies on this: worker
+ * replicas may share an engine, and a request's output must not depend
+ * on which worker ran it. Engines therefore may not keep mutable
+ * per-call state; PhotoFourierEngine derives its noise stream per call
+ * from (noise_seed, quantized activations, weights) instead of
+ * consuming a shared RNG.
+ */
 class ConvEngine
 {
   public:
@@ -91,7 +103,12 @@ struct PhotoFourierEngineConfig
     /** Detector SNR target (dB) when noise is on (Section VI-A). */
     double snr_db = 20.0;
 
-    /** Noise seed (deterministic experiments). */
+    /**
+     * Noise seed (deterministic experiments). The per-readout noise
+     * stream is derived from this seed and the call's quantized
+     * activations and weights, so a given (input, weights) pair always
+     * sees the same noise — across runs, threads, and schedulers.
+     */
     uint64_t noise_seed = 1;
 
     /**
@@ -126,7 +143,6 @@ class PhotoFourierEngine : public ConvEngine
 
   private:
     PhotoFourierEngineConfig config_;
-    mutable Rng noise_rng_;
 };
 
 } // namespace nn

@@ -177,6 +177,12 @@ Conv2d::saveParams(std::ostream &out) const
     out << "\n";
 }
 
+std::unique_ptr<Layer>
+Conv2d::clone() const
+{
+    return std::make_unique<Conv2d>(*this);
+}
+
 bool
 Conv2d::loadParams(std::istream &in)
 {
@@ -217,6 +223,12 @@ ReLU::backward(const Tensor &grad_out)
         if (cached_input_.data()[i] <= 0.0)
             grad_in.data()[i] = 0.0;
     return grad_in;
+}
+
+std::unique_ptr<Layer>
+ReLU::clone() const
+{
+    return std::make_unique<ReLU>(*this);
 }
 
 // --------------------------------------------------------------------
@@ -269,6 +281,12 @@ MaxPool2d::backward(const Tensor &grad_out)
     return grad_in;
 }
 
+std::unique_ptr<Layer>
+MaxPool2d::clone() const
+{
+    return std::make_unique<MaxPool2d>(*this);
+}
+
 // --------------------------------------------------------------------
 // GlobalAvgPool
 // --------------------------------------------------------------------
@@ -302,6 +320,12 @@ GlobalAvgPool::backward(const Tensor &grad_out)
                 grad_in.at(c, h, w) = g;
     }
     return grad_in;
+}
+
+std::unique_ptr<Layer>
+GlobalAvgPool::clone() const
+{
+    return std::make_unique<GlobalAvgPool>(*this);
 }
 
 // --------------------------------------------------------------------
@@ -391,6 +415,12 @@ Linear::saveParams(std::ostream &out) const
     for (double b : bias_)
         out << b << " ";
     out << "\n";
+}
+
+std::unique_ptr<Layer>
+Linear::clone() const
+{
+    return std::make_unique<Linear>(*this);
 }
 
 bool
@@ -500,6 +530,21 @@ Residual::loadParams(std::istream &in)
         if (!layer->loadParams(in))
             return false;
     return true;
+}
+
+std::unique_ptr<Layer>
+Residual::clone() const
+{
+    // Sub-layers are held by unique_ptr, so the block clones member
+    // by member instead of relying on a copy constructor.
+    std::vector<std::unique_ptr<Layer>> main_copy;
+    for (const auto &layer : main_path_)
+        main_copy.push_back(layer->clone());
+    std::vector<std::unique_ptr<Layer>> shortcut_copy;
+    for (const auto &layer : shortcut_)
+        shortcut_copy.push_back(layer->clone());
+    return std::make_unique<Residual>(std::move(main_copy),
+                                      std::move(shortcut_copy));
 }
 
 double

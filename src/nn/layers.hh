@@ -68,6 +68,13 @@ class Layer
      */
     virtual bool loadParams(std::istream &in);
 
+    /**
+     * Independent deep copy: parameters and the engine binding carry
+     * over; cached activations/gradients need not (the copy is for
+     * inference replicas, not for resuming a training step).
+     */
+    virtual std::unique_ptr<Layer> clone() const = 0;
+
     /** Layer type name. */
     virtual std::string name() const = 0;
 };
@@ -95,6 +102,7 @@ class Conv2d : public Layer
     double macCount(const Tensor &input) const override;
     void saveParams(std::ostream &out) const override;
     bool loadParams(std::istream &in) override;
+    std::unique_ptr<Layer> clone() const override;
     std::string name() const override { return "conv2d"; }
 
     /** Weight tensors, one per output channel. */
@@ -124,6 +132,7 @@ class ReLU : public Layer
   public:
     Tensor forward(const Tensor &input) override;
     Tensor backward(const Tensor &grad_out) override;
+    std::unique_ptr<Layer> clone() const override;
     std::string name() const override { return "relu"; }
 
   private:
@@ -136,6 +145,7 @@ class MaxPool2d : public Layer
   public:
     Tensor forward(const Tensor &input) override;
     Tensor backward(const Tensor &grad_out) override;
+    std::unique_ptr<Layer> clone() const override;
     std::string name() const override { return "maxpool2"; }
 
   private:
@@ -149,6 +159,7 @@ class GlobalAvgPool : public Layer
   public:
     Tensor forward(const Tensor &input) override;
     Tensor backward(const Tensor &grad_out) override;
+    std::unique_ptr<Layer> clone() const override;
     std::string name() const override { return "gap"; }
 
   private:
@@ -168,6 +179,7 @@ class Linear : public Layer
     double macCount(const Tensor &input) const override;
     void saveParams(std::ostream &out) const override;
     bool loadParams(std::istream &in) override;
+    std::unique_ptr<Layer> clone() const override;
     std::string name() const override { return "linear"; }
 
     std::vector<double> &weights() { return weights_; }
@@ -200,6 +212,7 @@ class Residual : public Layer
     double macCount(const Tensor &input) const override;
     void saveParams(std::ostream &out) const override;
     bool loadParams(std::istream &in) override;
+    std::unique_ptr<Layer> clone() const override;
     std::string name() const override { return "residual"; }
 
   private:

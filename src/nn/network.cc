@@ -58,6 +58,15 @@ Network::setConvEngine(std::shared_ptr<const ConvEngine> engine)
         layer->setConvEngine(engine);
 }
 
+Network
+Network::clone() const
+{
+    Network copy;
+    for (const auto &layer : layers_)
+        copy.add(layer->clone());
+    return copy;
+}
+
 double
 Network::macCount(const Tensor &input)
 {

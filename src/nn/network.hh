@@ -43,6 +43,13 @@ class Network
     /** Swap the convolution engine on every conv layer. */
     void setConvEngine(std::shared_ptr<const ConvEngine> engine);
 
+    /**
+     * Independent deep copy: parameters and engine bindings are
+     * duplicated, transient state (cached activations, gradients) is
+     * not shared. Replica networks for serving workers come from here.
+     */
+    Network clone() const;
+
     /** Total MACs of a forward pass at the given input shape. */
     double macCount(const Tensor &input);
 
@@ -51,6 +58,7 @@ class Network
 
     /** Access a layer by index. */
     Layer &layer(size_t i) { return *layers_[i]; }
+    const Layer &layer(size_t i) const { return *layers_[i]; }
 
   private:
     std::vector<std::unique_ptr<Layer>> layers_;

@@ -9,7 +9,7 @@ namespace photofourier {
 namespace nn {
 
 void
-saveNetwork(Network &net, std::ostream &out)
+saveNetwork(const Network &net, std::ostream &out)
 {
     out << "photofourier-weights v1\n";
     out << "layers " << net.layerCount() << "\n";
@@ -18,7 +18,7 @@ saveNetwork(Network &net, std::ostream &out)
 }
 
 void
-saveNetwork(Network &net, const std::string &path)
+saveNetwork(const Network &net, const std::string &path)
 {
     std::ofstream out(path);
     pf_assert(out.good(), "cannot open ", path, " for writing");

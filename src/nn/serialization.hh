@@ -28,10 +28,10 @@ namespace photofourier {
 namespace nn {
 
 /** Serialize all parameters to a stream. */
-void saveNetwork(Network &net, std::ostream &out);
+void saveNetwork(const Network &net, std::ostream &out);
 
 /** Serialize to a file; panics on I/O failure. */
-void saveNetwork(Network &net, const std::string &path);
+void saveNetwork(const Network &net, const std::string &path);
 
 /**
  * Load parameters into an architecturally identical network.

@@ -1,0 +1,97 @@
+#include "serve/completion.hh"
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace serve {
+
+std::string
+statusName(RequestStatus status)
+{
+    switch (status) {
+    case RequestStatus::Pending:
+        return "pending";
+    case RequestStatus::Done:
+        return "done";
+    case RequestStatus::Failed:
+        return "failed";
+    case RequestStatus::Rejected:
+        return "rejected";
+    }
+    return "unknown";
+}
+
+namespace detail {
+
+void
+CompletionState::fulfill(RequestStatus terminal,
+                         std::vector<double> result, std::string message)
+{
+    pf_assert(terminal != RequestStatus::Pending,
+              "fulfill with non-terminal status");
+    const auto now = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        pf_assert(status == RequestStatus::Pending,
+                  "request fulfilled twice (", statusName(status),
+                  " then ", statusName(terminal), ")");
+        status = terminal;
+        logits = std::move(result);
+        error = std::move(message);
+        latency_us =
+            std::chrono::duration<double, std::micro>(now - enqueued)
+                .count();
+    }
+    cv.notify_all();
+}
+
+} // namespace detail
+
+RequestStatus
+Completion::status() const
+{
+    pf_assert(valid(), "status() on an unbound Completion");
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->status;
+}
+
+RequestStatus
+Completion::wait() const
+{
+    pf_assert(valid(), "wait() on an unbound Completion");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] {
+        return state_->status != RequestStatus::Pending;
+    });
+    return state_->status;
+}
+
+const std::vector<double> &
+Completion::logits() const
+{
+    const RequestStatus terminal = wait();
+    pf_assert(terminal == RequestStatus::Done, "logits() on a ",
+              statusName(terminal), " request: ", state_->error);
+    // Terminal state is immutable, so the reference is safe to hand
+    // out without holding the lock.
+    return state_->logits;
+}
+
+std::string
+Completion::error() const
+{
+    pf_assert(valid(), "error() on an unbound Completion");
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->error;
+}
+
+double
+Completion::latencyUs() const
+{
+    pf_assert(valid(), "latencyUs() on an unbound Completion");
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->latency_us;
+}
+
+} // namespace serve
+} // namespace photofourier

@@ -1,0 +1,231 @@
+#include "serve/inference_server.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "signal/fft_plan.hh"
+
+namespace photofourier {
+namespace serve {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+ServerReport::table() const
+{
+    TextTable t({"model", "accepted", "rejected", "completed", "failed",
+                 "batches", "mean_batch", "mean_us", "p50_us", "p95_us",
+                 "p99_us"});
+    for (const auto &m : models) {
+        t.addRow({m.model, std::to_string(m.accepted),
+                  std::to_string(m.rejected),
+                  std::to_string(m.completed), std::to_string(m.failed),
+                  std::to_string(m.batches),
+                  TextTable::num(m.mean_batch, 2),
+                  TextTable::num(m.latency_mean_us, 1),
+                  TextTable::num(m.latency_p50_us, 1),
+                  TextTable::num(m.latency_p95_us, 1),
+                  TextTable::num(m.latency_p99_us, 1)});
+    }
+    return t.render();
+}
+
+InferenceServer::InferenceServer(ServerConfig config)
+    : config_(std::move(config)), queue_(config_.batching),
+      worker_target_(config_.workers > 0
+                         ? config_.workers
+                         : signal::defaultFftThreads()),
+      started_at_(Clock::now())
+{
+    if (config_.start_workers)
+        start();
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+void
+InferenceServer::start()
+{
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    pf_assert(!stopped_, "start() after shutdown()");
+    if (started_)
+        return;
+    started_ = true;
+    started_at_ = Clock::now();
+    workers_.reserve(worker_target_);
+    for (size_t id = 0; id < worker_target_; ++id)
+        workers_.emplace_back([this, id] { workerLoop(id); });
+}
+
+Completion
+InferenceServer::submit(const std::string &model, nn::Tensor input)
+{
+    auto state = std::make_shared<detail::CompletionState>();
+    state->enqueued = Clock::now();
+    Completion handle(state);
+
+    if (!registry_.has(model)) {
+        state->fulfill(RequestStatus::Failed, {},
+                       "unknown model '" + model + "'");
+        // Deliberately not stats_[model]: per-name entries for
+        // arbitrary unregistered names would grow without bound and
+        // fill report() with phantom models.
+        unknown_model_failures_.fetch_add(1, std::memory_order_relaxed);
+        return handle;
+    }
+
+    // Count the acceptance before the push makes the request visible
+    // to workers: a report() racing the delivery must never observe
+    // completed > accepted. A failed push takes the reservation back.
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_[model].accepted;
+    }
+    if (!queue_.push(QueuedRequest{model, std::move(input), state})) {
+        state->fulfill(RequestStatus::Rejected, {},
+                       "queue full or server draining");
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        --stats_[model].accepted;
+        ++stats_[model].rejected;
+        return handle;
+    }
+    return handle;
+}
+
+void
+InferenceServer::workerLoop(size_t id)
+{
+    // The worker's private engine (when configured) and replicas: no
+    // network or engine instance is ever shared between workers, so
+    // stateful layer caches cannot race and photonic noise streams
+    // stay per-request-deterministic.
+    std::shared_ptr<const nn::ConvEngine> engine;
+    if (config_.engine_factory)
+        engine = config_.engine_factory(id);
+    std::map<std::string, nn::Network> replicas;
+
+    for (;;) {
+        std::vector<QueuedRequest> batch = queue_.popBatch();
+        if (batch.empty())
+            return;
+
+        const std::string &model = batch.front().model;
+        auto it = replicas.find(model);
+        if (it == replicas.end()) {
+            it = replicas.emplace(model, registry_.instantiate(model))
+                     .first;
+            if (engine)
+                it->second.setConvEngine(engine);
+        }
+        nn::Network &net = it->second;
+
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            auto &s = stats_[model];
+            ++s.batches;
+            s.batched_requests += batch.size();
+        }
+        for (auto &request : batch) {
+            std::vector<double> logits = net.logits(request.input);
+            // Stats before fulfill: a client that has observed Done
+            // must find its request counted by any later report().
+            const double latency_us =
+                std::chrono::duration<double, std::micro>(
+                    Clock::now() - request.completion->enqueued)
+                    .count();
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                auto &s = stats_[model];
+                ++s.completed;
+                s.latency_us.add(latency_us);
+            }
+            request.completion->fulfill(RequestStatus::Done,
+                                        std::move(logits), {});
+        }
+        queue_.markDone(batch.size());
+    }
+}
+
+void
+InferenceServer::drain()
+{
+    queue_.closeAdmission();
+    {
+        std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+        pf_assert(started_ || queue_.depth() == 0,
+                  "drain() with queued work but no workers started");
+    }
+    queue_.waitDrained();
+}
+
+void
+InferenceServer::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    queue_.close();
+    bool run_inline = false;
+    {
+        std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+        run_inline = !started_;
+    }
+    if (run_inline) {
+        // Workers were never spawned (start_workers = false): deliver
+        // whatever was accepted on the calling thread so graceful
+        // shutdown still honors every admitted request.
+        workerLoop(0);
+    }
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+ServerReport
+InferenceServer::report() const
+{
+    ServerReport out;
+    out.uptime_s = std::chrono::duration<double>(Clock::now() -
+                                                 started_at_)
+                       .count();
+    uint64_t total_completed = 0;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const auto &[name, s] : stats_) {
+        ModelReport m;
+        m.model = name;
+        m.accepted = s.accepted;
+        m.rejected = s.rejected;
+        m.completed = s.completed;
+        m.failed = s.failed;
+        m.batches = s.batches;
+        m.mean_batch =
+            s.batches ? static_cast<double>(s.batched_requests) /
+                            static_cast<double>(s.batches)
+                      : 0.0;
+        if (s.latency_us.count() > 0) {
+            m.latency_mean_us = s.latency_us.mean();
+            m.latency_p50_us = s.latency_us.percentile(50.0);
+            m.latency_p95_us = s.latency_us.percentile(95.0);
+            m.latency_p99_us = s.latency_us.percentile(99.0);
+        }
+        total_completed += s.completed;
+        out.models.push_back(std::move(m));
+    }
+    out.throughput_rps =
+        out.uptime_s > 0.0
+            ? static_cast<double>(total_completed) / out.uptime_s
+            : 0.0;
+    out.unknown_model_failures =
+        unknown_model_failures_.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace serve
+} // namespace photofourier

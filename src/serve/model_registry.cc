@@ -1,0 +1,81 @@
+#include "serve/model_registry.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "nn/serialization.hh"
+
+namespace photofourier {
+namespace serve {
+
+void
+ModelRegistry::add(const std::string &name, nn::Network prototype)
+{
+    pf_assert(!name.empty(), "registering a model with an empty name");
+    pf_assert(prototype.layerCount() > 0, "registering empty network '",
+              name, "'");
+    std::lock_guard<std::mutex> lock(mutex_);
+    models_.insert_or_assign(name, std::move(prototype));
+}
+
+bool
+ModelRegistry::addFromFile(const std::string &name,
+                           nn::Network architecture,
+                           const std::string &weights_path)
+{
+    if (!nn::loadNetwork(architecture, weights_path))
+        return false;
+    add(name, std::move(architecture));
+    return true;
+}
+
+bool
+ModelRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.count(name) > 0;
+}
+
+std::vector<std::string>
+ModelRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(models_.size());
+    for (const auto &[name, net] : models_)
+        out.push_back(name);
+    return out;
+}
+
+size_t
+ModelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.size();
+}
+
+nn::Network
+ModelRegistry::instantiate(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    pf_assert(it != models_.end(), "instantiate of unknown model '",
+              name, "'");
+    return it->second.clone();
+}
+
+std::string
+ModelRegistry::snapshot(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    pf_assert(it != models_.end(), "snapshot of unknown model '", name,
+              "'");
+    std::ostringstream out;
+    nn::saveNetwork(it->second, out);
+    return out.str();
+}
+
+} // namespace serve
+} // namespace photofourier

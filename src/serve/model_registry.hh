@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Named model prototypes and per-worker replica instantiation.
+ *
+ * The registry owns one prototype nn::Network per model name. Serving
+ * workers never share a live network (stateful layers cache
+ * activations during forward), so each worker clones its own replica
+ * via instantiate(). Weight snapshots round-trip through
+ * nn/serialization, which is also how a prototype can be registered
+ * from a weights file trained elsewhere.
+ *
+ * Names only ever gain or replace prototypes — they are never removed
+ * — so a worker that has seen a name may instantiate it later without
+ * re-checking. Re-registering a name affects future replicas only;
+ * replicas already cloned keep serving the weights they were born
+ * with.
+ */
+
+#ifndef PHOTOFOURIER_SERVE_MODEL_REGISTRY_HH
+#define PHOTOFOURIER_SERVE_MODEL_REGISTRY_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace photofourier {
+namespace serve {
+
+/** Thread-safe name → prototype network store. */
+class ModelRegistry
+{
+  public:
+    /** Register (or replace) a prototype under `name`. */
+    void add(const std::string &name, nn::Network prototype);
+
+    /**
+     * Register `architecture` with weights loaded from a
+     * nn/serialization snapshot file. Returns false — and registers
+     * nothing — when the file is missing or does not match the
+     * architecture.
+     */
+    bool addFromFile(const std::string &name, nn::Network architecture,
+                     const std::string &weights_path);
+
+    /** True when `name` has a prototype. */
+    bool has(const std::string &name) const;
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Number of registered models. */
+    size_t size() const;
+
+    /**
+     * Independent deep-copy replica of the prototype (panics on an
+     * unknown name — guard with has()).
+     */
+    nn::Network instantiate(const std::string &name) const;
+
+    /** Serialized weight snapshot in the nn/serialization format. */
+    std::string snapshot(const std::string &name) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, nn::Network> models_;
+};
+
+} // namespace serve
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_SERVE_MODEL_REGISTRY_HH

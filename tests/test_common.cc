@@ -174,3 +174,70 @@ TEST(AsciiPlot, LineIncludesLegend)
     const std::string out = pf::AsciiPlot::line({s}, 32, 8);
     EXPECT_NE(out.find("curve"), std::string::npos);
 }
+
+TEST(Histogram, PercentilesWithinRelativeResolution)
+{
+    pf::Histogram h(1.0, 1.05);
+    // 1..1000: exact quantiles are known; the histogram promises a
+    // bucket-edge answer within one growth factor of the true value.
+    for (int v = 1; v <= 1000; ++v)
+        h.add(static_cast<double>(v));
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+    for (double pct : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+        const double exact = pct * 10.0;
+        const double estimate = h.percentile(pct);
+        EXPECT_GE(estimate, exact / 1.06) << pct;
+        EXPECT_LE(estimate, exact * 1.06) << pct;
+    }
+    // Extremes are exact (clamped to observed min/max).
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneInPct)
+{
+    pf::Rng rng(3);
+    pf::Histogram h;
+    for (int i = 0; i < 500; ++i)
+        h.add(std::exp(rng.uniform(0.0, 10.0)));
+    double prev = 0.0;
+    for (double pct = 0.0; pct <= 100.0; pct += 5.0) {
+        const double v = h.percentile(pct);
+        EXPECT_GE(v, prev) << pct;
+        prev = v;
+    }
+}
+
+TEST(Histogram, SmallValuesLandInFirstBucket)
+{
+    pf::Histogram h(10.0, 2.0);
+    h.add(0.0);
+    h.add(5.0);
+    h.add(10.0);
+    EXPECT_EQ(h.count(), 3u);
+    // Everything sits at or below the first bucket edge; the reported
+    // percentile clamps to the observed max.
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream)
+{
+    pf::Rng rng(9);
+    pf::Histogram a, b, combined;
+    for (int i = 0; i < 300; ++i) {
+        const double v = rng.uniform(0.5, 5000.0);
+        ((i % 2) ? a : b).add(v);
+        combined.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    for (double pct : {25.0, 50.0, 75.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(pct), combined.percentile(pct));
+}

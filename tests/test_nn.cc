@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <utility>
 
 #include "common/rng.hh"
 #include "nn/conv_engine.hh"
@@ -16,6 +18,7 @@
 #include "nn/layers.hh"
 #include "nn/model_zoo.hh"
 #include "nn/network.hh"
+#include "nn/serialization.hh"
 #include "nn/training.hh"
 
 namespace pf = photofourier;
@@ -611,4 +614,79 @@ TEST(Network, MacCountPositiveAndEngineSwappable)
     ASSERT_EQ(before.size(), after.size());
     for (size_t i = 0; i < before.size(); ++i)
         EXPECT_NEAR(before[i], after[i], 1e-6);
+}
+
+// --------------------------------------------------------------------
+// Serialization round-trips and clone semantics (the serving
+// registry's replica mechanism depends on both).
+// --------------------------------------------------------------------
+
+namespace {
+
+using NetworkBuilder = nn::Network (*)(size_t, pf::Rng &);
+
+/** Save → load into a differently initialized twin → identical logits. */
+void
+checkSerializationRoundTrip(NetworkBuilder build, const char *label)
+{
+    pf::Rng rng(101);
+    auto net = build(6, rng);
+
+    nn::Tensor input(3, 32, 32);
+    pf::Rng input_rng(55);
+    input.data() = input_rng.uniformVector(input.size(), 0.0, 1.0);
+    const auto expected = net.logits(input);
+
+    std::stringstream stream;
+    nn::saveNetwork(std::as_const(net), stream);
+
+    pf::Rng other_rng(202); // different init: load must overwrite it
+    auto twin = build(6, other_rng);
+    EXPECT_NE(twin.logits(input), expected) << label;
+    ASSERT_TRUE(nn::loadNetwork(twin, stream)) << label;
+    EXPECT_EQ(twin.logits(input), expected) << label;
+}
+
+} // namespace
+
+TEST(Serialization, RoundTripAcrossModelZooArchitectures)
+{
+    checkSerializationRoundTrip(&nn::buildSmallAlexNet, "alexnet");
+    checkSerializationRoundTrip(&nn::buildSmallVgg, "vgg");
+    checkSerializationRoundTrip(&nn::buildSmallResNet, "resnet");
+}
+
+TEST(Serialization, LoadRejectsMismatchedArchitecture)
+{
+    pf::Rng rng(7);
+    auto vgg = nn::buildSmallVgg(6, rng);
+    std::stringstream stream;
+    nn::saveNetwork(vgg, stream);
+    auto alex = nn::buildSmallAlexNet(6, rng);
+    EXPECT_FALSE(nn::loadNetwork(alex, stream));
+}
+
+TEST(Network, CloneIsDeepAcrossAllLayerKinds)
+{
+    pf::Rng rng(31);
+    auto net = nn::buildSmallResNet(5, rng); // conv/relu/residual/gap/fc
+    nn::Tensor input(3, 32, 32);
+    pf::Rng input_rng(32);
+    input.data() = input_rng.uniformVector(input.size(), 0.0, 1.0);
+    const auto expected = net.logits(input);
+
+    auto copy = net.clone();
+    EXPECT_EQ(copy.layerCount(), net.layerCount());
+    EXPECT_EQ(copy.logits(input), expected);
+
+    // Training the copy must leave the original untouched.
+    std::vector<double> grad;
+    auto out = copy.forward(input);
+    nn::softmaxCrossEntropy(out.data(), 0, grad);
+    nn::Tensor grad_out(out.channels(), out.height(), out.width());
+    grad_out.data() = grad;
+    copy.backward(grad_out);
+    copy.applyGradients(0.5);
+    EXPECT_NE(copy.logits(input), expected);
+    EXPECT_EQ(net.logits(input), expected);
 }

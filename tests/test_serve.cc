@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the serving runtime: registry replica mechanics,
+ * micro-batching correctness (batched == sequential, bit-identical),
+ * per-request-deterministic photonic noise across worker counts,
+ * admission control + graceful drain (exactly-once delivery), and a
+ * multi-submitter stress aimed at the ThreadSanitizer CI job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hh"
+#include "core/photofourier.hh"
+#include "nn/layers.hh"
+#include "nn/network.hh"
+#include "nn/serialization.hh"
+#include "serve/inference_server.hh"
+
+namespace pf = photofourier;
+namespace nn = photofourier::nn;
+namespace sig = photofourier::signal;
+namespace serve = photofourier::serve;
+
+namespace {
+
+/** Tiny CNN (1x8x8 input): fast enough to serve hundreds of requests. */
+nn::Network
+tinyNet(uint64_t seed = 21, size_t classes = 3)
+{
+    pf::Rng rng(seed);
+    nn::Network net;
+    net.add(std::make_unique<nn::Conv2d>(1, 4, 3, 1,
+                                         sig::ConvMode::Same, rng));
+    net.add(std::make_unique<nn::ReLU>());
+    net.add(std::make_unique<nn::GlobalAvgPool>());
+    net.add(std::make_unique<nn::Linear>(4, classes, rng));
+    return net;
+}
+
+std::vector<nn::Tensor>
+tinyInputs(size_t n, uint64_t seed = 77)
+{
+    pf::Rng rng(seed);
+    std::vector<nn::Tensor> inputs;
+    for (size_t i = 0; i < n; ++i) {
+        nn::Tensor t(1, 8, 8);
+        t.data() = rng.uniformVector(64, 0.0, 1.0);
+        inputs.push_back(std::move(t));
+    }
+    return inputs;
+}
+
+/** Sequential reference logits through a private clone. */
+std::vector<std::vector<double>>
+referenceLogits(const nn::Network &proto,
+                const std::vector<nn::Tensor> &inputs)
+{
+    nn::Network replica = proto.clone();
+    std::vector<std::vector<double>> out;
+    for (const auto &input : inputs)
+        out.push_back(replica.logits(input));
+    return out;
+}
+
+} // namespace
+
+TEST(Completion, UnboundHandleAndStatusNames)
+{
+    serve::Completion handle;
+    EXPECT_FALSE(handle.valid());
+    EXPECT_EQ(serve::statusName(serve::RequestStatus::Pending),
+              "pending");
+    EXPECT_EQ(serve::statusName(serve::RequestStatus::Done), "done");
+    EXPECT_EQ(serve::statusName(serve::RequestStatus::Failed), "failed");
+    EXPECT_EQ(serve::statusName(serve::RequestStatus::Rejected),
+              "rejected");
+}
+
+TEST(ModelRegistry, ReplicasAreIndependentAndSnapshotsRoundTrip)
+{
+    serve::ModelRegistry registry;
+    EXPECT_FALSE(registry.has("tiny"));
+    registry.add("tiny", tinyNet());
+    ASSERT_TRUE(registry.has("tiny"));
+    EXPECT_EQ(registry.names(), std::vector<std::string>{"tiny"});
+
+    const auto inputs = tinyInputs(1);
+    auto a = registry.instantiate("tiny");
+    auto b = registry.instantiate("tiny");
+    const auto logits_a = a.logits(inputs[0]);
+    EXPECT_EQ(logits_a, b.logits(inputs[0]));
+
+    // Perturbing one replica must not leak into the other or into
+    // future replicas from the prototype.
+    auto &conv = dynamic_cast<nn::Conv2d &>(a.layer(0));
+    conv.bias()[0] += 1.0;
+    EXPECT_NE(a.logits(inputs[0]), logits_a);
+    EXPECT_EQ(b.logits(inputs[0]), logits_a);
+    EXPECT_EQ(registry.instantiate("tiny").logits(inputs[0]), logits_a);
+
+    // Snapshot (serialized weights) loads into a differently
+    // initialized twin architecture and reproduces the prototype.
+    std::istringstream snapshot(registry.snapshot("tiny"));
+    auto twin = tinyNet(/*seed=*/999);
+    EXPECT_NE(twin.logits(inputs[0]), logits_a);
+    ASSERT_TRUE(nn::loadNetwork(twin, snapshot));
+    EXPECT_EQ(twin.logits(inputs[0]), logits_a);
+}
+
+TEST(InferenceServer, BatchedMatchesSequentialDigitalBitExact)
+{
+    auto proto = tinyNet();
+    const auto inputs = tinyInputs(24);
+    const auto expected = referenceLogits(proto, inputs);
+
+    serve::ServerConfig cfg;
+    cfg.workers = 3;
+    cfg.batching.max_batch = 4;
+    cfg.batching.batch_window = std::chrono::microseconds(500);
+    serve::InferenceServer server(cfg);
+    server.registry().add("tiny", std::move(proto));
+
+    std::vector<serve::Completion> handles;
+    for (const auto &input : inputs)
+        handles.push_back(server.submit("tiny", input));
+    for (size_t i = 0; i < handles.size(); ++i) {
+        ASSERT_EQ(handles[i].wait(), serve::RequestStatus::Done);
+        // Bit-identical, not approximately equal: replicas carry the
+        // same weights and the digital engine is deterministic.
+        EXPECT_EQ(handles[i].logits(), expected[i]) << "request " << i;
+        EXPECT_GT(handles[i].latencyUs(), 0.0);
+    }
+}
+
+TEST(InferenceServer, PhotonicNoiseDeterministicAcrossWorkerCounts)
+{
+    // ISSUE acceptance (b): with sensing noise on and a fixed seed,
+    // results must not depend on how many workers served the requests
+    // (the noise stream is derived per call, not consumed from shared
+    // engine state).
+    const pf::PhotoFourierAccelerator accel(
+        pf::arch::AcceleratorConfig::currentGen());
+    const auto inputs = tinyInputs(6);
+
+    serve::BatchingConfig batching;
+    batching.max_batch = 2;
+    batching.batch_window = std::chrono::microseconds(200);
+
+    auto run = [&](size_t workers) {
+        auto cfg = accel.servingConfig(batching, /*with_noise=*/true,
+                                       /*snr_db=*/20.0);
+        cfg.workers = workers;
+        serve::InferenceServer server(cfg);
+        server.registry().add("tiny", tinyNet());
+        std::vector<serve::Completion> handles;
+        for (const auto &input : inputs)
+            handles.push_back(server.submit("tiny", input));
+        std::vector<std::vector<double>> out;
+        for (auto &handle : handles)
+            out.push_back(handle.logits());
+        return out;
+    };
+
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    EXPECT_EQ(serial, parallel);
+
+    // And the noise is real: a noiseless server disagrees.
+    auto clean_cfg = accel.servingConfig(batching, /*with_noise=*/false);
+    clean_cfg.workers = 1;
+    serve::InferenceServer clean(clean_cfg);
+    clean.registry().add("tiny", tinyNet());
+    EXPECT_NE(clean.submit("tiny", inputs[0]).logits(), serial[0]);
+}
+
+TEST(InferenceServer, QueueFullRejectionAndDrainDeliverExactlyOnce)
+{
+    // ISSUE acceptance (c): admission rejects beyond capacity, and a
+    // graceful drain delivers every accepted request exactly once
+    // (double delivery would panic in CompletionState::fulfill).
+    auto proto = tinyNet();
+    const auto inputs = tinyInputs(16);
+    const auto expected = referenceLogits(proto, inputs);
+
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.start_workers = false; // fill the queue before serving begins
+    cfg.batching.max_batch = 4;
+    cfg.batching.queue_capacity = 6;
+    serve::InferenceServer server(cfg);
+    server.registry().add("tiny", std::move(proto));
+
+    std::vector<serve::Completion> handles;
+    for (const auto &input : inputs)
+        handles.push_back(server.submit("tiny", input));
+
+    size_t accepted = 0, rejected = 0;
+    for (const auto &handle : handles) {
+        if (handle.status() == serve::RequestStatus::Rejected) {
+            ++rejected;
+            EXPECT_FALSE(handle.error().empty());
+        } else {
+            ++accepted;
+        }
+    }
+    EXPECT_EQ(accepted, 6u);
+    EXPECT_EQ(rejected, 10u);
+
+    server.start();
+    server.drain();
+
+    for (size_t i = 0; i < handles.size(); ++i) {
+        if (handles[i].status() == serve::RequestStatus::Rejected)
+            continue;
+        ASSERT_EQ(handles[i].status(), serve::RequestStatus::Done);
+        EXPECT_EQ(handles[i].logits(), expected[i]) << "request " << i;
+    }
+
+    const auto report = server.report();
+    ASSERT_EQ(report.models.size(), 1u);
+    EXPECT_EQ(report.models[0].accepted, 6u);
+    EXPECT_EQ(report.models[0].rejected, 10u);
+    EXPECT_EQ(report.models[0].completed, 6u);
+
+    // Admission stays closed after drain.
+    EXPECT_EQ(server.submit("tiny", inputs[0]).wait(),
+              serve::RequestStatus::Rejected);
+}
+
+TEST(InferenceServer, ShutdownWithoutStartStillDeliversAccepted)
+{
+    auto proto = tinyNet();
+    const auto inputs = tinyInputs(5);
+    const auto expected = referenceLogits(proto, inputs);
+
+    serve::ServerConfig cfg;
+    cfg.start_workers = false;
+    serve::InferenceServer server(cfg);
+    server.registry().add("tiny", std::move(proto));
+
+    std::vector<serve::Completion> handles;
+    for (const auto &input : inputs)
+        handles.push_back(server.submit("tiny", input));
+    server.shutdown(); // inline delivery on the calling thread
+    for (size_t i = 0; i < handles.size(); ++i) {
+        ASSERT_EQ(handles[i].status(), serve::RequestStatus::Done);
+        EXPECT_EQ(handles[i].logits(), expected[i]);
+    }
+}
+
+TEST(InferenceServer, UnknownModelFailsImmediately)
+{
+    serve::InferenceServer server;
+    auto handle = server.submit("nope", nn::Tensor(1, 4, 4));
+    EXPECT_EQ(handle.status(), serve::RequestStatus::Failed);
+    EXPECT_NE(handle.error().find("nope"), std::string::npos);
+    // Arbitrary unregistered names must not mint per-model stats rows.
+    const auto report = server.report();
+    EXPECT_EQ(report.unknown_model_failures, 1u);
+    EXPECT_TRUE(report.models.empty());
+}
+
+TEST(InferenceServer, FullBatchOvertakesOlderOpenWindow)
+{
+    // One lone request of model "slow" sits in a long batch window;
+    // a full batch of model "fast" arriving later must dispatch
+    // immediately instead of waiting behind it.
+    serve::ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.batching.max_batch = 4;
+    cfg.batching.batch_window = std::chrono::milliseconds(400);
+    serve::InferenceServer server(cfg);
+    server.registry().add("slow", tinyNet(1));
+    server.registry().add("fast", tinyNet(2));
+
+    const auto inputs = tinyInputs(5);
+    auto lone = server.submit("slow", inputs[0]);
+    std::vector<serve::Completion> burst;
+    for (size_t i = 1; i < 5; ++i)
+        burst.push_back(server.submit("fast", inputs[i]));
+    for (auto &handle : burst)
+        ASSERT_EQ(handle.wait(), serve::RequestStatus::Done);
+    // The full "fast" batch finished while "slow"'s window is still
+    // open (a tiny forward takes far less than the 400 ms window).
+    EXPECT_EQ(lone.status(), serve::RequestStatus::Pending);
+    EXPECT_LT(burst.front().latencyUs(), 400.0 * 1000.0);
+    EXPECT_EQ(lone.wait(), serve::RequestStatus::Done);
+}
+
+TEST(InferenceServer, WindowTimeoutDispatchesPartialBatches)
+{
+    // Fewer requests than max_batch: only the batch window can
+    // release them.
+    serve::ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.batching.max_batch = 64;
+    cfg.batching.batch_window = std::chrono::microseconds(1000);
+    serve::InferenceServer server(cfg);
+    server.registry().add("tiny", tinyNet());
+
+    const auto inputs = tinyInputs(3);
+    std::vector<serve::Completion> handles;
+    for (const auto &input : inputs)
+        handles.push_back(server.submit("tiny", input));
+    for (auto &handle : handles)
+        EXPECT_EQ(handle.wait(), serve::RequestStatus::Done);
+
+    const auto report = server.report();
+    ASSERT_EQ(report.models.size(), 1u);
+    EXPECT_EQ(report.models[0].completed, 3u);
+    EXPECT_GE(report.models[0].batches, 1u);
+}
+
+TEST(InferenceServer, ReportPercentilesOrderedAndTableRenders)
+{
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.batching.max_batch = 4;
+    serve::InferenceServer server(cfg);
+    server.registry().add("tiny", tinyNet());
+
+    const auto inputs = tinyInputs(20);
+    std::vector<serve::Completion> handles;
+    for (const auto &input : inputs)
+        handles.push_back(server.submit("tiny", input));
+    for (auto &handle : handles)
+        ASSERT_EQ(handle.wait(), serve::RequestStatus::Done);
+
+    const auto report = server.report();
+    ASSERT_EQ(report.models.size(), 1u);
+    const auto &m = report.models[0];
+    EXPECT_EQ(m.completed, 20u);
+    EXPECT_GT(m.latency_p50_us, 0.0);
+    EXPECT_LE(m.latency_p50_us, m.latency_p95_us);
+    EXPECT_LE(m.latency_p95_us, m.latency_p99_us);
+    EXPECT_GE(m.mean_batch, 1.0);
+    EXPECT_LE(m.mean_batch, 4.0);
+    EXPECT_GT(report.throughput_rps, 0.0);
+    EXPECT_NE(report.table().find("tiny"), std::string::npos);
+    EXPECT_NE(report.table().find("p99_us"), std::string::npos);
+}
+
+TEST(InferenceServer, ConcurrentSubmittersTwoModelsStress)
+{
+    // The TSan workload: multiple submitter threads, two models,
+    // concurrent report() polling, then drain. Counts must balance:
+    // every submission is exactly one of completed/rejected.
+    serve::ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.batching.max_batch = 4;
+    cfg.batching.batch_window = std::chrono::microseconds(200);
+    cfg.batching.queue_capacity = 64;
+    serve::InferenceServer server(cfg);
+    server.registry().add("a", tinyNet(1, 3));
+    server.registry().add("b", tinyNet(2, 5));
+
+    constexpr size_t kPerThread = 50;
+    std::atomic<uint64_t> done{0}, rejected{0};
+    auto submitter = [&](const std::string &model, uint64_t seed) {
+        const auto inputs = tinyInputs(kPerThread, seed);
+        for (const auto &input : inputs) {
+            auto handle = server.submit(model, input);
+            const auto status = handle.wait();
+            if (status == serve::RequestStatus::Done) {
+                done.fetch_add(1);
+                EXPECT_EQ(handle.logits().size(),
+                          model == "a" ? 3u : 5u);
+            } else {
+                ASSERT_EQ(status, serve::RequestStatus::Rejected);
+                rejected.fetch_add(1);
+            }
+        }
+    };
+
+    std::thread t1(submitter, "a", 11);
+    std::thread t2(submitter, "b", 22);
+    std::thread poller([&] {
+        for (int i = 0; i < 20; ++i)
+            (void)server.report();
+    });
+    t1.join();
+    t2.join();
+    poller.join();
+    server.drain();
+
+    EXPECT_EQ(done.load() + rejected.load(), 2 * kPerThread);
+    const auto report = server.report();
+    uint64_t completed = 0, admitted = 0;
+    for (const auto &m : report.models) {
+        completed += m.completed;
+        admitted += m.accepted;
+        EXPECT_EQ(m.failed, 0u);
+    }
+    EXPECT_EQ(completed, admitted);
+    EXPECT_EQ(completed, done.load());
+}
+
+TEST(Facade, EngineConfigMatchesAcceleratorNumerics)
+{
+    const pf::PhotoFourierAccelerator accel(
+        pf::arch::AcceleratorConfig::currentGen());
+    const auto engine_cfg = accel.engineConfig();
+    EXPECT_EQ(engine_cfg.n_conv, accel.config().n_input_waveguides);
+    EXPECT_EQ(engine_cfg.dac_bits, accel.config().dac_bits);
+    EXPECT_EQ(engine_cfg.adc_bits, accel.config().adc_bits);
+    EXPECT_FALSE(engine_cfg.noise);
+
+    const auto server_cfg = accel.servingConfig();
+    ASSERT_TRUE(static_cast<bool>(server_cfg.engine_factory));
+    auto engine = server_cfg.engine_factory(0);
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->name(), "photofourier");
+    // Distinct engine instances per worker.
+    EXPECT_NE(engine.get(), server_cfg.engine_factory(1).get());
+}

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Load generator for the serving runtime.
+ *
+ * Drives an InferenceServer with synthetic-CIFAR traffic in closed
+ * loop (N client threads, submit → await → repeat: throughput under
+ * back-pressure) or open loop (fixed arrival rate, the tail-latency
+ * view), sweeping the micro-batch cap, and records one JSON document —
+ * BENCH_serving.json — with throughput and latency percentiles per
+ * batch size. bench/run_benches.sh runs the smoke configuration so the
+ * file stays reproducible at the repo root.
+ *
+ * Usage: serve_loadgen [options]
+ *   --model NAME     small-vgg | small-alexnet | small-resnet
+ *   --requests N     requests per run            (default 96)
+ *   --workers W      serving worker threads      (default 2)
+ *   --clients C      closed-loop client threads  (default 4)
+ *   --batch-list L   comma list of max_batch     (default 1,2,4,8)
+ *   --window-us U    batch window in us          (default 2000)
+ *   --capacity Q     admission queue capacity    (default 4096)
+ *   --mode M         closed | open               (default closed)
+ *   --rate R         open-loop arrivals per sec  (default 500)
+ *   --photonic       serve on PhotoFourier numerics (default digital)
+ *   --noise          photonic with sensing noise
+ *   --out PATH       output file (default BENCH_serving.json)
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/photofourier.hh"
+
+using namespace photofourier;
+
+namespace {
+
+struct Options
+{
+    std::string model = "small-vgg";
+    size_t requests = 96;
+    size_t workers = 2;
+    size_t clients = 4;
+    std::vector<size_t> batch_list{1, 2, 4, 8};
+    long window_us = 2000;
+    size_t capacity = 4096;
+    std::string mode = "closed";
+    double rate = 500.0;
+    bool photonic = false;
+    bool noise = false;
+    std::string out = "BENCH_serving.json";
+};
+
+std::vector<size_t>
+parseList(const std::string &text)
+{
+    std::vector<size_t> values;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t next = text.find(',', pos);
+        if (next == std::string::npos)
+            next = text.size();
+        values.push_back(static_cast<size_t>(
+            std::atol(text.substr(pos, next - pos).c_str())));
+        pos = next + 1;
+    }
+    return values;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                pf_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--model")
+            opt.model = value();
+        else if (arg == "--requests")
+            opt.requests =
+                static_cast<size_t>(std::atol(value().c_str()));
+        else if (arg == "--workers")
+            opt.workers =
+                static_cast<size_t>(std::atol(value().c_str()));
+        else if (arg == "--clients")
+            opt.clients =
+                static_cast<size_t>(std::atol(value().c_str()));
+        else if (arg == "--batch-list")
+            opt.batch_list = parseList(value());
+        else if (arg == "--window-us")
+            opt.window_us = std::atol(value().c_str());
+        else if (arg == "--capacity")
+            opt.capacity =
+                static_cast<size_t>(std::atol(value().c_str()));
+        else if (arg == "--mode")
+            opt.mode = value();
+        else if (arg == "--rate")
+            opt.rate = std::atof(value().c_str());
+        else if (arg == "--photonic")
+            opt.photonic = true;
+        else if (arg == "--noise")
+            opt.photonic = opt.noise = true;
+        else if (arg == "--out")
+            opt.out = value();
+        else
+            pf_fatal("unknown argument ", arg);
+    }
+    if (opt.mode != "closed" && opt.mode != "open")
+        pf_fatal("--mode must be closed or open, got ", opt.mode);
+    if (opt.batch_list.empty() || opt.requests == 0 ||
+        opt.clients == 0)
+        pf_fatal("degenerate load configuration");
+    return opt;
+}
+
+nn::Network
+buildModel(const std::string &name)
+{
+    Rng rng(4242);
+    if (name == "small-vgg")
+        return nn::buildSmallVgg(8, rng);
+    if (name == "small-alexnet")
+        return nn::buildSmallAlexNet(8, rng);
+    if (name == "small-resnet")
+        return nn::buildSmallResNet(8, rng);
+    pf_fatal("unknown model ", name,
+             " (small-vgg | small-alexnet | small-resnet)");
+}
+
+struct RunResult
+{
+    size_t max_batch = 0;
+    double elapsed_s = 0.0;
+    double throughput_rps = 0.0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+    double mean_batch = 0.0;
+    double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, mean_us = 0.0;
+};
+
+RunResult
+runOnce(const Options &opt, size_t max_batch,
+        const std::vector<nn::Sample> &samples)
+{
+    serve::BatchingConfig batching;
+    batching.max_batch = max_batch;
+    batching.batch_window = std::chrono::microseconds(opt.window_us);
+    batching.queue_capacity = opt.capacity;
+
+    serve::ServerConfig cfg;
+    if (opt.photonic) {
+        const PhotoFourierAccelerator accel(
+            arch::AcceleratorConfig::currentGen());
+        cfg = accel.servingConfig(batching, opt.noise);
+    } else {
+        cfg.batching = batching;
+    }
+    cfg.workers = opt.workers;
+    serve::InferenceServer server(cfg);
+    server.registry().add(opt.model, buildModel(opt.model));
+
+    const auto started = std::chrono::steady_clock::now();
+    std::atomic<uint64_t> completed{0}, rejected{0};
+
+    if (opt.mode == "closed") {
+        std::atomic<size_t> next{0};
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < opt.clients; ++c) {
+            clients.emplace_back([&] {
+                for (;;) {
+                    const size_t i = next.fetch_add(1);
+                    if (i >= opt.requests)
+                        return;
+                    auto handle = server.submit(
+                        opt.model, samples[i % samples.size()].image);
+                    if (handle.wait() == serve::RequestStatus::Done)
+                        completed.fetch_add(1);
+                    else
+                        rejected.fetch_add(1);
+                }
+            });
+        }
+        for (auto &client : clients)
+            client.join();
+    } else {
+        // Open loop: arrivals on a fixed schedule, await at the end.
+        const auto gap = std::chrono::duration<double>(1.0 / opt.rate);
+        std::vector<serve::Completion> handles;
+        handles.reserve(opt.requests);
+        auto deadline = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < opt.requests; ++i) {
+            std::this_thread::sleep_until(deadline);
+            deadline += std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(gap);
+            handles.push_back(server.submit(
+                opt.model, samples[i % samples.size()].image));
+        }
+        for (auto &handle : handles) {
+            if (handle.wait() == serve::RequestStatus::Done)
+                completed.fetch_add(1);
+            else
+                rejected.fetch_add(1);
+        }
+    }
+
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    server.drain();
+
+    RunResult result;
+    result.max_batch = max_batch;
+    result.elapsed_s = elapsed;
+    result.completed = completed.load();
+    result.rejected = rejected.load();
+    result.throughput_rps =
+        elapsed > 0.0 ? static_cast<double>(result.completed) / elapsed
+                      : 0.0;
+    const auto report = server.report();
+    for (const auto &m : report.models) {
+        if (m.model != opt.model)
+            continue;
+        result.mean_batch = m.mean_batch;
+        result.p50_us = m.latency_p50_us;
+        result.p95_us = m.latency_p95_us;
+        result.p99_us = m.latency_p99_us;
+        result.mean_us = m.latency_mean_us;
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    nn::SyntheticCifarConfig data_cfg;
+    nn::SyntheticCifar generator(data_cfg, 2026);
+    const auto samples = generator.generate(32);
+
+    std::vector<RunResult> results;
+    for (size_t max_batch : opt.batch_list) {
+        std::printf("max_batch=%zu ...\n", max_batch);
+        results.push_back(runOnce(opt, max_batch, samples));
+        const auto &r = results.back();
+        std::printf(
+            "  %6.1f req/s  p50 %8.1f us  p95 %8.1f us  p99 %8.1f us"
+            "  mean_batch %.2f  rejected %llu\n",
+            r.throughput_rps, r.p50_us, r.p95_us, r.p99_us,
+            r.mean_batch,
+            static_cast<unsigned long long>(r.rejected));
+    }
+
+    FILE *out = std::fopen(opt.out.c_str(), "w");
+    if (out == nullptr)
+        pf_fatal("cannot open ", opt.out, " for writing");
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"serving\",\n");
+    std::fprintf(out, "  \"model\": \"%s\",\n", opt.model.c_str());
+    std::fprintf(out, "  \"engine\": \"%s\",\n",
+                 opt.photonic ? (opt.noise ? "photofourier+noise"
+                                           : "photofourier")
+                              : "direct");
+    std::fprintf(out, "  \"mode\": \"%s\",\n", opt.mode.c_str());
+    std::fprintf(out, "  \"workers\": %zu,\n", opt.workers);
+    std::fprintf(out, "  \"clients\": %zu,\n", opt.clients);
+    std::fprintf(out, "  \"requests_per_run\": %zu,\n", opt.requests);
+    std::fprintf(out, "  \"window_us\": %ld,\n", opt.window_us);
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"runs\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::fprintf(out,
+                     "    {\"max_batch\": %zu, \"elapsed_s\": %.4f, "
+                     "\"throughput_rps\": %.2f, \"completed\": %llu, "
+                     "\"rejected\": %llu, \"mean_batch\": %.3f, "
+                     "\"latency_mean_us\": %.1f, \"p50_us\": %.1f, "
+                     "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                     r.max_batch, r.elapsed_s, r.throughput_rps,
+                     static_cast<unsigned long long>(r.completed),
+                     static_cast<unsigned long long>(r.rejected),
+                     r.mean_batch, r.mean_us, r.p50_us, r.p95_us,
+                     r.p99_us, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("Wrote %s\n", opt.out.c_str());
+    return 0;
+}
