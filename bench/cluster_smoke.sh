@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Spawn a 2-shard loopback cluster (cluster_shard x2 + cluster_router),
+# drive it with serve_loadgen --cluster, and record the result. The
+# loadgen first verifies that every model-zoo network returns bit-exact
+# logits through the cluster (nonzero exit on any mismatch — this is
+# the CI cluster smoke), then measures closed-loop throughput.
+#
+# Usage: bench/cluster_smoke.sh BUILD_DIR [OUT_JSON]
+#   PF_CLUSTER_PORT_BASE  first of three consecutive ports (default 47410)
+#   PF_CLUSTER_REQUESTS   throughput-phase requests        (default 96)
+#   PF_CLUSTER_WIDTH      zoo width multiplier             (default 8)
+set -eu
+
+build_dir=${1:?usage: bench/cluster_smoke.sh BUILD_DIR [OUT_JSON]}
+out=${2:-BENCH_cluster.json}
+base=${PF_CLUSTER_PORT_BASE:-47410}
+requests=${PF_CLUSTER_REQUESTS:-96}
+width=${PF_CLUSTER_WIDTH:-8}
+
+models="small-vgg,small-alexnet,small-resnet"
+pids=""
+cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$pids" ] && kill $pids 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+"$build_dir/cluster_shard" --name s0 --port $((base + 1)) \
+    --models "$models" --width "$width" --workers 1 &
+pids="$pids $!"
+"$build_dir/cluster_shard" --name s1 --port $((base + 2)) \
+    --models "$models" --width "$width" --workers 1 &
+pids="$pids $!"
+
+# The router retries shard connections internally, so no ready-poll
+# is needed; same for the loadgen connecting to the router.
+"$build_dir/cluster_router" --port "$base" \
+    --shards "s0=127.0.0.1:$((base + 1)),s1=127.0.0.1:$((base + 2))" &
+pids="$pids $!"
+
+"$build_dir/serve_loadgen" --cluster "127.0.0.1:$base" \
+    --requests "$requests" --clients 4 --width "$width" \
+    --out "$out"
+
+echo "Wrote $out"

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Build the Release tree, run the micro-kernel benchmarks and the
-# serving smoke bench, and record the results as BENCH_micro.json and
-# BENCH_serving.json at the repo root. These files are the measured-
+# Build the Release tree, run the micro-kernel benchmarks, the serving
+# smoke bench, and the 2-shard loopback cluster sweep, and record the
+# results as BENCH_micro.json, BENCH_serving.json, and
+# BENCH_cluster.json at the repo root. These files are the measured-
 # perf trajectory: later PRs append comparable runs instead of
 # re-deriving a baseline.
 #
@@ -13,7 +14,8 @@ build_dir="$repo_root/build-bench"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
     -DPHOTOFOURIER_BUILD_TESTS=OFF
-cmake --build "$build_dir" -j --target micro_kernels serve_loadgen
+cmake --build "$build_dir" -j --target micro_kernels serve_loadgen \
+    cluster_shard cluster_router
 
 "$build_dir/micro_kernels" \
     --benchmark_out="$repo_root/BENCH_micro.json" \
@@ -31,3 +33,8 @@ echo "Wrote $repo_root/BENCH_micro.json"
     --out "$repo_root/BENCH_serving.json"
 
 echo "Wrote $repo_root/BENCH_serving.json"
+
+# Cluster smoke: 2 shards + router on loopback, bit-exactness verify
+# over every zoo model, then a closed-loop mixed-model sweep.
+"$repo_root/bench/cluster_smoke.sh" "$build_dir" \
+    "$repo_root/BENCH_cluster.json"

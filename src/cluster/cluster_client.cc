@@ -1,0 +1,52 @@
+#include "cluster/cluster_client.hh"
+
+#include <utility>
+
+namespace photofourier {
+namespace cluster {
+
+namespace {
+
+EndpointConfig
+withClientDefaults(EndpointConfig config)
+{
+    if (config.client_name == "client")
+        config.client_name = "cluster-client";
+    return config;
+}
+
+} // namespace
+
+ClusterClient::ClusterClient(const std::string &host, uint16_t port,
+                             EndpointConfig config)
+    : endpoint_(host + ":" + std::to_string(port), host, port,
+                withClientDefaults(std::move(config)))
+{
+}
+
+std::vector<std::string>
+ClusterClient::models() const
+{
+    std::vector<std::string> names;
+    for (const auto &[model, version] : endpoint_.models())
+        names.push_back(model);
+    return names;
+}
+
+bool
+ClusterClient::registerModel(
+    const std::string &name, const std::string &spec,
+    const std::string &weights,
+    std::optional<nn::PhotoFourierEngineConfig> engine_override,
+    std::string *error)
+{
+    RegisterModelMsg msg;
+    msg.name = name;
+    msg.spec = spec;
+    msg.weights = weights;
+    msg.engine_override = std::move(engine_override);
+    return endpoint_.registerModel(msg, nullptr, error);
+}
+
+} // namespace cluster
+} // namespace photofourier

@@ -1,0 +1,499 @@
+#include "cluster/protocol.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "net/wire.hh"
+#include "nn/model_zoo.hh"
+
+namespace photofourier {
+namespace cluster {
+
+using net::WireReader;
+using net::WireWriter;
+
+namespace {
+
+/** Open a payload with its tag. */
+WireWriter
+beginMessage(MsgType type)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(type));
+    return w;
+}
+
+/** Consume and check the tag; false on mismatch. */
+bool
+expectType(WireReader &r, MsgType type)
+{
+    return r.u8() == static_cast<uint8_t>(type) && r.ok();
+}
+
+void
+putHistogram(WireWriter &w, const Histogram::Data &h)
+{
+    w.f64(h.min_bucket);
+    w.f64(h.growth);
+    w.u64vec(h.buckets);
+    w.u64(h.count);
+    w.f64(h.sum);
+    w.f64(h.min);
+    w.f64(h.max);
+}
+
+/** False when the decoded snapshot could not have come from add(). */
+bool
+getHistogram(WireReader &r, Histogram::Data *h)
+{
+    h->min_bucket = r.f64();
+    h->growth = r.f64();
+    h->buckets = r.u64vec();
+    h->count = r.u64();
+    h->sum = r.f64();
+    h->min = r.f64();
+    h->max = r.f64();
+    if (!r.ok())
+        return false;
+    if (!(h->min_bucket > 0.0) || !(h->growth > 1.0))
+        return false;
+    uint64_t total = 0;
+    for (uint64_t b : h->buckets)
+        total += b;
+    return total == h->count;
+}
+
+void
+putEngineConfig(WireWriter &w, const nn::PhotoFourierEngineConfig &c)
+{
+    w.u32(static_cast<uint32_t>(c.n_conv));
+    w.u32(static_cast<uint32_t>(c.dac_bits));
+    w.u32(static_cast<uint32_t>(c.adc_bits));
+    w.u32(static_cast<uint32_t>(c.temporal_accumulation_depth));
+    w.u8(c.zero_pad_rows ? 1 : 0);
+    w.u8(c.noise ? 1 : 0);
+    w.f64(c.snr_db);
+    w.u64(c.noise_seed);
+    w.u8(c.optical_backend ? 1 : 0);
+}
+
+bool
+getEngineConfig(WireReader &r, nn::PhotoFourierEngineConfig *c)
+{
+    c->n_conv = r.u32();
+    c->dac_bits = static_cast<int>(r.u32());
+    c->adc_bits = static_cast<int>(r.u32());
+    c->temporal_accumulation_depth = r.u32();
+    c->zero_pad_rows = r.u8() != 0;
+    c->noise = r.u8() != 0;
+    c->snr_db = r.f64();
+    c->noise_seed = r.u64();
+    c->optical_backend = r.u8() != 0;
+    return r.ok();
+}
+
+} // namespace
+
+bool
+peekType(std::string_view frame, MsgType *type)
+{
+    pf_assert(type != nullptr, "peekType without output");
+    if (frame.empty())
+        return false;
+    const auto tag = static_cast<uint8_t>(frame[0]);
+    if (tag < static_cast<uint8_t>(MsgType::Hello) ||
+        tag > static_cast<uint8_t>(MsgType::Pong))
+        return false;
+    *type = static_cast<MsgType>(tag);
+    return true;
+}
+
+std::string
+encodeHello(const HelloMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::Hello);
+    w.u32(msg.magic);
+    w.u16(msg.version);
+    w.str(msg.client_name);
+    return w.take();
+}
+
+bool
+decodeHello(std::string_view frame, HelloMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::Hello))
+        return false;
+    msg->magic = r.u32();
+    msg->version = r.u16();
+    msg->client_name = r.str();
+    return r.atEnd();
+}
+
+std::string
+encodeHelloAck(const HelloAckMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::HelloAck);
+    w.u16(msg.version);
+    w.str(msg.server_name);
+    w.u32(static_cast<uint32_t>(msg.models.size()));
+    for (const auto &[name, version] : msg.models) {
+        w.str(name);
+        w.u64(version);
+    }
+    return w.take();
+}
+
+bool
+decodeHelloAck(std::string_view frame, HelloAckMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::HelloAck))
+        return false;
+    msg->version = r.u16();
+    msg->server_name = r.str();
+    const uint32_t count = r.u32();
+    msg->models.clear();
+    for (uint32_t i = 0; i < count && r.ok(); ++i) {
+        std::string name = r.str();
+        const uint64_t version = r.u64();
+        msg->models.emplace_back(std::move(name), version);
+    }
+    return r.atEnd();
+}
+
+InferRequestMsg
+InferRequestMsg::fromTensor(uint64_t seq, const std::string &model,
+                            serve::Priority priority,
+                            const nn::Tensor &input)
+{
+    InferRequestMsg msg;
+    msg.seq = seq;
+    msg.model = model;
+    msg.priority = priority;
+    msg.channels = static_cast<uint32_t>(input.channels());
+    msg.height = static_cast<uint32_t>(input.height());
+    msg.width = static_cast<uint32_t>(input.width());
+    msg.data = input.data();
+    return msg;
+}
+
+nn::Tensor
+InferRequestMsg::toTensor() const
+{
+    nn::Tensor t(channels, height, width);
+    pf_assert(t.size() == data.size(),
+              "wire tensor shape/data mismatch survived decode");
+    t.data() = data;
+    return t;
+}
+
+std::string
+encodeInferRequest(const InferRequestMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::InferRequest);
+    w.u64(msg.seq);
+    w.str(msg.model);
+    w.u8(static_cast<uint8_t>(msg.priority));
+    w.u32(msg.channels);
+    w.u32(msg.height);
+    w.u32(msg.width);
+    w.f64vec(msg.data);
+    return w.take();
+}
+
+bool
+decodeInferRequest(std::string_view frame, InferRequestMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::InferRequest))
+        return false;
+    msg->seq = r.u64();
+    msg->model = r.str();
+    const uint8_t priority = r.u8();
+    if (priority > static_cast<uint8_t>(serve::Priority::Batch))
+        return false;
+    msg->priority = static_cast<serve::Priority>(priority);
+    msg->channels = r.u32();
+    msg->height = r.u32();
+    msg->width = r.u32();
+    msg->data = r.f64vec();
+    if (!r.atEnd())
+        return false;
+    // The semantic invariant decode must uphold: shape and payload
+    // agree (toTensor would otherwise build a tensor from lies).
+    const uint64_t expected = uint64_t{msg->channels} * msg->height *
+                              uint64_t{msg->width};
+    return expected == msg->data.size();
+}
+
+std::string
+encodeInferResponse(const InferResponseMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::InferResponse);
+    w.u64(msg.seq);
+    w.u8(static_cast<uint8_t>(msg.status));
+    w.f64(msg.latency_us);
+    w.f64vec(msg.logits);
+    w.str(msg.error);
+    return w.take();
+}
+
+bool
+decodeInferResponse(std::string_view frame, InferResponseMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::InferResponse))
+        return false;
+    msg->seq = r.u64();
+    const uint8_t status = r.u8();
+    if (status > static_cast<uint8_t>(serve::RequestStatus::Rejected))
+        return false;
+    msg->status = static_cast<serve::RequestStatus>(status);
+    // A response is terminal by definition; Pending cannot travel.
+    if (msg->status == serve::RequestStatus::Pending)
+        return false;
+    msg->latency_us = r.f64();
+    msg->logits = r.f64vec();
+    msg->error = r.str();
+    return r.atEnd();
+}
+
+std::string
+encodeRegisterModel(const RegisterModelMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::RegisterModel);
+    w.u64(msg.seq);
+    w.str(msg.name);
+    w.str(msg.spec);
+    w.str(msg.weights);
+    w.u8(msg.engine_override ? 1 : 0);
+    if (msg.engine_override)
+        putEngineConfig(w, *msg.engine_override);
+    return w.take();
+}
+
+bool
+decodeRegisterModel(std::string_view frame, RegisterModelMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::RegisterModel))
+        return false;
+    msg->seq = r.u64();
+    msg->name = r.str();
+    msg->spec = r.str();
+    msg->weights = r.str();
+    const uint8_t has_override = r.u8();
+    if (has_override > 1)
+        return false;
+    msg->engine_override.reset();
+    if (has_override) {
+        nn::PhotoFourierEngineConfig config;
+        if (!getEngineConfig(r, &config))
+            return false;
+        msg->engine_override = config;
+    }
+    return r.atEnd();
+}
+
+std::string
+encodeRegisterAck(const RegisterAckMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::RegisterAck);
+    w.u64(msg.seq);
+    w.u8(msg.ok ? 1 : 0);
+    w.u64(msg.version);
+    w.str(msg.error);
+    return w.take();
+}
+
+bool
+decodeRegisterAck(std::string_view frame, RegisterAckMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::RegisterAck))
+        return false;
+    msg->seq = r.u64();
+    const uint8_t ok = r.u8();
+    if (ok > 1)
+        return false;
+    msg->ok = ok != 0;
+    msg->version = r.u64();
+    msg->error = r.str();
+    return r.atEnd();
+}
+
+std::string
+encodeStatsQuery(const StatsQueryMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::StatsQuery);
+    w.u64(msg.seq);
+    return w.take();
+}
+
+bool
+decodeStatsQuery(std::string_view frame, StatsQueryMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::StatsQuery))
+        return false;
+    msg->seq = r.u64();
+    return r.atEnd();
+}
+
+std::string
+encodeStatsReport(const StatsReportMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::StatsReport);
+    w.u64(msg.seq);
+    w.str(msg.server_name);
+    w.f64(msg.uptime_s);
+    w.u64(msg.unknown_model_failures);
+    w.u32(static_cast<uint32_t>(msg.models.size()));
+    for (const auto &m : msg.models) {
+        w.str(m.model);
+        w.u64(m.accepted);
+        w.u64(m.rejected);
+        w.u64(m.completed);
+        w.u64(m.failed);
+        w.u64(m.batches);
+        w.f64(m.mean_batch);
+        putHistogram(w, m.latency);
+    }
+    return w.take();
+}
+
+bool
+decodeStatsReport(std::string_view frame, StatsReportMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::StatsReport))
+        return false;
+    msg->seq = r.u64();
+    msg->server_name = r.str();
+    msg->uptime_s = r.f64();
+    msg->unknown_model_failures = r.u64();
+    const uint32_t count = r.u32();
+    msg->models.clear();
+    for (uint32_t i = 0; i < count && r.ok(); ++i) {
+        WireModelStats m;
+        m.model = r.str();
+        m.accepted = r.u64();
+        m.rejected = r.u64();
+        m.completed = r.u64();
+        m.failed = r.u64();
+        m.batches = r.u64();
+        m.mean_batch = r.f64();
+        if (!getHistogram(r, &m.latency))
+            return false;
+        msg->models.push_back(std::move(m));
+    }
+    return r.atEnd();
+}
+
+std::string
+encodePing(const PingMsg &msg, MsgType type)
+{
+    pf_assert(type == MsgType::Ping || type == MsgType::Pong,
+              "encodePing with a non-ping type");
+    WireWriter w = beginMessage(type);
+    w.u64(msg.seq);
+    return w.take();
+}
+
+bool
+decodePing(std::string_view frame, PingMsg *msg, MsgType type)
+{
+    WireReader r(frame);
+    if (!expectType(r, type))
+        return false;
+    msg->seq = r.u64();
+    return r.atEnd();
+}
+
+namespace {
+
+/** FNV-1a 64-bit over the bytes of a name. */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: decorrelates the combined name hashes. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+uint64_t
+rendezvousScore(const std::string &shard, const std::string &model)
+{
+    // Multiply one side before combining so (shard="ab", model="c")
+    // and (shard="a", model="bc") cannot collide by concatenation.
+    return mix64(fnv1a(shard) ^
+                 (fnv1a(model) * 0xff51afd7ed558ccdull));
+}
+
+std::vector<std::string>
+rendezvousRank(const std::vector<std::string> &shards,
+               const std::string &model)
+{
+    std::vector<std::string> ranked = shards;
+    std::sort(ranked.begin(), ranked.end(),
+              [&model](const std::string &a, const std::string &b) {
+                  const uint64_t sa = rendezvousScore(a, model);
+                  const uint64_t sb = rendezvousScore(b, model);
+                  return sa != sb ? sa > sb : a < b;
+              });
+    return ranked;
+}
+
+std::optional<nn::Network>
+buildModelFromSpec(const std::string &spec)
+{
+    // zoo:<family>:<width>:<seed>
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        const size_t next = std::min(spec.find(':', pos), spec.size());
+        parts.push_back(spec.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    if (parts.size() != 4 || parts[0] != "zoo")
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long width = std::strtoul(parts[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || width == 0)
+        return std::nullopt;
+    const unsigned long long seed =
+        std::strtoull(parts[3].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return std::nullopt;
+
+    Rng rng(static_cast<uint64_t>(seed));
+    const std::string &family = parts[1];
+    if (family == "small-vgg")
+        return nn::buildSmallVgg(width, rng);
+    if (family == "small-alexnet")
+        return nn::buildSmallAlexNet(width, rng);
+    if (family == "small-resnet")
+        return nn::buildSmallResNet(width, rng);
+    return std::nullopt;
+}
+
+} // namespace cluster
+} // namespace photofourier

@@ -208,4 +208,35 @@ Histogram::merge(const Histogram &other)
     count_ += other.count_;
 }
 
+Histogram::Data
+Histogram::data() const
+{
+    Data d;
+    d.min_bucket = min_bucket_;
+    d.growth = growth_;
+    d.buckets = buckets_;
+    d.count = count_;
+    d.sum = sum_;
+    d.min = min_;
+    d.max = max_;
+    return d;
+}
+
+Histogram
+Histogram::fromData(const Data &data)
+{
+    Histogram h(data.min_bucket, data.growth);
+    uint64_t total = 0;
+    for (uint64_t b : data.buckets)
+        total += b;
+    pf_assert(total == data.count, "histogram snapshot bucket total ",
+              total, " != count ", data.count);
+    h.buckets_ = data.buckets;
+    h.count_ = data.count;
+    h.sum_ = data.sum;
+    h.min_ = data.min;
+    h.max_ = data.max;
+    return h;
+}
+
 } // namespace photofourier

@@ -113,6 +113,35 @@ class Histogram
     /** Fold another histogram in (must share bucket geometry). */
     void merge(const Histogram &other);
 
+    /**
+     * Flat copy of the histogram's full state, for shipping across
+     * process boundaries (the cluster stats protocol) or snapshotting
+     * under a lock. fromData() reconstructs an identical histogram:
+     * fromData(h.data()) and h agree on every query, and merging a
+     * reconstructed histogram equals merging the original.
+     */
+    struct Data
+    {
+        double min_bucket = 1.0;
+        double growth = 1.05;
+        std::vector<uint64_t> buckets;
+        uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    /** Snapshot the full state. */
+    Data data() const;
+
+    /**
+     * Rebuild a histogram from a snapshot. Panics on inconsistent
+     * data (bad geometry, bucket total != count) — snapshots that
+     * crossed an untrusted boundary are validated by the wire decoder
+     * before reaching this.
+     */
+    static Histogram fromData(const Data &data);
+
   private:
     double min_bucket_;
     double growth_;

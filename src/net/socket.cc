@@ -1,0 +1,304 @@
+#include "net/socket.hh"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace net {
+
+namespace {
+
+/** Frame header: payload length, little-endian on the wire. */
+void
+encodeLength(uint32_t n, unsigned char out[4])
+{
+    out[0] = static_cast<unsigned char>(n & 0xff);
+    out[1] = static_cast<unsigned char>((n >> 8) & 0xff);
+    out[2] = static_cast<unsigned char>((n >> 16) & 0xff);
+    out[3] = static_cast<unsigned char>((n >> 24) & 0xff);
+}
+
+uint32_t
+decodeLength(const unsigned char in[4])
+{
+    return static_cast<uint32_t>(in[0]) |
+           (static_cast<uint32_t>(in[1]) << 8) |
+           (static_cast<uint32_t>(in[2]) << 16) |
+           (static_cast<uint32_t>(in[3]) << 24);
+}
+
+/** Small-message latency matters more than throughput here. */
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+} // namespace
+
+// Moves are setup-time operations (before a connection is shared
+// between threads), so plain load/store transfers suffice.
+TcpConnection::TcpConnection(TcpConnection &&other) noexcept
+{
+    fd_.store(other.fd_.exchange(-1));
+    broken_.store(other.broken_.exchange(false));
+}
+
+TcpConnection &
+TcpConnection::operator=(TcpConnection &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_.store(other.fd_.exchange(-1));
+        broken_.store(other.broken_.exchange(false));
+    }
+    return *this;
+}
+
+TcpConnection
+TcpConnection::connectTo(const std::string &host, uint16_t port,
+                         std::chrono::milliseconds retry_for)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + retry_for;
+    for (;;) {
+        addrinfo hints{};
+        hints.ai_family = AF_INET;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo *res = nullptr;
+        const std::string service = std::to_string(port);
+        if (::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                          &res) != 0 ||
+            res == nullptr)
+            return TcpConnection();
+
+        int fd = ::socket(res->ai_family, res->ai_socktype,
+                          res->ai_protocol);
+        int rc = -1;
+        if (fd >= 0) {
+            do {
+                rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+            } while (rc < 0 && errno == EINTR);
+        }
+        // Saved before freeaddrinfo/close, which may clobber errno.
+        const int connect_errno = errno;
+        ::freeaddrinfo(res);
+        if (fd >= 0 && rc == 0) {
+            setNoDelay(fd);
+            return TcpConnection(fd);
+        }
+        if (fd >= 0)
+            ::close(fd);
+        // Only the startup race is worth retrying: the server exists
+        // but has not finished listening yet.
+        if (rc < 0 && connect_errno != ECONNREFUSED)
+            return TcpConnection();
+        if (std::chrono::steady_clock::now() >= deadline)
+            return TcpConnection();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+bool
+TcpConnection::sendAll(const void *data, size_t n)
+{
+    const int fd = fd_.load(std::memory_order_relaxed);
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a peer that died mid-write yields EPIPE, not
+        // a process-killing SIGPIPE.
+        const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (sent == 0)
+            return false;
+        p += sent;
+        n -= static_cast<size_t>(sent);
+    }
+    return true;
+}
+
+bool
+TcpConnection::recvAll(void *data, size_t n)
+{
+    const int fd = fd_.load(std::memory_order_relaxed);
+    char *p = static_cast<char *>(data);
+    while (n > 0) {
+        const ssize_t got = ::recv(fd, p, n, 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0) // orderly EOF (mid-frame EOF is also an error)
+            return false;
+        p += got;
+        n -= static_cast<size_t>(got);
+    }
+    return true;
+}
+
+bool
+TcpConnection::sendFrame(std::string_view payload)
+{
+    if (!valid() || payload.size() > kMaxFramePayload) {
+        broken_ = true;
+        return false;
+    }
+    unsigned char header[4];
+    encodeLength(static_cast<uint32_t>(payload.size()), header);
+    if (!sendAll(header, sizeof header) ||
+        !sendAll(payload.data(), payload.size())) {
+        broken_ = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+TcpConnection::recvFrame(std::string *payload)
+{
+    pf_assert(payload != nullptr, "recvFrame without output string");
+    if (!valid())
+        return false;
+    unsigned char header[4];
+    if (!recvAll(header, sizeof header)) {
+        broken_ = true;
+        return false;
+    }
+    const uint32_t length = decodeLength(header);
+    if (length > kMaxFramePayload) {
+        // A garbage length header: there is no way to resynchronize a
+        // byte stream, so the connection is done.
+        broken_ = true;
+        return false;
+    }
+    payload->resize(length);
+    if (length > 0 && !recvAll(payload->data(), length)) {
+        broken_ = true;
+        return false;
+    }
+    return true;
+}
+
+void
+TcpConnection::shutdownBoth()
+{
+    const int fd = fd_.load(std::memory_order_relaxed);
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+TcpConnection::close()
+{
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0)
+        ::close(fd);
+    broken_.store(false);
+}
+
+TcpListener::TcpListener(TcpListener &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, static_cast<uint16_t>(0)))
+{
+}
+
+TcpListener &
+TcpListener::operator=(TcpListener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        port_ = std::exchange(other.port_, static_cast<uint16_t>(0));
+    }
+    return *this;
+}
+
+TcpListener
+TcpListener::listenOn(uint16_t port, bool loopback_only)
+{
+    TcpListener listener;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return listener;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr =
+        htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+        ::close(fd);
+        return listener;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) <
+        0) {
+        ::close(fd);
+        return listener;
+    }
+    listener.fd_ = fd;
+    listener.port_ = ntohs(addr.sin_port);
+    return listener;
+}
+
+TcpConnection
+TcpListener::accept(const std::atomic<bool> &stop)
+{
+    while (!stop.load(std::memory_order_acquire)) {
+        if (fd_ < 0)
+            return TcpConnection();
+        pollfd pfd{fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return TcpConnection();
+        }
+        if (ready == 0)
+            continue; // timeout: re-check the stop flag
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return TcpConnection();
+        }
+        setNoDelay(fd);
+        return TcpConnection(fd);
+    }
+    return TcpConnection();
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    port_ = 0;
+}
+
+} // namespace net
+} // namespace photofourier

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Minimal POSIX TCP layer: a listener and length-prefixed framed
+ * connections.
+ *
+ * Everything above this file (src/cluster) speaks *frames*: a 4-byte
+ * little-endian payload length followed by the payload. Framing is the
+ * only job of this layer — message semantics live in cluster/protocol.
+ * Frames are capped at kMaxFramePayload so a corrupt or hostile length
+ * header cannot drive an allocation bomb; an oversized header poisons
+ * the connection (every later recvFrame fails).
+ *
+ * Thread contract per connection: one thread sends (or several, each
+ * holding the caller's send mutex), one thread receives. shutdownBoth()
+ * may be called from any thread to wake a blocked recvFrame() — that is
+ * how servers interrupt reader threads at stop. close() must only be
+ * called once no other thread can touch the connection (the fd number
+ * could otherwise be reused under a racing reader).
+ */
+
+#ifndef PHOTOFOURIER_NET_SOCKET_HH
+#define PHOTOFOURIER_NET_SOCKET_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace photofourier {
+namespace net {
+
+/** Largest frame payload accepted or sent (64 MiB). */
+constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/** A connected TCP stream carrying length-prefixed frames. */
+class TcpConnection
+{
+  public:
+    /** An unconnected handle (valid() == false). */
+    TcpConnection() = default;
+
+    /** Adopt an already connected fd (listener accept path). */
+    explicit TcpConnection(int fd) { fd_.store(fd); }
+
+    ~TcpConnection() { close(); }
+
+    TcpConnection(TcpConnection &&other) noexcept;
+    TcpConnection &operator=(TcpConnection &&other) noexcept;
+    TcpConnection(const TcpConnection &) = delete;
+    TcpConnection &operator=(const TcpConnection &) = delete;
+
+    /**
+     * Connect to host:port (numeric IPv4 dotted quad or a resolvable
+     * name). Retries connection-refused until `retry_for` elapses —
+     * covers the startup race where a client launches before its
+     * server finished binding. Returns an invalid connection on
+     * failure.
+     */
+    static TcpConnection connectTo(
+        const std::string &host, uint16_t port,
+        std::chrono::milliseconds retry_for =
+            std::chrono::milliseconds(0));
+
+    /** True while the descriptor is open and unpoisoned. */
+    bool valid() const
+    {
+        return fd_.load(std::memory_order_relaxed) >= 0 &&
+               !broken_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Write one frame (length prefix + payload). False on any error
+     * or when the payload exceeds kMaxFramePayload; errors poison the
+     * connection.
+     */
+    bool sendFrame(std::string_view payload);
+
+    /**
+     * Read one full frame into *payload. False on orderly EOF, any
+     * error, or a length header above kMaxFramePayload (the
+     * truncated/garbage-frame defense: the connection is poisoned,
+     * never partially consumed).
+     */
+    bool recvFrame(std::string *payload);
+
+    /**
+     * Shut down both stream directions, waking any blocked
+     * recvFrame(). Safe from any thread; the fd stays allocated until
+     * close().
+     */
+    void shutdownBoth();
+
+    /** Release the descriptor (see the header thread contract). */
+    void close();
+
+  private:
+    bool sendAll(const void *data, size_t n);
+    bool recvAll(void *data, size_t n);
+
+    /**
+     * Atomic because the send and receive sides live on different
+     * threads (each poisoning the connection on its own failures)
+     * and valid()/shutdownBoth() may be called from any thread. The
+     * descriptor itself stays allocated until close(), which the
+     * thread contract restricts to the last user.
+     */
+    std::atomic<int> fd_{-1};
+    std::atomic<bool> broken_{false};
+};
+
+/** A listening TCP socket handing out TcpConnections. */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener() { close(); }
+
+    TcpListener(TcpListener &&other) noexcept;
+    TcpListener &operator=(TcpListener &&other) noexcept;
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /**
+     * Bind and listen. port 0 picks an ephemeral port (read it back
+     * with port()); loopback_only binds 127.0.0.1 instead of all
+     * interfaces. Returns an invalid listener on failure.
+     */
+    static TcpListener listenOn(uint16_t port, bool loopback_only = true);
+
+    /** True while listening. */
+    bool valid() const { return fd_ >= 0; }
+
+    /** The bound port (0 when invalid). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Accept one connection, polling `stop` every few hundred
+     * milliseconds so a server can wind down without a self-connect
+     * trick. Returns an invalid connection once stopped or on listener
+     * failure.
+     */
+    TcpConnection accept(const std::atomic<bool> &stop);
+
+    /** Stop listening (pending accept returns invalid). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    uint16_t port_ = 0;
+};
+
+} // namespace net
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_NET_SOCKET_HH

@@ -1,0 +1,176 @@
+#include "net/wire.hh"
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+
+namespace photofourier {
+namespace net {
+
+namespace {
+
+template <typename T>
+void
+appendLe(std::string &out, T v)
+{
+    static_assert(std::is_unsigned_v<T>);
+    for (size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(
+            static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+template <typename T>
+T
+readLe(const unsigned char *p)
+{
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i)
+        v |= static_cast<T>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+WireWriter::u8(uint8_t v)
+{
+    appendLe(out_, v);
+}
+
+void
+WireWriter::u16(uint16_t v)
+{
+    appendLe(out_, v);
+}
+
+void
+WireWriter::u32(uint32_t v)
+{
+    appendLe(out_, v);
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    appendLe(out_, v);
+}
+
+void
+WireWriter::f64(double v)
+{
+    appendLe(out_, std::bit_cast<uint64_t>(v));
+}
+
+void
+WireWriter::str(std::string_view v)
+{
+    u32(static_cast<uint32_t>(v.size()));
+    out_.append(v.data(), v.size());
+}
+
+void
+WireWriter::f64vec(const std::vector<double> &v)
+{
+    u32(static_cast<uint32_t>(v.size()));
+    for (double x : v)
+        f64(x);
+}
+
+void
+WireWriter::u64vec(const std::vector<uint64_t> &v)
+{
+    u32(static_cast<uint32_t>(v.size()));
+    for (uint64_t x : v)
+        u64(x);
+}
+
+const unsigned char *
+WireReader::claim(size_t n)
+{
+    if (!ok_ || data_.size() - pos_ < n) {
+        ok_ = false;
+        return nullptr;
+    }
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(data_.data()) + pos_;
+    pos_ += n;
+    return p;
+}
+
+uint8_t
+WireReader::u8()
+{
+    const auto *p = claim(1);
+    return p ? p[0] : 0;
+}
+
+uint16_t
+WireReader::u16()
+{
+    const auto *p = claim(2);
+    return p ? readLe<uint16_t>(p) : 0;
+}
+
+uint32_t
+WireReader::u32()
+{
+    const auto *p = claim(4);
+    return p ? readLe<uint32_t>(p) : 0;
+}
+
+uint64_t
+WireReader::u64()
+{
+    const auto *p = claim(8);
+    return p ? readLe<uint64_t>(p) : 0;
+}
+
+double
+WireReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+WireReader::str()
+{
+    const uint32_t n = u32();
+    const auto *p = claim(n);
+    return p ? std::string(reinterpret_cast<const char *>(p), n)
+             : std::string();
+}
+
+std::vector<double>
+WireReader::f64vec()
+{
+    const uint32_t n = u32();
+    // Bound the reservation by the bytes actually present: a lying
+    // count fails on the first element instead of allocating 8n.
+    if (!ok_ || data_.size() - pos_ < size_t{n} * 8) {
+        ok_ = false;
+        return {};
+    }
+    std::vector<double> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        v.push_back(f64());
+    return v;
+}
+
+std::vector<uint64_t>
+WireReader::u64vec()
+{
+    const uint32_t n = u32();
+    if (!ok_ || data_.size() - pos_ < size_t{n} * 8) {
+        ok_ = false;
+        return {};
+    }
+    std::vector<uint64_t> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        v.push_back(u64());
+    return v;
+}
+
+} // namespace net
+} // namespace photofourier

@@ -45,6 +45,13 @@ CompletionState::fulfill(RequestStatus terminal,
     cv.notify_all();
 }
 
+Completion
+bindCompletion(std::shared_ptr<CompletionState> state)
+{
+    pf_assert(state != nullptr, "binding a null completion state");
+    return Completion(std::move(state));
+}
+
 } // namespace detail
 
 RequestStatus

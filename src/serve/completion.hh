@@ -57,6 +57,19 @@ struct CompletionState
 
 } // namespace detail
 
+class Completion;
+
+namespace detail {
+
+/**
+ * Bind a handle to a state owned by a producer other than
+ * InferenceServer (the cluster router and remote endpoints fulfill
+ * completions from protocol responses).
+ */
+Completion bindCompletion(std::shared_ptr<CompletionState> state);
+
+} // namespace detail
+
 /** Copyable future for one request's logits. */
 class Completion
 {
@@ -94,6 +107,8 @@ class Completion
 
   private:
     friend class InferenceServer;
+    friend Completion detail::bindCompletion(
+        std::shared_ptr<detail::CompletionState> state);
     explicit Completion(std::shared_ptr<detail::CompletionState> state)
         : state_(std::move(state))
     {

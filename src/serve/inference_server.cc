@@ -62,7 +62,8 @@ InferenceServer::start()
 }
 
 Completion
-InferenceServer::submit(const std::string &model, nn::Tensor input)
+InferenceServer::submit(const std::string &model, nn::Tensor input,
+                        SubmitOptions options)
 {
     auto state = std::make_shared<detail::CompletionState>();
     state->enqueued = Clock::now();
@@ -85,7 +86,8 @@ InferenceServer::submit(const std::string &model, nn::Tensor input)
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_[model].accepted;
     }
-    if (!queue_.push(QueuedRequest{model, std::move(input), state})) {
+    if (!queue_.push(QueuedRequest{model, std::move(input), state,
+                                   options.priority})) {
         state->fulfill(RequestStatus::Rejected, {},
                        "queue full or server draining");
         std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -106,7 +108,7 @@ InferenceServer::workerLoop(size_t id)
     std::shared_ptr<const nn::ConvEngine> engine;
     if (config_.engine_factory)
         engine = config_.engine_factory(id);
-    std::map<std::string, nn::Network> replicas;
+    std::map<std::string, ModelRegistry::Replica> replicas;
 
     for (;;) {
         std::vector<QueuedRequest> batch = queue_.popBatch();
@@ -114,14 +116,26 @@ InferenceServer::workerLoop(size_t id)
             return;
 
         const std::string &model = batch.front().model;
+        // Re-clone when the registry moved past the version this
+        // worker cloned: re-registration and engine-override changes
+        // take effect on the next batch, not the next restart.
         auto it = replicas.find(model);
-        if (it == replicas.end()) {
-            it = replicas.emplace(model, registry_.instantiate(model))
+        if (it == replicas.end() ||
+            it->second.version != registry_.version(model)) {
+            auto replica = registry_.instantiateReplica(model);
+            if (replica.engine_override) {
+                // Per-model override wins over the worker's factory
+                // engine; each worker builds its own instance.
+                replica.network.setConvEngine(
+                    std::make_shared<nn::PhotoFourierEngine>(
+                        *replica.engine_override));
+            } else if (engine) {
+                replica.network.setConvEngine(engine);
+            }
+            it = replicas.insert_or_assign(model, std::move(replica))
                      .first;
-            if (engine)
-                it->second.setConvEngine(engine);
         }
-        nn::Network &net = it->second;
+        nn::Network &net = it->second.network;
 
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -215,6 +229,7 @@ InferenceServer::report() const
             m.latency_p95_us = s.latency_us.percentile(95.0);
             m.latency_p99_us = s.latency_us.percentile(99.0);
         }
+        m.latency_hist = s.latency_us;
         total_completed += s.completed;
         out.models.push_back(std::move(m));
     }

@@ -14,12 +14,15 @@
  * Each worker thread owns a private replica of every model it serves
  * (cloned lazily from the registry prototype) and, when an engine
  * factory is configured, its own ConvEngine instance — stateful layer
- * caches and engine numerics are never shared between workers. Batches
- * coalesce per model (BatchQueue) and requests resolve through
- * future-style Completion handles. Results are bit-identical to
- * sequential Network::logits calls on the prototype: replicas carry
- * identical weights and engines are pure functions of their inputs
- * (see the ConvEngine thread-safety contract).
+ * caches and engine numerics are never shared between workers. A
+ * model's registry engine override wins over the factory, and workers
+ * re-clone a replica whose registry version moved on (re-registration
+ * takes effect without a restart). Batches coalesce per model
+ * (BatchQueue) and requests resolve through future-style Completion
+ * handles. Results are bit-identical to sequential Network::logits
+ * calls on the prototype: replicas carry identical weights and engines
+ * are pure functions of their inputs (see the ConvEngine
+ * thread-safety contract).
  *
  * Intra-request parallelism still comes from the signal-layer worker
  * pool (PHOTOFOURIER_THREADS); serving workers add inter-request
@@ -88,6 +91,13 @@ struct ModelReport
     double latency_p50_us = 0.0;
     double latency_p95_us = 0.0;
     double latency_p99_us = 0.0;
+
+    /**
+     * The full latency distribution behind the percentiles, so
+     * reports from many servers can be merged exactly (the cluster
+     * router folds shard histograms with Histogram::merge).
+     */
+    Histogram latency_hist{1.0, 1.05};
 };
 
 /** Whole-server snapshot. */
@@ -124,9 +134,12 @@ class InferenceServer
     /**
      * Enqueue one request. Never blocks: the returned handle is
      * immediately Failed for an unknown model and Rejected when the
-     * queue is at capacity or the server is draining.
+     * queue is at capacity or the server is draining. Batch-class
+     * requests (options.priority) yield to interactive traffic until
+     * they age (BatchingConfig::priority_aging).
      */
-    Completion submit(const std::string &model, nn::Tensor input);
+    Completion submit(const std::string &model, nn::Tensor input,
+                      SubmitOptions options = {});
 
     /**
      * Stop admission and block until every accepted request has been

@@ -10,13 +10,31 @@ namespace photofourier {
 namespace serve {
 
 void
-ModelRegistry::add(const std::string &name, nn::Network prototype)
+ModelRegistry::addEntry(
+    const std::string &name, nn::Network prototype,
+    std::optional<nn::PhotoFourierEngineConfig> engine)
 {
     pf_assert(!name.empty(), "registering a model with an empty name");
     pf_assert(prototype.layerCount() > 0, "registering empty network '",
               name, "'");
     std::lock_guard<std::mutex> lock(mutex_);
-    models_.insert_or_assign(name, std::move(prototype));
+    Entry &entry = models_[name];
+    entry.prototype = std::move(prototype);
+    ++entry.version;
+    entry.engine_override = std::move(engine);
+}
+
+void
+ModelRegistry::add(const std::string &name, nn::Network prototype)
+{
+    addEntry(name, std::move(prototype), std::nullopt);
+}
+
+void
+ModelRegistry::add(const std::string &name, nn::Network prototype,
+                   nn::PhotoFourierEngineConfig engine_override)
+{
+    addEntry(name, std::move(prototype), std::move(engine_override));
 }
 
 bool
@@ -30,11 +48,41 @@ ModelRegistry::addFromFile(const std::string &name,
     return true;
 }
 
+void
+ModelRegistry::setEngineOverride(
+    const std::string &name,
+    std::optional<nn::PhotoFourierEngineConfig> engine_override)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    pf_assert(it != models_.end(),
+              "engine override for unknown model '", name, "'");
+    it->second.engine_override = std::move(engine_override);
+    ++it->second.version;
+}
+
+std::optional<nn::PhotoFourierEngineConfig>
+ModelRegistry::engineOverride(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    return it != models_.end() ? it->second.engine_override
+                               : std::nullopt;
+}
+
 bool
 ModelRegistry::has(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return models_.count(name) > 0;
+}
+
+uint64_t
+ModelRegistry::version(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    return it != models_.end() ? it->second.version : 0;
 }
 
 std::vector<std::string>
@@ -43,8 +91,19 @@ ModelRegistry::names() const
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
     out.reserve(models_.size());
-    for (const auto &[name, net] : models_)
+    for (const auto &[name, entry] : models_)
         out.push_back(name);
+    return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+ModelRegistry::namesWithVersions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(models_.size());
+    for (const auto &[name, entry] : models_)
+        out.emplace_back(name, entry.version);
     return out;
 }
 
@@ -58,11 +117,21 @@ ModelRegistry::size() const
 nn::Network
 ModelRegistry::instantiate(const std::string &name) const
 {
+    return instantiateReplica(name).network;
+}
+
+ModelRegistry::Replica
+ModelRegistry::instantiateReplica(const std::string &name) const
+{
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = models_.find(name);
     pf_assert(it != models_.end(), "instantiate of unknown model '",
               name, "'");
-    return it->second.clone();
+    Replica replica;
+    replica.network = it->second.prototype.clone();
+    replica.version = it->second.version;
+    replica.engine_override = it->second.engine_override;
+    return replica;
 }
 
 std::string
@@ -73,7 +142,7 @@ ModelRegistry::snapshot(const std::string &name) const
     pf_assert(it != models_.end(), "snapshot of unknown model '", name,
               "'");
     std::ostringstream out;
-    nn::saveNetwork(it->second, out);
+    nn::saveNetwork(it->second.prototype, out);
     return out.str();
 }
 

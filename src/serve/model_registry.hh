@@ -5,25 +5,37 @@
  * The registry owns one prototype nn::Network per model name. Serving
  * workers never share a live network (stateful layers cache
  * activations during forward), so each worker clones its own replica
- * via instantiate(). Weight snapshots round-trip through
+ * via instantiateReplica(). Weight snapshots round-trip through
  * nn/serialization, which is also how a prototype can be registered
  * from a weights file trained elsewhere.
  *
  * Names only ever gain or replace prototypes — they are never removed
  * — so a worker that has seen a name may instantiate it later without
- * re-checking. Re-registering a name affects future replicas only;
- * replicas already cloned keep serving the weights they were born
- * with.
+ * re-checking. Every mutation of a name (re-registration, engine
+ * override change) bumps that name's version; workers compare their
+ * replica's version against version() and re-clone when behind, so
+ * re-registering a model takes effect on the next batch without a
+ * server restart.
+ *
+ * A model may also carry a PhotoFourierEngineConfig override: replicas
+ * of that model execute on an engine built from the override, which
+ * wins over the server-wide EngineFactory. This is how a single server
+ * serves e.g. one model on noisy photonic numerics next to another on
+ * the clean digital path.
  */
 
 #ifndef PHOTOFOURIER_SERVE_MODEL_REGISTRY_HH
 #define PHOTOFOURIER_SERVE_MODEL_REGISTRY_HH
 
+#include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "nn/conv_engine.hh"
 #include "nn/network.hh"
 
 namespace photofourier {
@@ -33,8 +45,31 @@ namespace serve {
 class ModelRegistry
 {
   public:
-    /** Register (or replace) a prototype under `name`. */
+    /**
+     * A freshly cloned replica plus the registration state it was
+     * cloned from, read atomically under the registry lock.
+     */
+    struct Replica
+    {
+        nn::Network network;
+        uint64_t version = 0;
+        std::optional<nn::PhotoFourierEngineConfig> engine_override;
+    };
+
+    /**
+     * Register (or replace) a prototype under `name`. Bumps the
+     * name's version and clears any engine override — the override
+     * belongs to the registration, not the name.
+     */
     void add(const std::string &name, nn::Network prototype);
+
+    /**
+     * Register (or replace) a prototype whose replicas must run on an
+     * engine built from `engine_override` (wins over the server-wide
+     * EngineFactory).
+     */
+    void add(const std::string &name, nn::Network prototype,
+             nn::PhotoFourierEngineConfig engine_override);
 
     /**
      * Register `architecture` with weights loaded from a
@@ -45,11 +80,34 @@ class ModelRegistry
     bool addFromFile(const std::string &name, nn::Network architecture,
                      const std::string &weights_path);
 
+    /**
+     * Change (or clear, with nullopt) the engine override of a
+     * registered name; bumps the version so live replicas rebind.
+     * Panics on an unknown name.
+     */
+    void setEngineOverride(
+        const std::string &name,
+        std::optional<nn::PhotoFourierEngineConfig> engine_override);
+
+    /** The engine override of `name` (nullopt when none/unknown). */
+    std::optional<nn::PhotoFourierEngineConfig> engineOverride(
+        const std::string &name) const;
+
     /** True when `name` has a prototype. */
     bool has(const std::string &name) const;
 
+    /**
+     * Monotonic registration version of `name` (0 when unknown,
+     * starts at 1, bumped by every add/setEngineOverride).
+     */
+    uint64_t version(const std::string &name) const;
+
     /** Registered names, sorted. */
     std::vector<std::string> names() const;
+
+    /** Registered (name, version) pairs, sorted by name. */
+    std::vector<std::pair<std::string, uint64_t>> namesWithVersions()
+        const;
 
     /** Number of registered models. */
     size_t size() const;
@@ -60,12 +118,30 @@ class ModelRegistry
      */
     nn::Network instantiate(const std::string &name) const;
 
+    /**
+     * Replica plus the version and engine override it was cloned
+     * under, read in one critical section so a worker can cache the
+     * version and detect staleness later.
+     */
+    Replica instantiateReplica(const std::string &name) const;
+
     /** Serialized weight snapshot in the nn/serialization format. */
     std::string snapshot(const std::string &name) const;
 
   private:
+    struct Entry
+    {
+        nn::Network prototype;
+        uint64_t version = 0;
+        std::optional<nn::PhotoFourierEngineConfig> engine_override;
+    };
+
+    /** add() body; caller composes the override. */
+    void addEntry(const std::string &name, nn::Network prototype,
+                  std::optional<nn::PhotoFourierEngineConfig> engine);
+
     mutable std::mutex mutex_;
-    std::map<std::string, nn::Network> models_;
+    std::map<std::string, Entry> models_;
 };
 
 } // namespace serve

@@ -1,0 +1,869 @@
+/**
+ * @file
+ * Tests for the sharded serving tier: socket framing, wire-protocol
+ * round-trips (including truncated and garbage frames), rendezvous
+ * placement determinism and minimal movement, shard server + client
+ * end-to-end bit-exactness, remote registration (weights + engine
+ * override), router spillover/failover with a killed shard, and
+ * cluster-vs-single-server equivalence over the model zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "cluster/cluster_client.hh"
+#include "cluster/router.hh"
+#include "cluster/server.hh"
+#include "common/rng.hh"
+#include "net/socket.hh"
+#include "net/wire.hh"
+#include "nn/layers.hh"
+#include "nn/serialization.hh"
+
+namespace pf = photofourier;
+namespace nn = photofourier::nn;
+namespace net = photofourier::net;
+namespace sig = photofourier::signal;
+namespace serve = photofourier::serve;
+namespace cluster = photofourier::cluster;
+
+namespace {
+
+/** Tiny CNN (1x8x8 input): fast enough for socket round-trips. */
+nn::Network
+tinyNet(uint64_t seed = 21, size_t classes = 3)
+{
+    pf::Rng rng(seed);
+    nn::Network net;
+    net.add(std::make_unique<nn::Conv2d>(1, 4, 3, 1,
+                                         sig::ConvMode::Same, rng));
+    net.add(std::make_unique<nn::ReLU>());
+    net.add(std::make_unique<nn::GlobalAvgPool>());
+    net.add(std::make_unique<nn::Linear>(4, classes, rng));
+    return net;
+}
+
+std::vector<nn::Tensor>
+tinyInputs(size_t n, uint64_t seed = 77)
+{
+    pf::Rng rng(seed);
+    std::vector<nn::Tensor> inputs;
+    for (size_t i = 0; i < n; ++i) {
+        nn::Tensor t(1, 8, 8);
+        t.data() = rng.uniformVector(64, 0.0, 1.0);
+        inputs.push_back(std::move(t));
+    }
+    return inputs;
+}
+
+/** A started ShardServer preloaded with tiny models. */
+struct TestShard
+{
+    explicit TestShard(const std::string &name, size_t workers = 2)
+    {
+        cluster::ShardServerConfig config;
+        config.name = name;
+        config.serving.workers = workers;
+        config.serving.batching.batch_window =
+            std::chrono::microseconds(200);
+        server = std::make_unique<cluster::ShardServer>(config);
+        server->registry().add("tiny-a", tinyNet(1, 3));
+        server->registry().add("tiny-b", tinyNet(2, 5));
+        EXPECT_TRUE(server->start());
+    }
+
+    std::unique_ptr<cluster::ShardServer> server;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// net: sockets and framing
+// ---------------------------------------------------------------------------
+
+TEST(Net, FrameRoundTripOverLoopback)
+{
+    auto listener = net::TcpListener::listenOn(0);
+    ASSERT_TRUE(listener.valid());
+    ASSERT_GT(listener.port(), 0);
+
+    std::atomic<bool> stop{false};
+    net::TcpConnection client;
+    std::thread connector([&] {
+        client = net::TcpConnection::connectTo(
+            "127.0.0.1", listener.port(),
+            std::chrono::milliseconds(2000));
+    });
+    net::TcpConnection served = listener.accept(stop);
+    connector.join();
+    ASSERT_TRUE(client.valid());
+    ASSERT_TRUE(served.valid());
+
+    // Several frames, including an empty one, in both directions.
+    const std::string big(100000, 'x');
+    EXPECT_TRUE(client.sendFrame("hello"));
+    EXPECT_TRUE(client.sendFrame(""));
+    EXPECT_TRUE(client.sendFrame(big));
+    std::string frame;
+    ASSERT_TRUE(served.recvFrame(&frame));
+    EXPECT_EQ(frame, "hello");
+    ASSERT_TRUE(served.recvFrame(&frame));
+    EXPECT_EQ(frame, "");
+    ASSERT_TRUE(served.recvFrame(&frame));
+    EXPECT_EQ(frame, big);
+    EXPECT_TRUE(served.sendFrame("pong"));
+    ASSERT_TRUE(client.recvFrame(&frame));
+    EXPECT_EQ(frame, "pong");
+
+    // EOF: closing one side fails the other's next read cleanly.
+    client.close();
+    EXPECT_FALSE(served.recvFrame(&frame));
+    EXPECT_FALSE(served.valid()); // poisoned, not crashed
+}
+
+TEST(Net, OversizedLengthHeaderPoisonsConnection)
+{
+    auto listener = net::TcpListener::listenOn(0);
+    ASSERT_TRUE(listener.valid());
+
+    // Raw client socket so we can forge a hostile length header.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(listener.port());
+    std::atomic<bool> stop{false};
+    std::thread connector([&] {
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof addr),
+                  0);
+        const unsigned char header[4] = {0xff, 0xff, 0xff, 0xff};
+        ASSERT_EQ(::send(fd, header, 4, 0), 4);
+    });
+    net::TcpConnection served = listener.accept(stop);
+    connector.join();
+    ASSERT_TRUE(served.valid());
+
+    std::string frame;
+    EXPECT_FALSE(served.recvFrame(&frame)); // refused, no 4 GiB alloc
+    EXPECT_FALSE(served.valid());
+    ::close(fd);
+}
+
+TEST(Net, WireRoundTripAndStickyFailure)
+{
+    net::WireWriter w;
+    w.u8(7);
+    w.u16(65535);
+    w.u32(123456789);
+    w.u64(0xdeadbeefcafef00dull);
+    w.f64(-0.1250000001);
+    w.str("photofourier");
+    w.f64vec({1.5, -2.5, 1e-300});
+    w.u64vec({1, 2, 3});
+
+    net::WireReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 7);
+    EXPECT_EQ(r.u16(), 65535);
+    EXPECT_EQ(r.u32(), 123456789u);
+    EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(r.f64(), -0.1250000001); // bit-exact, not approximate
+    EXPECT_EQ(r.str(), "photofourier");
+    EXPECT_EQ(r.f64vec(), (std::vector<double>{1.5, -2.5, 1e-300}));
+    EXPECT_EQ(r.u64vec(), (std::vector<uint64_t>{1, 2, 3}));
+    EXPECT_TRUE(r.atEnd());
+
+    // Sticky failure: one byte short, reads keep returning zero
+    // values and ok() stays false forever.
+    net::WireReader short_reader(
+        std::string_view(w.bytes()).substr(0, 3));
+    EXPECT_EQ(short_reader.u8(), 7);
+    EXPECT_EQ(short_reader.u32(), 0u);
+    EXPECT_FALSE(short_reader.ok());
+    EXPECT_EQ(short_reader.u8(), 0); // would fit, but failure sticks
+    EXPECT_FALSE(short_reader.atEnd());
+
+    // A lying vector count must not allocate the claimed size.
+    net::WireWriter liar;
+    liar.u32(0xfffffff0u);
+    net::WireReader lied(liar.bytes());
+    EXPECT_TRUE(lied.f64vec().empty());
+    EXPECT_FALSE(lied.ok());
+}
+
+// ---------------------------------------------------------------------------
+// cluster: protocol round-trips and hostile input
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, InferMessagesRoundTrip)
+{
+    nn::Tensor input(2, 3, 4);
+    pf::Rng rng(5);
+    input.data() = rng.uniformVector(24, -1.0, 1.0);
+
+    const auto request = cluster::InferRequestMsg::fromTensor(
+        42, "vgg", serve::Priority::Batch, input);
+    cluster::InferRequestMsg request2;
+    ASSERT_TRUE(cluster::decodeInferRequest(
+        cluster::encodeInferRequest(request), &request2));
+    EXPECT_EQ(request2.seq, 42u);
+    EXPECT_EQ(request2.model, "vgg");
+    EXPECT_EQ(request2.priority, serve::Priority::Batch);
+    EXPECT_EQ(request2.toTensor().data(), input.data());
+    EXPECT_EQ(request2.toTensor().channels(), 2u);
+
+    cluster::InferResponseMsg response;
+    response.seq = 42;
+    response.status = serve::RequestStatus::Done;
+    response.latency_us = 123.5;
+    response.logits = {0.25, -1.75};
+    cluster::InferResponseMsg response2;
+    ASSERT_TRUE(cluster::decodeInferResponse(
+        cluster::encodeInferResponse(response), &response2));
+    EXPECT_EQ(response2.seq, 42u);
+    EXPECT_EQ(response2.status, serve::RequestStatus::Done);
+    EXPECT_EQ(response2.logits, response.logits);
+
+    // A Pending "response" is a lie and must not decode.
+    response.status = serve::RequestStatus::Pending;
+    EXPECT_FALSE(cluster::decodeInferResponse(
+        cluster::encodeInferResponse(response), &response2));
+}
+
+TEST(Protocol, ControlMessagesRoundTrip)
+{
+    cluster::HelloMsg hello;
+    hello.client_name = "router-7";
+    cluster::HelloMsg hello2;
+    ASSERT_TRUE(
+        cluster::decodeHello(cluster::encodeHello(hello), &hello2));
+    EXPECT_EQ(hello2.magic, cluster::kMagic);
+    EXPECT_EQ(hello2.version, cluster::kProtocolVersion);
+    EXPECT_EQ(hello2.client_name, "router-7");
+
+    cluster::HelloAckMsg ack;
+    ack.server_name = "shard-1";
+    ack.models = {{"a", 3}, {"b", 1}};
+    cluster::HelloAckMsg ack2;
+    ASSERT_TRUE(cluster::decodeHelloAck(cluster::encodeHelloAck(ack),
+                                        &ack2));
+    EXPECT_EQ(ack2.server_name, "shard-1");
+    EXPECT_EQ(ack2.models, ack.models);
+
+    cluster::RegisterModelMsg reg;
+    reg.seq = 9;
+    reg.name = "vgg";
+    reg.spec = "zoo:small-vgg:8:4242";
+    reg.weights = "photofourier-weights v1\n...";
+    nn::PhotoFourierEngineConfig engine;
+    engine.noise = true;
+    engine.snr_db = 17.5;
+    engine.noise_seed = 99;
+    reg.engine_override = engine;
+    cluster::RegisterModelMsg reg2;
+    ASSERT_TRUE(cluster::decodeRegisterModel(
+        cluster::encodeRegisterModel(reg), &reg2));
+    EXPECT_EQ(reg2.name, "vgg");
+    EXPECT_EQ(reg2.spec, reg.spec);
+    EXPECT_EQ(reg2.weights, reg.weights);
+    ASSERT_TRUE(reg2.engine_override.has_value());
+    EXPECT_TRUE(reg2.engine_override->noise);
+    EXPECT_EQ(reg2.engine_override->snr_db, 17.5);
+    EXPECT_EQ(reg2.engine_override->noise_seed, 99u);
+
+    // Stats with a real histogram: percentiles survive the wire.
+    pf::Histogram latency(1.0, 1.05);
+    for (int i = 1; i <= 1000; ++i)
+        latency.add(static_cast<double>(i));
+    cluster::StatsReportMsg stats;
+    stats.server_name = "shard-1";
+    stats.uptime_s = 12.5;
+    cluster::WireModelStats model_stats;
+    model_stats.model = "vgg";
+    model_stats.completed = 1000;
+    model_stats.latency = latency.data();
+    stats.models.push_back(model_stats);
+    cluster::StatsReportMsg stats2;
+    ASSERT_TRUE(cluster::decodeStatsReport(
+        cluster::encodeStatsReport(stats), &stats2));
+    ASSERT_EQ(stats2.models.size(), 1u);
+    const pf::Histogram rebuilt =
+        pf::Histogram::fromData(stats2.models[0].latency);
+    EXPECT_EQ(rebuilt.count(), 1000u);
+    EXPECT_EQ(rebuilt.percentile(50.0), latency.percentile(50.0));
+    EXPECT_EQ(rebuilt.percentile(99.0), latency.percentile(99.0));
+}
+
+TEST(Protocol, TruncatedAndGarbageFramesAreRejected)
+{
+    nn::Tensor input(1, 2, 2);
+    input.data() = {1.0, 2.0, 3.0, 4.0};
+    const std::string request = cluster::encodeInferRequest(
+        cluster::InferRequestMsg::fromTensor(
+            1, "m", serve::Priority::Interactive, input));
+
+    // Every proper prefix must fail to decode — no partial parses.
+    cluster::InferRequestMsg out;
+    for (size_t n = 0; n < request.size(); ++n) {
+        EXPECT_FALSE(cluster::decodeInferRequest(
+            std::string_view(request).substr(0, n), &out))
+            << "prefix length " << n;
+    }
+    // Trailing junk is rejected too (atEnd discipline).
+    EXPECT_FALSE(cluster::decodeInferRequest(request + "x", &out));
+
+    // Deterministic pseudo-random garbage: never crashes, never
+    // decodes as any message type.
+    pf::Rng rng(123);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string junk(static_cast<size_t>(rng.uniformInt(0, 64)),
+                         '\0');
+        for (auto &c : junk)
+            c = static_cast<char>(rng.uniformInt(0, 255));
+        cluster::InferResponseMsg response;
+        cluster::StatsReportMsg stats;
+        cluster::HelloMsg hello;
+        (void)cluster::decodeInferResponse(junk, &response);
+        (void)cluster::decodeStatsReport(junk, &stats);
+        (void)cluster::decodeHello(junk, &hello);
+    }
+
+    // A shape/data mismatch is semantic garbage even when the layout
+    // parses: rebuild the request with a corrupted channel count.
+    cluster::InferRequestMsg lying = cluster::InferRequestMsg::fromTensor(
+        1, "m", serve::Priority::Interactive, input);
+    lying.channels = 7;
+    EXPECT_FALSE(cluster::decodeInferRequest(
+        cluster::encodeInferRequest(lying), &out));
+}
+
+TEST(Protocol, ModelSpecBuildsZooNetworksDeterministically)
+{
+    auto a = cluster::buildModelFromSpec("zoo:small-vgg:2:7");
+    auto b = cluster::buildModelFromSpec("zoo:small-vgg:2:7");
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    nn::Tensor input(3, 32, 32);
+    pf::Rng rng(3);
+    input.data() = rng.uniformVector(input.size(), 0.0, 1.0);
+    EXPECT_EQ(a->logits(input), b->logits(input));
+
+    EXPECT_FALSE(cluster::buildModelFromSpec("zoo:unknown:2:7"));
+    EXPECT_FALSE(cluster::buildModelFromSpec("zoo:small-vgg:0:7"));
+    EXPECT_FALSE(cluster::buildModelFromSpec("zoo:small-vgg:2"));
+    EXPECT_FALSE(cluster::buildModelFromSpec("notaspec"));
+    EXPECT_FALSE(cluster::buildModelFromSpec("zoo:small-vgg:2:7:x"));
+}
+
+// ---------------------------------------------------------------------------
+// rendezvous placement
+// ---------------------------------------------------------------------------
+
+TEST(Rendezvous, DeterministicAndUsesEveryShard)
+{
+    const std::vector<std::string> shards{"s0", "s1", "s2"};
+    std::set<std::string> primaries;
+    for (int m = 0; m < 40; ++m) {
+        const std::string model = "model-" + std::to_string(m);
+        const auto rank1 = cluster::rendezvousRank(shards, model);
+        const auto rank2 = cluster::rendezvousRank(shards, model);
+        EXPECT_EQ(rank1, rank2);
+        ASSERT_EQ(rank1.size(), 3u);
+        // A permutation of the shard set.
+        EXPECT_EQ(std::set<std::string>(rank1.begin(), rank1.end()),
+                  std::set<std::string>(shards.begin(), shards.end()));
+        primaries.insert(rank1[0]);
+        // Shard order in the input must not matter.
+        std::vector<std::string> shuffled{"s2", "s0", "s1"};
+        EXPECT_EQ(cluster::rendezvousRank(shuffled, model), rank1);
+    }
+    // 40 models over 3 shards: every shard is someone's primary.
+    EXPECT_EQ(primaries.size(), 3u);
+}
+
+TEST(Rendezvous, MinimalMovementOnJoinAndLeave)
+{
+    const std::vector<std::string> before{"s0", "s1", "s2"};
+    const std::vector<std::string> joined{"s0", "s1", "s2", "s3"};
+    size_t moved_to_new = 0, stayed = 0;
+    for (int m = 0; m < 60; ++m) {
+        const std::string model = "model-" + std::to_string(m);
+        const auto old_primary =
+            cluster::rendezvousRank(before, model)[0];
+        const auto new_primary =
+            cluster::rendezvousRank(joined, model)[0];
+        if (new_primary != old_primary) {
+            // Join: a model may move only *onto* the new shard.
+            EXPECT_EQ(new_primary, "s3") << model;
+            ++moved_to_new;
+        } else {
+            ++stayed;
+        }
+    }
+    EXPECT_GT(moved_to_new, 0u); // the new shard takes its share...
+    EXPECT_GT(stayed, 30u);      // ...and most models do not move
+
+    // Leave: models not on the lost shard keep their primary.
+    const std::vector<std::string> after{"s0", "s2"};
+    for (int m = 0; m < 60; ++m) {
+        const std::string model = "model-" + std::to_string(m);
+        const auto old_rank = cluster::rendezvousRank(before, model);
+        const auto new_primary =
+            cluster::rendezvousRank(after, model)[0];
+        if (old_rank[0] != "s1") {
+            EXPECT_EQ(new_primary, old_rank[0]) << model;
+        } else {
+            // Displaced models land on their old second choice.
+            const auto expected =
+                old_rank[1] != "s1" ? old_rank[1] : old_rank[2];
+            EXPECT_EQ(new_primary, expected) << model;
+        }
+    }
+}
+
+TEST(Rendezvous, ShardAddressParsing)
+{
+    auto full = cluster::parseShardAddress("alpha=10.0.0.1:9001");
+    ASSERT_TRUE(full.has_value());
+    EXPECT_EQ(full->name, "alpha");
+    EXPECT_EQ(full->host, "10.0.0.1");
+    EXPECT_EQ(full->port, 9001);
+
+    auto bare = cluster::parseShardAddress("127.0.0.1:80");
+    ASSERT_TRUE(bare.has_value());
+    EXPECT_EQ(bare->name, "127.0.0.1:80");
+
+    EXPECT_FALSE(cluster::parseShardAddress("nohost"));
+    EXPECT_FALSE(cluster::parseShardAddress("x:"));
+    EXPECT_FALSE(cluster::parseShardAddress(":80"));
+    EXPECT_FALSE(cluster::parseShardAddress("h:99999"));
+    EXPECT_FALSE(cluster::parseShardAddress("h:80x"));
+}
+
+// ---------------------------------------------------------------------------
+// shard server + client end to end
+// ---------------------------------------------------------------------------
+
+TEST(ShardServer, ClientGetsBitExactLogitsAndCleanFailures)
+{
+    TestShard shard("s0");
+    cluster::ClusterClient client("127.0.0.1", shard.server->port());
+    ASSERT_TRUE(client.connect());
+    EXPECT_EQ(client.models(),
+              (std::vector<std::string>{"tiny-a", "tiny-b"}));
+
+    const auto inputs = tinyInputs(12);
+    nn::Network reference_a = tinyNet(1, 3);
+    nn::Network reference_b = tinyNet(2, 5);
+
+    std::vector<serve::Completion> handles;
+    for (size_t i = 0; i < inputs.size(); ++i)
+        handles.push_back(client.submit(
+            i % 2 == 0 ? "tiny-a" : "tiny-b", inputs[i]));
+    for (size_t i = 0; i < handles.size(); ++i) {
+        ASSERT_EQ(handles[i].wait(), serve::RequestStatus::Done)
+            << handles[i].error();
+        nn::Network &reference =
+            i % 2 == 0 ? reference_a : reference_b;
+        EXPECT_EQ(handles[i].logits(), reference.logits(inputs[i]))
+            << "request " << i;
+        EXPECT_GT(handles[i].latencyUs(), 0.0);
+    }
+
+    // Unknown model: the shard's authoritative failure crosses the
+    // wire with its message intact.
+    auto unknown = client.submit("nope", inputs[0]);
+    EXPECT_EQ(unknown.wait(), serve::RequestStatus::Failed);
+    EXPECT_NE(unknown.error().find("nope"), std::string::npos);
+
+    // Liveness + stats over the control plane.
+    EXPECT_TRUE(client.ping());
+    cluster::StatsReportMsg stats;
+    ASSERT_TRUE(client.stats(&stats));
+    EXPECT_EQ(stats.server_name, "s0");
+    uint64_t completed = 0;
+    for (const auto &m : stats.models)
+        completed += m.completed;
+    EXPECT_EQ(completed, 12u);
+
+    shard.server->stop();
+}
+
+TEST(ShardServer, RemoteRegistrationWithWeightsAndOverride)
+{
+    TestShard shard("s0", 1);
+    cluster::ClusterClient client("127.0.0.1", shard.server->port());
+    ASSERT_TRUE(client.connect());
+
+    // Register a zoo model carrying a weight snapshot differing from
+    // the spec's initialization (proves the weights are applied).
+    const std::string spec = "zoo:small-vgg:2:7";
+    auto trained = cluster::buildModelFromSpec(spec);
+    ASSERT_TRUE(trained.has_value());
+    auto &conv = dynamic_cast<nn::Conv2d &>(trained->layer(0));
+    conv.bias()[0] += 0.5;
+    std::ostringstream snapshot;
+    nn::saveNetwork(*trained, snapshot);
+
+    std::string error;
+    ASSERT_TRUE(
+        client.registerModel("vgg", spec, snapshot.str(),
+                             std::nullopt, &error))
+        << error;
+    EXPECT_TRUE(shard.server->registry().has("vgg"));
+
+    nn::Tensor input(3, 32, 32);
+    pf::Rng rng(3);
+    input.data() = rng.uniformVector(input.size(), 0.0, 1.0);
+    auto handle = client.submit("vgg", input);
+    ASSERT_EQ(handle.wait(), serve::RequestStatus::Done)
+        << handle.error();
+    EXPECT_EQ(handle.logits(), trained->logits(input));
+
+    // Re-register with an engine override: the shard's workers must
+    // rebind without a restart, and results must match a local
+    // network attached to the same engine.
+    nn::PhotoFourierEngineConfig engine;
+    engine.n_conv = 64;
+    ASSERT_TRUE(client.registerModel("vgg", spec, snapshot.str(),
+                                     engine, &error))
+        << error;
+    nn::Network expected = trained->clone();
+    expected.setConvEngine(
+        std::make_shared<nn::PhotoFourierEngine>(engine));
+    auto overridden = client.submit("vgg", input);
+    ASSERT_EQ(overridden.wait(), serve::RequestStatus::Done)
+        << overridden.error();
+    EXPECT_EQ(overridden.logits(), expected.logits(input));
+    EXPECT_NE(overridden.logits(), trained->logits(input));
+
+    // Bad registrations fail without disturbing the shard.
+    EXPECT_FALSE(client.registerModel("bad", "zoo:nope:1:1", "",
+                                      std::nullopt, &error));
+    EXPECT_NE(error.find("nope"), std::string::npos);
+    EXPECT_FALSE(client.registerModel("bad", "zoo:small-alexnet:2:7",
+                                      snapshot.str(), std::nullopt,
+                                      &error));
+    EXPECT_TRUE(client.ping()); // still serving
+
+    shard.server->stop();
+}
+
+TEST(ShardServer, GarbageFramesDropOnlyTheOffendingConnection)
+{
+    TestShard shard("s0", 1);
+
+    // A well-behaved client...
+    cluster::ClusterClient client("127.0.0.1", shard.server->port());
+    ASSERT_TRUE(client.connect());
+
+    // ...and a hostile one that handshakes, then sends trash.
+    net::TcpConnection hostile = net::TcpConnection::connectTo(
+        "127.0.0.1", shard.server->port(),
+        std::chrono::milliseconds(2000));
+    ASSERT_TRUE(hostile.valid());
+    cluster::HelloMsg hello;
+    hello.client_name = "hostile";
+    ASSERT_TRUE(hostile.sendFrame(cluster::encodeHello(hello)));
+    std::string frame;
+    ASSERT_TRUE(hostile.recvFrame(&frame)); // HelloAck
+    ASSERT_TRUE(hostile.sendFrame("\x03garbage-after-infer-tag"));
+    EXPECT_FALSE(hostile.recvFrame(&frame)); // server dropped us
+
+    // The good client is unaffected.
+    const auto inputs = tinyInputs(2);
+    nn::Network reference = tinyNet(1, 3);
+    auto handle = client.submit("tiny-a", inputs[0]);
+    ASSERT_EQ(handle.wait(), serve::RequestStatus::Done);
+    EXPECT_EQ(handle.logits(), reference.logits(inputs[0]));
+
+    // So is a client that connects *after* the garbage.
+    cluster::ClusterClient late("127.0.0.1", shard.server->port());
+    EXPECT_TRUE(late.connect());
+
+    shard.server->stop();
+}
+
+// ---------------------------------------------------------------------------
+// router: placement, spillover, failover, aggregation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Two tiny shards and a router over them. */
+struct TestCluster
+{
+    TestCluster()
+        : s0("s0"), s1("s1")
+    {
+        cluster::RouterConfig config;
+        config.shards = {{"s0", "127.0.0.1", s0.server->port()},
+                         {"s1", "127.0.0.1", s1.server->port()}};
+        config.replicas = 2;
+        router = std::make_unique<cluster::Router>(config);
+        EXPECT_EQ(router->connect(), 2u);
+    }
+
+    TestShard s0, s1;
+    std::unique_ptr<cluster::Router> router;
+};
+
+} // namespace
+
+TEST(Router, RoutesBitExactAndAggregatesStats)
+{
+    TestCluster tc;
+    const auto inputs = tinyInputs(20);
+    nn::Network reference_a = tinyNet(1, 3);
+    nn::Network reference_b = tinyNet(2, 5);
+
+    std::vector<serve::Completion> handles;
+    for (size_t i = 0; i < inputs.size(); ++i)
+        handles.push_back(tc.router->submit(
+            i % 2 == 0 ? "tiny-a" : "tiny-b", inputs[i]));
+    for (size_t i = 0; i < handles.size(); ++i) {
+        ASSERT_EQ(handles[i].wait(), serve::RequestStatus::Done)
+            << handles[i].error();
+        nn::Network &reference =
+            i % 2 == 0 ? reference_a : reference_b;
+        EXPECT_EQ(handles[i].logits(), reference.logits(inputs[i]));
+    }
+
+    // Every request went to its model's rendezvous primary.
+    const auto placement_a = tc.router->placement("tiny-a");
+    const auto report = tc.router->report();
+    ASSERT_EQ(report.shards.size(), 2u);
+    uint64_t total = 0;
+    for (const auto &shard : report.shards) {
+        EXPECT_TRUE(shard.up);
+        total += shard.completed;
+        if (shard.shard == placement_a[0]) {
+            // The primary of tiny-a served all 10 tiny-a requests.
+            EXPECT_GE(shard.completed, 10u);
+        }
+    }
+    EXPECT_EQ(total, 20u);
+
+    ASSERT_EQ(report.models.size(), 2u);
+    for (const auto &m : report.models) {
+        EXPECT_EQ(m.completed, 10u);
+        EXPECT_GT(m.latency_p50_us, 0.0);
+        EXPECT_LE(m.latency_p50_us, m.latency_p99_us);
+    }
+    EXPECT_NE(report.table().find("tiny-a"), std::string::npos);
+    EXPECT_NE(report.table().find("up"), std::string::npos);
+
+    // The daemon face: merged wire stats carry mergeable histograms.
+    const auto wire = tc.router->stats();
+    ASSERT_EQ(wire.models.size(), 2u);
+    EXPECT_EQ(pf::Histogram::fromData(wire.models[0].latency).count(),
+              10u);
+}
+
+TEST(Router, FailoverKilledShardFailsInflightCleanlyAndSpillsOver)
+{
+    // Shards with a long batch window and a large batch cap: a burst
+    // submitted and immediately killed is deterministically still
+    // queued server-side, so the in-flight failure path really runs.
+    auto makeShard = [](const std::string &name) {
+        cluster::ShardServerConfig config;
+        config.name = name;
+        config.serving.workers = 1;
+        config.serving.batching.max_batch = 128;
+        config.serving.batching.batch_window =
+            std::chrono::milliseconds(60);
+        auto shard = std::make_unique<cluster::ShardServer>(config);
+        shard->registry().add("tiny-a", tinyNet(1, 3));
+        shard->registry().add("tiny-b", tinyNet(2, 5));
+        EXPECT_TRUE(shard->start());
+        return shard;
+    };
+    auto s0 = makeShard("s0");
+    auto s1 = makeShard("s1");
+    cluster::RouterConfig router_cfg;
+    router_cfg.shards = {{"s0", "127.0.0.1", s0->port()},
+                         {"s1", "127.0.0.1", s1->port()}};
+    auto router = std::make_unique<cluster::Router>(router_cfg);
+    ASSERT_EQ(router->connect(), 2u);
+    auto &tc_router = *router;
+    const auto inputs = tinyInputs(8);
+
+    const std::string primary_name = tc_router.placement("tiny-a")[0];
+    cluster::ShardServer *primary =
+        primary_name == "s0" ? s0.get() : s1.get();
+
+    std::vector<serve::Completion> inflight;
+    for (int round = 0; round < 4; ++round)
+        for (const auto &input : inputs)
+            inflight.push_back(tc_router.submit("tiny-a", input));
+    primary->kill();
+
+    // Every handle reaches a terminal status — no hangs: either the
+    // response beat the kill (Done) or the drop failed it cleanly.
+    size_t done = 0, failed = 0;
+    for (auto &handle : inflight) {
+        const auto status = handle.wait();
+        if (status == serve::RequestStatus::Done) {
+            ++done;
+        } else {
+            ASSERT_EQ(status, serve::RequestStatus::Failed);
+            EXPECT_NE(handle.error().find(primary_name),
+                      std::string::npos)
+                << handle.error();
+            ++failed;
+        }
+    }
+    EXPECT_EQ(done + failed, inflight.size());
+    // The 60 ms window makes "still queued at kill" the expected
+    // case; at least some requests must have taken the failure path.
+    EXPECT_GT(failed, 0u);
+
+    // The fleet keeps serving every model: tiny-a spills to the
+    // surviving replica, bit-exactly.
+    EXPECT_EQ(tc_router.liveShards(), 1u);
+    nn::Network reference_a = tinyNet(1, 3);
+    nn::Network reference_b = tinyNet(2, 5);
+    std::vector<serve::Completion> spilled_a, spilled_b;
+    for (const auto &input : inputs) {
+        spilled_a.push_back(tc_router.submit("tiny-a", input));
+        spilled_b.push_back(tc_router.submit("tiny-b", input));
+    }
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        ASSERT_EQ(spilled_a[i].wait(), serve::RequestStatus::Done)
+            << spilled_a[i].error();
+        ASSERT_EQ(spilled_b[i].wait(), serve::RequestStatus::Done)
+            << spilled_b[i].error();
+        EXPECT_EQ(spilled_a[i].logits(),
+                  reference_a.logits(inputs[i]));
+        EXPECT_EQ(spilled_b[i].logits(),
+                  reference_b.logits(inputs[i]));
+    }
+
+    // Reports mark the dead shard and keep aggregating the rest.
+    const auto report = tc_router.report();
+    for (const auto &shard : report.shards)
+        EXPECT_EQ(shard.up, shard.shard != primary_name);
+
+    // With the last shard gone, submits fail fast and cleanly.
+    (primary_name == "s0" ? s1 : s0)->kill();
+    auto hopeless = tc_router.submit("tiny-a", inputs[0]);
+    EXPECT_EQ(hopeless.wait(), serve::RequestStatus::Failed);
+    EXPECT_NE(hopeless.error().find("no live shard"),
+              std::string::npos);
+}
+
+TEST(Router, RegisterModelPlacesReplicasBySpec)
+{
+    TestCluster tc;
+    cluster::RegisterModelMsg msg;
+    msg.name = "vgg";
+    msg.spec = "zoo:small-vgg:2:7";
+    uint64_t version = 0;
+    std::string error;
+    ASSERT_TRUE(tc.router->registerModel(msg, &version, &error))
+        << error;
+    EXPECT_GE(version, 1u);
+    // replicas = 2 over 2 shards: both hold the model.
+    EXPECT_TRUE(tc.s0.server->registry().has("vgg"));
+    EXPECT_TRUE(tc.s1.server->registry().has("vgg"));
+
+    auto reference = cluster::buildModelFromSpec(msg.spec);
+    nn::Tensor input(3, 32, 32);
+    pf::Rng rng(3);
+    input.data() = rng.uniformVector(input.size(), 0.0, 1.0);
+    auto handle = tc.router->submit("vgg", input);
+    ASSERT_EQ(handle.wait(), serve::RequestStatus::Done)
+        << handle.error();
+    EXPECT_EQ(handle.logits(), reference->logits(input));
+
+    // The union model list picked it up for HelloAck consumers.
+    bool advertised = false;
+    for (const auto &[model, model_version] : tc.router->models())
+        advertised = advertised || model == "vgg";
+    EXPECT_TRUE(advertised);
+}
+
+// ---------------------------------------------------------------------------
+// cluster vs single server: the tier must be invisible in the numbers
+// ---------------------------------------------------------------------------
+
+TEST(ClusterEquivalence, RouterMatchesSingleServerForEveryZooModel)
+{
+    // Small widths keep this fast; the loadgen smoke run covers the
+    // full-width configuration.
+    const std::vector<std::string> families{
+        "small-vgg", "small-alexnet", "small-resnet"};
+    const size_t width = 2;
+    const uint64_t seed = 4242;
+
+    // The single-server reference.
+    serve::ServerConfig single_cfg;
+    single_cfg.workers = 2;
+    serve::InferenceServer single(single_cfg);
+    for (const auto &family : families) {
+        auto net = cluster::buildModelFromSpec(
+            "zoo:" + family + ":" + std::to_string(width) + ":" +
+            std::to_string(seed));
+        ASSERT_TRUE(net.has_value());
+        single.registry().add(family, std::move(*net));
+    }
+
+    // The 2-shard cluster, every shard holding every model (the
+    // loadgen quickstart topology).
+    auto makeShard = [&](const std::string &name) {
+        cluster::ShardServerConfig config;
+        config.name = name;
+        config.serving.workers = 1;
+        auto shard = std::make_unique<cluster::ShardServer>(config);
+        for (const auto &family : families) {
+            auto net = cluster::buildModelFromSpec(
+                "zoo:" + family + ":" + std::to_string(width) + ":" +
+                std::to_string(seed));
+            shard->registry().add(family, std::move(*net));
+        }
+        EXPECT_TRUE(shard->start());
+        return shard;
+    };
+    auto s0 = makeShard("s0");
+    auto s1 = makeShard("s1");
+    cluster::RouterConfig router_cfg;
+    router_cfg.shards = {{"s0", "127.0.0.1", s0->port()},
+                         {"s1", "127.0.0.1", s1->port()}};
+    cluster::Router router(router_cfg);
+    ASSERT_EQ(router.connect(), 2u);
+
+    pf::Rng rng(11);
+    for (const auto &family : families) {
+        for (int i = 0; i < 2; ++i) {
+            nn::Tensor input(3, 32, 32);
+            input.data() =
+                rng.uniformVector(input.size(), 0.0, 1.0);
+            auto local = single.submit(family, input);
+            auto remote = router.submit(family, input);
+            ASSERT_EQ(local.wait(), serve::RequestStatus::Done);
+            ASSERT_EQ(remote.wait(), serve::RequestStatus::Done)
+                << remote.error();
+            EXPECT_EQ(remote.logits(), local.logits())
+                << family << " request " << i;
+        }
+    }
+
+    router.close();
+    s0->stop();
+    s1->stop();
+    single.shutdown();
+}

@@ -241,3 +241,43 @@ TEST(Histogram, MergeMatchesCombinedStream)
     for (double pct : {25.0, 50.0, 75.0, 99.0})
         EXPECT_DOUBLE_EQ(a.percentile(pct), combined.percentile(pct));
 }
+
+TEST(Histogram, DataSnapshotRoundTripsAndMerges)
+{
+    // data()/fromData() is how shard histograms cross process
+    // boundaries: the reconstruction must agree on every query and
+    // merge exactly like the original.
+    pf::Rng rng(17);
+    pf::Histogram original(1.0, 1.05);
+    for (int i = 0; i < 500; ++i)
+        original.add(rng.uniform(0.1, 9999.0));
+
+    const pf::Histogram rebuilt =
+        pf::Histogram::fromData(original.data());
+    EXPECT_EQ(rebuilt.count(), original.count());
+    EXPECT_DOUBLE_EQ(rebuilt.min(), original.min());
+    EXPECT_DOUBLE_EQ(rebuilt.max(), original.max());
+    EXPECT_DOUBLE_EQ(rebuilt.mean(), original.mean());
+    for (double pct : {1.0, 50.0, 95.0, 99.9})
+        EXPECT_DOUBLE_EQ(rebuilt.percentile(pct),
+                         original.percentile(pct));
+
+    // Merging a snapshot-reconstructed histogram == merging the live
+    // one (the router-side aggregation path).
+    pf::Histogram other(1.0, 1.05);
+    for (int i = 0; i < 200; ++i)
+        other.add(rng.uniform(10.0, 100.0));
+    pf::Histogram via_live = other;
+    via_live.merge(original);
+    pf::Histogram via_snapshot = pf::Histogram::fromData(other.data());
+    via_snapshot.merge(rebuilt);
+    EXPECT_EQ(via_snapshot.count(), via_live.count());
+    for (double pct : {25.0, 50.0, 75.0, 99.0})
+        EXPECT_DOUBLE_EQ(via_snapshot.percentile(pct),
+                         via_live.percentile(pct));
+
+    // An empty histogram survives the trip too.
+    const pf::Histogram empty =
+        pf::Histogram::fromData(pf::Histogram(2.0, 1.5).data());
+    EXPECT_EQ(empty.count(), 0u);
+}

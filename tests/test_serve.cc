@@ -112,6 +112,216 @@ TEST(ModelRegistry, ReplicasAreIndependentAndSnapshotsRoundTrip)
     EXPECT_EQ(twin.logits(inputs[0]), logits_a);
 }
 
+TEST(ModelRegistry, VersionsBumpOnEveryMutation)
+{
+    serve::ModelRegistry registry;
+    EXPECT_EQ(registry.version("tiny"), 0u);
+    registry.add("tiny", tinyNet(1));
+    EXPECT_EQ(registry.version("tiny"), 1u);
+    registry.add("tiny", tinyNet(2));
+    EXPECT_EQ(registry.version("tiny"), 2u);
+    registry.setEngineOverride("tiny",
+                               photofourier::nn::PhotoFourierEngineConfig{});
+    EXPECT_EQ(registry.version("tiny"), 3u);
+    registry.setEngineOverride("tiny", std::nullopt);
+    EXPECT_EQ(registry.version("tiny"), 4u);
+    EXPECT_EQ(registry.namesWithVersions(),
+              (std::vector<std::pair<std::string, uint64_t>>{
+                  {"tiny", 4}}));
+
+    // A replica records the version it was cloned under.
+    const auto replica = registry.instantiateReplica("tiny");
+    EXPECT_EQ(replica.version, 4u);
+    EXPECT_FALSE(replica.engine_override.has_value());
+
+    // Plain add() clears a standing override (the override belongs
+    // to the registration).
+    registry.setEngineOverride("tiny", nn::PhotoFourierEngineConfig{});
+    registry.add("tiny", tinyNet(3));
+    EXPECT_FALSE(registry.engineOverride("tiny").has_value());
+}
+
+TEST(InferenceServer, ReRegistrationRefreshesWorkerReplicas)
+{
+    // ROADMAP open item "replica refresh on re-registration": a
+    // worker that already cloned a replica must pick up newly
+    // registered weights on the next batch, without a restart.
+    const auto inputs = tinyInputs(4);
+    auto old_proto = tinyNet(/*seed=*/5);
+    auto new_proto = tinyNet(/*seed=*/6);
+    const auto old_expected = referenceLogits(old_proto, inputs);
+    const auto new_expected = referenceLogits(new_proto, inputs);
+    ASSERT_NE(old_expected, new_expected);
+
+    serve::ServerConfig cfg;
+    cfg.workers = 1; // one worker: the same replica cache serves both
+    serve::InferenceServer server(cfg);
+    server.registry().add("tiny", std::move(old_proto));
+    for (size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(server.submit("tiny", inputs[i]).logits(),
+                  old_expected[i]);
+
+    server.registry().add("tiny", std::move(new_proto));
+    for (size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(server.submit("tiny", inputs[i]).logits(),
+                  new_expected[i]);
+}
+
+TEST(InferenceServer, PerModelEngineOverrideWinsOverFactory)
+{
+    // ROADMAP open item "per-model engine overrides": one server,
+    // two models — one on the worker factory's digital engine, one
+    // forced onto photonic numerics by its registry override.
+    const auto inputs = tinyInputs(3);
+    nn::PhotoFourierEngineConfig photonic;
+    photonic.n_conv = 64;
+
+    auto digital_expected = referenceLogits(tinyNet(1), inputs);
+    nn::Network photonic_reference = tinyNet(1);
+    photonic_reference.setConvEngine(
+        std::make_shared<nn::PhotoFourierEngine>(photonic));
+    std::vector<std::vector<double>> photonic_expected;
+    for (const auto &input : inputs)
+        photonic_expected.push_back(photonic_reference.logits(input));
+    ASSERT_NE(photonic_expected, digital_expected);
+
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    serve::InferenceServer server(cfg);
+    server.registry().add("digital", tinyNet(1));
+    server.registry().add("photonic", tinyNet(1), photonic);
+
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        EXPECT_EQ(server.submit("digital", inputs[i]).logits(),
+                  digital_expected[i]);
+        EXPECT_EQ(server.submit("photonic", inputs[i]).logits(),
+                  photonic_expected[i]);
+    }
+
+    // Clearing the override (a version bump) reverts live replicas.
+    server.registry().setEngineOverride("photonic", std::nullopt);
+    for (size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(server.submit("photonic", inputs[i]).logits(),
+                  digital_expected[i]);
+}
+
+namespace {
+
+/** A pushable request with a controlled enqueue timestamp. */
+serve::QueuedRequest
+stampedRequest(const std::string &model, serve::Priority priority,
+               std::chrono::steady_clock::time_point enqueued)
+{
+    serve::QueuedRequest request;
+    request.model = model;
+    request.input = nn::Tensor(1, 1, 1);
+    request.completion =
+        std::make_shared<serve::detail::CompletionState>();
+    request.completion->enqueued = enqueued;
+    request.priority = priority;
+    return request;
+}
+
+} // namespace
+
+TEST(BatchQueue, PriorityNames)
+{
+    EXPECT_EQ(serve::priorityName(serve::Priority::Interactive),
+              "interactive");
+    EXPECT_EQ(serve::priorityName(serve::Priority::Batch), "batch");
+}
+
+TEST(BatchQueue, InteractiveClassIsServedFirstWithinABatch)
+{
+    serve::BatchingConfig cfg;
+    cfg.max_batch = 4;
+    cfg.batch_window = std::chrono::microseconds(0); // dispatchable now
+    cfg.priority_aging = std::chrono::seconds(10);   // nobody ages
+    serve::BatchQueue queue(cfg);
+
+    const auto now = std::chrono::steady_clock::now();
+    using std::chrono::microseconds;
+    // Batch-class requests arrive *first* (older)...
+    ASSERT_TRUE(queue.push(stampedRequest(
+        "m", serve::Priority::Batch, now - microseconds(400))));
+    ASSERT_TRUE(queue.push(stampedRequest(
+        "m", serve::Priority::Batch, now - microseconds(300))));
+    // ...then interactive ones.
+    ASSERT_TRUE(queue.push(stampedRequest(
+        "m", serve::Priority::Interactive, now - microseconds(200))));
+    ASSERT_TRUE(queue.push(stampedRequest(
+        "m", serve::Priority::Interactive, now - microseconds(100))));
+
+    const auto batch = queue.popBatch();
+    ASSERT_EQ(batch.size(), 4u);
+    // Interactive jumps ahead of older, un-aged batch work.
+    EXPECT_EQ(batch[0].priority, serve::Priority::Interactive);
+    EXPECT_EQ(batch[1].priority, serve::Priority::Interactive);
+    EXPECT_EQ(batch[2].priority, serve::Priority::Batch);
+    EXPECT_EQ(batch[3].priority, serve::Priority::Batch);
+    // FIFO within each class.
+    EXPECT_LT(batch[0].completion->enqueued,
+              batch[1].completion->enqueued);
+    EXPECT_LT(batch[2].completion->enqueued,
+              batch[3].completion->enqueued);
+    queue.markDone(batch.size());
+}
+
+TEST(BatchQueue, AgedBatchRequestsStopYielding)
+{
+    serve::BatchingConfig cfg;
+    cfg.max_batch = 3;
+    cfg.batch_window = std::chrono::microseconds(0);
+    cfg.priority_aging = std::chrono::milliseconds(5);
+    serve::BatchQueue queue(cfg);
+
+    const auto now = std::chrono::steady_clock::now();
+    using std::chrono::milliseconds;
+    // A batch-class request older than priority_aging beats younger
+    // interactive work — starvation-free aging.
+    ASSERT_TRUE(queue.push(stampedRequest(
+        "m", serve::Priority::Batch, now - milliseconds(50))));
+    ASSERT_TRUE(queue.push(stampedRequest(
+        "m", serve::Priority::Interactive, now - milliseconds(1))));
+    // A *younger-than-aging* batch request still yields.
+    ASSERT_TRUE(queue.push(stampedRequest(
+        "m", serve::Priority::Batch, now)));
+
+    const auto batch = queue.popBatch();
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].priority, serve::Priority::Batch); // aged
+    EXPECT_EQ(batch[1].priority, serve::Priority::Interactive);
+    EXPECT_EQ(batch[2].priority, serve::Priority::Batch);
+    queue.markDone(batch.size());
+}
+
+TEST(InferenceServer, SubmitOptionsCarryPriorityEndToEnd)
+{
+    // Both classes execute correctly (scheduling differs, results
+    // must not): a smoke over the SubmitOptions plumbing.
+    auto proto = tinyNet();
+    const auto inputs = tinyInputs(6);
+    const auto expected = referenceLogits(proto, inputs);
+
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.batching.max_batch = 4;
+    serve::InferenceServer server(cfg);
+    server.registry().add("tiny", std::move(proto));
+
+    std::vector<serve::Completion> handles;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        serve::SubmitOptions options;
+        options.priority = i % 2 == 0 ? serve::Priority::Interactive
+                                      : serve::Priority::Batch;
+        handles.push_back(server.submit("tiny", inputs[i], options));
+    }
+    for (size_t i = 0; i < handles.size(); ++i) {
+        ASSERT_EQ(handles[i].wait(), serve::RequestStatus::Done);
+        EXPECT_EQ(handles[i].logits(), expected[i]);
+    }
+}
+
 TEST(InferenceServer, BatchedMatchesSequentialDigitalBitExact)
 {
     auto proto = tinyNet();

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The cluster router daemon: fronts a fleet of cluster_shard
+ * processes behind one protocol port.
+ *
+ * Clients (serve_loadgen --cluster, ClusterClient) connect here
+ * exactly as they would to a single shard; the router forwards each
+ * request to the owning shard (rendezvous placement + failover) and
+ * answers StatsQuery with fleet-merged statistics. Runs until
+ * SIGINT/SIGTERM, printing the aggregated cluster report on the way
+ * out.
+ *
+ * Usage: cluster_router [options]
+ *   --port P         listen port; 0 = ephemeral, printed (default 0)
+ *   --shards LIST    comma list of name=host:port (required)
+ *   --replicas R     placement copies per model    (default 2)
+ *   --connections C  pooled connections per shard  (default 2)
+ *   --retry-ms MS    per-shard connect retry       (default 5000)
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hh"
+#include "cluster/server.hh"
+#include "common/logging.hh"
+
+using namespace photofourier;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint16_t port = 0;
+    cluster::RouterConfig config;
+    long retry_ms = 5000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                pf_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            port = static_cast<uint16_t>(std::atoi(value().c_str()));
+        } else if (arg == "--shards") {
+            const std::string list = value();
+            size_t pos = 0;
+            while (pos < list.size()) {
+                size_t next = list.find(',', pos);
+                if (next == std::string::npos)
+                    next = list.size();
+                const std::string item = list.substr(pos, next - pos);
+                auto shard = cluster::parseShardAddress(item);
+                if (!shard)
+                    pf_fatal("bad shard address '", item,
+                             "' (want name=host:port)");
+                config.shards.push_back(std::move(*shard));
+                pos = next + 1;
+            }
+        } else if (arg == "--replicas") {
+            config.replicas =
+                static_cast<size_t>(std::atol(value().c_str()));
+        } else if (arg == "--connections") {
+            config.data_connections =
+                static_cast<size_t>(std::atol(value().c_str()));
+        } else if (arg == "--retry-ms") {
+            retry_ms = std::atol(value().c_str());
+        } else {
+            pf_fatal("unknown argument ", arg);
+        }
+    }
+    if (config.shards.empty())
+        pf_fatal("--shards is required (name=host:port,...)");
+    config.connect_retry = std::chrono::milliseconds(retry_ms);
+
+    cluster::Router router(config);
+    const size_t live = router.connect();
+    if (live == 0)
+        pf_fatal("no shard reachable");
+    if (live < config.shards.size())
+        pf_warn("only ", live, "/", config.shards.size(),
+                " shards reachable; serving degraded");
+
+    cluster::ProtocolServerConfig listen;
+    listen.port = port;
+    cluster::ProtocolServer daemon(router, listen);
+    if (!daemon.start())
+        pf_fatal("cannot listen on port ", port);
+    std::printf("router listening on 127.0.0.1:%u (%zu/%zu shards up, "
+                "%zu models)\n",
+                static_cast<unsigned>(daemon.port()), live,
+                config.shards.size(), router.models().size());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    daemon.stop();
+    std::printf("%s\n", router.report().table().c_str());
+    router.close();
+    return 0;
+}

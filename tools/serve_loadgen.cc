@@ -23,6 +23,19 @@
  *   --photonic       serve on PhotoFourier numerics (default digital)
  *   --noise          photonic with sensing noise
  *   --out PATH       output file (default BENCH_serving.json)
+ *
+ * Cluster mode (--cluster HOST:PORT) drives a remote protocol
+ * endpoint — a cluster_router daemon or a single cluster_shard —
+ * instead of an in-process server. It first *verifies* that every
+ * model the endpoint advertises returns bit-exact logits against a
+ * locally built reference (the zoo spec must match the shards'
+ * --width/--seed), then runs the closed-loop throughput phase across
+ * all models and records one JSON document (default
+ * BENCH_cluster.json) with client-side throughput and the endpoint's
+ * merged per-model latency stats.
+ *   --cluster ADDR   protocol endpoint host:port
+ *   --width W        zoo width used by the shards   (default 8)
+ *   --seed S         zoo init seed used by the shards (default 4242)
  */
 
 #include <atomic>
@@ -32,6 +45,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_client.hh"
+#include "cluster/router.hh"
 #include "common/logging.hh"
 #include "core/photofourier.hh"
 
@@ -42,6 +57,9 @@ namespace {
 struct Options
 {
     std::string model = "small-vgg";
+    std::string cluster; ///< host:port; empty = in-process mode
+    size_t width = 8;
+    uint64_t seed = 4242;
     size_t requests = 96;
     size_t workers = 2;
     size_t clients = 4;
@@ -84,6 +102,13 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--model")
             opt.model = value();
+        else if (arg == "--cluster")
+            opt.cluster = value();
+        else if (arg == "--width")
+            opt.width = static_cast<size_t>(std::atol(value().c_str()));
+        else if (arg == "--seed")
+            opt.seed = static_cast<uint64_t>(
+                std::strtoull(value().c_str(), nullptr, 10));
         else if (arg == "--requests")
             opt.requests =
                 static_cast<size_t>(std::atol(value().c_str()));
@@ -238,16 +263,194 @@ runOnce(const Options &opt, size_t max_batch,
     return result;
 }
 
+/**
+ * Cluster mode: verify bit-exactness of every advertised model
+ * against a local reference, then measure closed-loop throughput
+ * through the remote endpoint. Returns nonzero when any verified
+ * model mismatched.
+ */
+int
+runCluster(const Options &opt, const std::vector<nn::Sample> &samples)
+{
+    const auto addr = cluster::parseShardAddress(opt.cluster);
+    if (!addr)
+        pf_fatal("bad --cluster address '", opt.cluster,
+                 "' (want host:port)");
+    cluster::EndpointConfig endpoint_cfg;
+    endpoint_cfg.client_name = "loadgen";
+    endpoint_cfg.connect_retry = std::chrono::milliseconds(5000);
+    cluster::ClusterClient client(addr->host, addr->port, endpoint_cfg);
+    if (!client.connect())
+        pf_fatal("cannot connect to ", opt.cluster);
+    const std::vector<std::string> models = client.models();
+    if (models.empty())
+        pf_fatal("endpoint at ", opt.cluster, " advertises no models");
+
+    // Verify: every model must return logits bit-identical to a
+    // locally built reference (same zoo spec as the shards).
+    struct VerifyResult
+    {
+        std::string model;
+        size_t samples = 0;
+        size_t mismatches = 0;
+        bool skipped = false;
+    };
+    std::vector<VerifyResult> verify;
+    for (const std::string &model : models) {
+        VerifyResult v;
+        v.model = model;
+        const std::string spec = "zoo:" + model + ":" +
+                                 std::to_string(opt.width) + ":" +
+                                 std::to_string(opt.seed);
+        auto reference = cluster::buildModelFromSpec(spec);
+        if (!reference) {
+            pf_warn("no local reference for '", model,
+                    "' (not a zoo family); skipping verification");
+            v.skipped = true;
+            verify.push_back(v);
+            continue;
+        }
+        std::vector<serve::Completion> handles;
+        handles.reserve(samples.size());
+        for (const auto &sample : samples)
+            handles.push_back(client.submit(model, sample.image));
+        for (size_t i = 0; i < handles.size(); ++i) {
+            ++v.samples;
+            if (handles[i].wait() != serve::RequestStatus::Done ||
+                handles[i].logits() !=
+                    reference->logits(samples[i].image))
+                ++v.mismatches;
+        }
+        std::printf("verify %-14s %zu/%zu bit-exact\n", model.c_str(),
+                    v.samples - v.mismatches, v.samples);
+        verify.push_back(std::move(v));
+    }
+
+    // Throughput: closed loop, requests round-robin across models.
+    const auto started = std::chrono::steady_clock::now();
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> done{0}, failed{0}, rejected{0};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < opt.clients; ++c) {
+        clients.emplace_back([&] {
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= opt.requests)
+                    return;
+                auto handle = client.submit(
+                    models[i % models.size()],
+                    samples[i % samples.size()].image);
+                switch (handle.wait()) {
+                case serve::RequestStatus::Done:
+                    done.fetch_add(1);
+                    break;
+                case serve::RequestStatus::Rejected:
+                    rejected.fetch_add(1);
+                    break;
+                default:
+                    failed.fetch_add(1);
+                    break;
+                }
+            }
+        });
+    }
+    for (auto &thread : clients)
+        thread.join();
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    const double throughput =
+        elapsed > 0.0 ? static_cast<double>(done.load()) / elapsed
+                      : 0.0;
+    std::printf("cluster closed loop: %6.1f req/s  done %llu  "
+                "failed %llu  rejected %llu\n",
+                throughput,
+                static_cast<unsigned long long>(done.load()),
+                static_cast<unsigned long long>(failed.load()),
+                static_cast<unsigned long long>(rejected.load()));
+
+    // The endpoint's own view: merged per-model latency histograms.
+    cluster::StatsReportMsg remote;
+    const bool have_remote = client.stats(&remote);
+
+    FILE *out = std::fopen(opt.out.c_str(), "w");
+    if (out == nullptr)
+        pf_fatal("cannot open ", opt.out, " for writing");
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"cluster\",\n");
+    std::fprintf(out, "  \"endpoint\": \"%s\",\n", opt.cluster.c_str());
+    std::fprintf(out, "  \"clients\": %zu,\n", opt.clients);
+    std::fprintf(out, "  \"requests\": %zu,\n", opt.requests);
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"verify\": [\n");
+    for (size_t i = 0; i < verify.size(); ++i) {
+        const auto &v = verify[i];
+        std::fprintf(out,
+                     "    {\"model\": \"%s\", \"samples\": %zu, "
+                     "\"mismatches\": %zu, \"skipped\": %s}%s\n",
+                     v.model.c_str(), v.samples, v.mismatches,
+                     v.skipped ? "true" : "false",
+                     i + 1 < verify.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"run\": {\"elapsed_s\": %.4f, "
+                 "\"throughput_rps\": %.2f, \"done\": %llu, "
+                 "\"failed\": %llu, \"rejected\": %llu},\n",
+                 elapsed, throughput,
+                 static_cast<unsigned long long>(done.load()),
+                 static_cast<unsigned long long>(failed.load()),
+                 static_cast<unsigned long long>(rejected.load()));
+    std::fprintf(out, "  \"remote_models\": [\n");
+    if (have_remote) {
+        for (size_t i = 0; i < remote.models.size(); ++i) {
+            const auto &m = remote.models[i];
+            const Histogram h = Histogram::fromData(m.latency);
+            const bool any = h.count() > 0;
+            std::fprintf(
+                out,
+                "    {\"model\": \"%s\", \"completed\": %llu, "
+                "\"batches\": %llu, \"mean_batch\": %.3f, "
+                "\"p50_us\": %.1f, \"p95_us\": %.1f, "
+                "\"p99_us\": %.1f}%s\n",
+                m.model.c_str(),
+                static_cast<unsigned long long>(m.completed),
+                static_cast<unsigned long long>(m.batches),
+                m.mean_batch, any ? h.percentile(50.0) : 0.0,
+                any ? h.percentile(95.0) : 0.0,
+                any ? h.percentile(99.0) : 0.0,
+                i + 1 < remote.models.size() ? "," : "");
+        }
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("Wrote %s\n", opt.out.c_str());
+
+    for (const auto &v : verify) {
+        if (v.mismatches > 0)
+            return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const Options opt = parseArgs(argc, argv);
+    Options opt = parseArgs(argc, argv);
 
     nn::SyntheticCifarConfig data_cfg;
     nn::SyntheticCifar generator(data_cfg, 2026);
     const auto samples = generator.generate(32);
+
+    if (!opt.cluster.empty()) {
+        if (opt.out == "BENCH_serving.json")
+            opt.out = "BENCH_cluster.json";
+        return runCluster(opt, samples);
+    }
 
     std::vector<RunResult> results;
     for (size_t max_batch : opt.batch_list) {
