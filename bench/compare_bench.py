@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files and print per-benchmark speedups.
+
+Usage: compare_bench.py BEFORE.json AFTER.json [--threshold PCT]
+
+Benchmarks are matched by name; the table reports before/after wall
+time and after-vs-before speedup (>1 = AFTER is faster). Benchmarks
+present in only one file are listed separately. Exit code is always 0
+unless an input is unreadable — this is a reporting tool, not a gate
+(use --threshold to flag regressions louder than PCT percent).
+
+Context sanity: if either run was recorded from a debug build of the
+photofourier library (the "photofourier_build_type" custom context
+stamped by bench/micro_kernels.cc), the comparison is headed with a
+warning — debug timings are not meaningful perf evidence.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: cannot read benchmark JSON {path!r}: {err}")
+
+
+def benchmarks(doc):
+    """name -> real_time in ns. With --benchmark_repetitions, the
+    per-repetition rows share one name: they are averaged, and a
+    "_mean" aggregate row (keyed back to its run_name) overrides the
+    average, so the table always reports a mean, never whichever
+    repetition happened to parse last."""
+    sums, counts, means = {}, {}, {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("name")
+        if name is None or "real_time" not in row:
+            continue
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            continue
+        ns = row["real_time"] * scale
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") != "mean":
+                continue
+            base = row.get("run_name")
+            if base is None and name.endswith("_mean"):
+                base = name[: -len("_mean")]
+            means[base or name] = ns
+        else:
+            sums[name] = sums.get(name, 0.0) + ns
+            counts[name] = counts.get(name, 0) + 1
+    out = {n: sums[n] / counts[n] for n in sums}
+    out.update(means)
+    return out
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="flag changes larger than this percent "
+                             "(default 5)")
+    args = parser.parse_args()
+
+    before_doc = load(args.before)
+    after_doc = load(args.after)
+    for label, doc in (("BEFORE", before_doc), ("AFTER", after_doc)):
+        build = doc.get("context", {}).get("photofourier_build_type")
+        if build and build != "release":
+            print(f"WARNING: {label} run was recorded from a "
+                  f"'{build}' build of photofourier — timings are not "
+                  f"meaningful perf evidence")
+
+    before = benchmarks(before_doc)
+    after = benchmarks(after_doc)
+    common = [n for n in before if n in after]
+    if not common:
+        print("no common benchmarks between the two files")
+        return
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'before':>10}  {'after':>10}  "
+          f"{'speedup':>8}")
+    flagged = []
+    for name in common:
+        ratio = before[name] / after[name] if after[name] > 0 else 0.0
+        mark = ""
+        if ratio >= 1.0 + args.threshold / 100.0:
+            mark = "  +"
+        elif ratio <= 1.0 - args.threshold / 100.0:
+            mark = "  -"
+            flagged.append((name, ratio))
+        print(f"{name:<{width}}  {fmt_ns(before[name]):>10}  "
+              f"{fmt_ns(after[name]):>10}  {ratio:>7.2f}x{mark}")
+
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+    if only_before:
+        print(f"\nonly in BEFORE ({len(only_before)}): "
+              + ", ".join(only_before[:8])
+              + (" ..." if len(only_before) > 8 else ""))
+    if only_after:
+        print(f"\nonly in AFTER ({len(only_after)}): "
+              + ", ".join(only_after[:8])
+              + (" ..." if len(only_after) > 8 else ""))
+    if flagged:
+        print(f"\n{len(flagged)} benchmark(s) regressed more than "
+              f"{args.threshold:g}%:")
+        for name, ratio in flagged:
+            print(f"  {name}: {ratio:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,12 +9,17 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "common/rng.hh"
 #include "jtc/jtc_system.hh"
+#include "nn/conv_engine.hh"
 #include "signal/convolution.hh"
 #include "signal/fft.hh"
 #include "signal/fft_plan.hh"
+#include "tiling/spectrum_cache.hh"
 #include "tiling/tiled_convolution.hh"
 
 namespace pf = photofourier;
@@ -311,3 +316,312 @@ BM_Conv2dDirectReference(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Conv2dDirectReference)->Arg(14)->Arg(28)->Arg(56);
+
+// --- Real-FFT path: r2c/c2r vs the full complex transform, and the
+// --- seed complex-FFT convolution vs the real-path rewrite. The
+// --- RealVsComplex ratio is the two-for-one packing; the Convolve1d
+// --- ratio is what convolve1dFft gained end to end.
+
+static void
+BM_FftRealR2C(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    pf::Rng rng(7);
+    const auto input = rng.uniformVector(n, -1.0, 1.0);
+    const auto plan = sig::fftPlanFor(n);
+    sig::ComplexVector half(plan->halfSpectrumSize());
+    for (auto _ : state) {
+        plan->executeReal(input.data(), half.data());
+        benchmark::DoNotOptimize(half.data());
+    }
+}
+BENCHMARK(BM_FftRealR2C)->Arg(256)->Arg(1024)->Arg(4096)->Arg(1000);
+
+static void
+BM_FftRealOnComplexPlan(benchmark::State &state)
+{
+    // The pre-r2c way to transform real data: zero imaginary parts and
+    // run the full complex plan (what signal::fftReal used to do).
+    const size_t n = static_cast<size_t>(state.range(0));
+    pf::Rng rng(7);
+    const auto input = rng.uniformVector(n, -1.0, 1.0);
+    const auto plan = sig::fftPlanFor(n);
+    sig::ComplexVector data(n);
+    for (auto _ : state) {
+        for (size_t i = 0; i < n; ++i)
+            data[i] = sig::Complex(input[i], 0.0);
+        plan->execute(data, false);
+        benchmark::DoNotOptimize(data.data());
+    }
+}
+BENCHMARK(BM_FftRealOnComplexPlan)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Arg(1000);
+
+static void
+BM_Convolve1dFftSeedComplex(benchmark::State &state)
+{
+    // The seed implementation of convolve1dFft: three full complex
+    // power-of-two FFTs per call (kept bench-local as the fixed
+    // baseline the real-path rewrite is measured against).
+    pf::Rng rng(2);
+    const auto a =
+        rng.uniformVector(static_cast<size_t>(state.range(0)), -1, 1);
+    const auto b = rng.uniformVector(25, -1, 1);
+    for (auto _ : state) {
+        const size_t out_size = a.size() + b.size() - 1;
+        const size_t n = sig::nextPowerOfTwo(out_size);
+        sig::ComplexVector fa(n, sig::Complex(0.0, 0.0));
+        sig::ComplexVector fb(n, sig::Complex(0.0, 0.0));
+        for (size_t i = 0; i < a.size(); ++i)
+            fa[i] = sig::Complex(a[i], 0.0);
+        for (size_t i = 0; i < b.size(); ++i)
+            fb[i] = sig::Complex(b[i], 0.0);
+        sig::fftRadix2(fa, false);
+        sig::fftRadix2(fb, false);
+        for (size_t i = 0; i < n; ++i)
+            fa[i] *= fb[i];
+        sig::fftRadix2(fa, true);
+        std::vector<double> out(out_size);
+        for (size_t i = 0; i < out_size; ++i)
+            out[i] = fa[i].real();
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Convolve1dFftSeedComplex)->Arg(256)->Arg(1024)->Arg(4096);
+
+// --- 1D conv backends: the zero-skip sliding reference vs the FFT
+// --- backend (cold = kernel transformed per call, cached = the
+// --- serving steady state). Shapes are n_conv=256-class tiled rows
+// --- (sparse taps) and dense correlations where the FFT path wins;
+// --- the crossover constant in fftConvProfitable was fitted to these.
+
+namespace {
+
+struct BackendShape
+{
+    size_t n, k, taps, count;
+};
+
+/** (input, kernel, window) shapes: {256-row tile with a 3x3 tiled
+ *  kernel (9 active taps)}, {dense 25-tap conv}, {dense mid}, {dense
+ *  large} — spanning both sides of the crossover. */
+const BackendShape kBackendShapes[] = {
+    {256, 67, 9, 192},     // CIFAR-scale tiled row (sparse)
+    {256, 25, 25, 232},    // dense 25-tap, n_conv=256 row
+    {1024, 129, 129, 896},  // dense mid
+    {4096, 511, 511, 3586}, // dense large
+};
+
+void
+backendArgs(benchmark::internal::Benchmark *bench)
+{
+    for (int i = 0; i < 4; ++i)
+        bench->Arg(i);
+}
+
+std::pair<std::vector<double>, std::vector<double>>
+backendOperands(const BackendShape &shape)
+{
+    pf::Rng rng(shape.n * 31 + shape.k);
+    auto input = rng.uniformVector(shape.n, -1.0, 1.0);
+    std::vector<double> kernel(shape.k, 0.0);
+    // First `taps` positions spread across the kernel are active —
+    // mimics tiled kernels' zero spacing when taps < k.
+    const size_t stride = shape.k / shape.taps;
+    for (size_t t = 0; t < shape.taps; ++t)
+        kernel[std::min(shape.k - 1, t * std::max<size_t>(1, stride))] =
+            rng.uniform(-1.0, 1.0);
+    return {std::move(input), std::move(kernel)};
+}
+
+} // namespace
+
+static void
+BM_Conv1dBackendCpu(benchmark::State &state)
+{
+    const auto &shape = kBackendShapes[state.range(0)];
+    const auto [input, kernel] = backendOperands(shape);
+    auto backend = tl::cpuBackend();
+    std::vector<double> out;
+    for (auto _ : state) {
+        backend(input, kernel, 0, shape.count, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetLabel("n=" + std::to_string(shape.n) +
+                   " taps=" + std::to_string(shape.taps));
+}
+BENCHMARK(BM_Conv1dBackendCpu)->Apply(backendArgs);
+
+static void
+BM_Conv1dBackendFftCold(benchmark::State &state)
+{
+    const auto &shape = kBackendShapes[state.range(0)];
+    const auto [input, kernel] = backendOperands(shape);
+    auto backend = tl::fftBackend(); // no cache: kernel FFT every call
+    std::vector<double> out;
+    for (auto _ : state) {
+        backend(input, kernel, 0, shape.count, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetLabel("n=" + std::to_string(shape.n) +
+                   " taps=" + std::to_string(shape.taps));
+}
+BENCHMARK(BM_Conv1dBackendFftCold)->Apply(backendArgs);
+
+static void
+BM_Conv1dBackendFftCached(benchmark::State &state)
+{
+    const auto &shape = kBackendShapes[state.range(0)];
+    const auto [input, kernel] = backendOperands(shape);
+    auto cache = std::make_shared<tl::KernelSpectrumCache>();
+    auto backend = tl::fftBackend(cache);
+    std::vector<double> out;
+    backend(input, kernel, 0, shape.count, out); // warm the cache
+    for (auto _ : state) {
+        backend(input, kernel, 0, shape.count, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetLabel("n=" + std::to_string(shape.n) +
+                   " taps=" + std::to_string(shape.taps));
+}
+BENCHMARK(BM_Conv1dBackendFftCached)->Apply(backendArgs);
+
+// --- Tiled 2D convolution on the FFT backend (vs BM_TiledConv2dCpu
+// --- above) and through the workspace API (vs the returning overload)
+// --- at a large-kernel geometry where the FFT side of the crossover
+// --- is exercised.
+
+static void
+BM_TiledConv2dFftLargeKernel(benchmark::State &state)
+{
+    const size_t si = static_cast<size_t>(state.range(0));
+    pf::Rng rng(8);
+    sig::Matrix input(si, si);
+    input.data = rng.uniformVector(si * si, 0, 1);
+    sig::Matrix kernel(13, 13);
+    kernel.data = rng.uniformVector(169, -0.3, 0.3);
+    tl::TilingParams params{.input_size = si, .kernel_size = 13,
+                            .n_conv = 4096};
+    auto cache = std::make_shared<tl::KernelSpectrumCache>();
+    tl::TiledConvolution conv(params, tl::fftBackend(cache), 1);
+    sig::Matrix out;
+    tl::ConvWorkspace ws;
+    for (auto _ : state) {
+        conv.execute(input, kernel, out, ws);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+}
+BENCHMARK(BM_TiledConv2dFftLargeKernel)->Arg(56)->Arg(112);
+
+static void
+BM_TiledConv2dCpuLargeKernel(benchmark::State &state)
+{
+    const size_t si = static_cast<size_t>(state.range(0));
+    pf::Rng rng(8);
+    sig::Matrix input(si, si);
+    input.data = rng.uniformVector(si * si, 0, 1);
+    sig::Matrix kernel(13, 13);
+    kernel.data = rng.uniformVector(169, -0.3, 0.3);
+    tl::TilingParams params{.input_size = si, .kernel_size = 13,
+                            .n_conv = 4096};
+    tl::TiledConvolution conv(params, tl::cpuBackend(), 1);
+    sig::Matrix out;
+    tl::ConvWorkspace ws;
+    for (auto _ : state) {
+        conv.execute(input, kernel, out, ws);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+}
+BENCHMARK(BM_TiledConv2dCpuLargeKernel)->Arg(56)->Arg(112);
+
+static void
+BM_TiledConv2dWorkspaceApi(benchmark::State &state)
+{
+    // The allocation-free executor path the serving workers run:
+    // caller-provided output + workspace, sequential tiles.
+    const size_t si = static_cast<size_t>(state.range(0));
+    pf::Rng rng(4);
+    sig::Matrix input(si, si);
+    input.data = rng.uniformVector(si * si, 0, 1);
+    sig::Matrix kernel(3, 3);
+    kernel.data = rng.uniformVector(9, -0.3, 0.3);
+    tl::TilingParams params{.input_size = si, .kernel_size = 3,
+                            .n_conv = 256};
+    tl::TiledConvolution conv(params, tl::cpuBackend(), 1);
+    sig::Matrix out;
+    tl::ConvWorkspace ws;
+    for (auto _ : state) {
+        conv.execute(input, kernel, out, ws);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+}
+BENCHMARK(BM_TiledConv2dWorkspaceApi)->Arg(14)->Arg(28)->Arg(56);
+
+// --- DirectEngine conv layers: the sliding window vs the frequency-
+// --- domain row path with cached kernel-row spectra (large kernels
+// --- are where the row path wins; Auto picks per geometry).
+
+namespace {
+
+void
+engineLayerBench(benchmark::State &state, pf::nn::ConvPath path)
+{
+    const size_t k = static_cast<size_t>(state.range(0));
+    pf::Rng rng(9);
+    pf::nn::Tensor input(8, 32, 32);
+    input.data() = rng.uniformVector(8 * 32 * 32, 0.0, 1.0);
+    std::vector<pf::nn::Tensor> weights;
+    for (size_t oc = 0; oc < 8; ++oc) {
+        pf::nn::Tensor w(8, k, k);
+        w.data() = rng.uniformVector(8 * k * k, -0.3, 0.3);
+        weights.push_back(std::move(w));
+    }
+    const std::vector<double> bias(8, 0.1);
+    pf::nn::DirectEngine engine(nullptr, path);
+    // Populate the spectrum cache outside the timed loop (the serving
+    // steady state; cold spectra are a per-registration one-off).
+    auto warm = engine.convolve(input, weights, bias, 1,
+                                sig::ConvMode::Same);
+    benchmark::DoNotOptimize(warm.data().data());
+    for (auto _ : state) {
+        auto out = engine.convolve(input, weights, bias, 1,
+                                   sig::ConvMode::Same);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+}
+
+} // namespace
+
+static void
+BM_DirectEngineSliding(benchmark::State &state)
+{
+    engineLayerBench(state, pf::nn::ConvPath::Direct);
+}
+BENCHMARK(BM_DirectEngineSliding)->Arg(3)->Arg(7)->Arg(13);
+
+static void
+BM_DirectEngineFftRows(benchmark::State &state)
+{
+    engineLayerBench(state, pf::nn::ConvPath::Fft);
+}
+BENCHMARK(BM_DirectEngineFftRows)->Arg(3)->Arg(7)->Arg(13);
+
+int
+main(int argc, char **argv)
+{
+    // Stamp the repo's own build type into the JSON context:
+    // google-benchmark's "library_build_type" describes the *system
+    // benchmark library*, which says nothing about our -O level.
+    // bench/run_benches.sh refuses to record debug numbers.
+#ifdef NDEBUG
+    benchmark::AddCustomContext("photofourier_build_type", "release");
+#else
+    benchmark::AddCustomContext("photofourier_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -17,12 +17,53 @@ cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
 cmake --build "$build_dir" -j --target micro_kernels serve_loadgen \
     cluster_shard cluster_router
 
+# Refuse to record numbers from anything but a Release library build:
+# debug timings have repeatedly snuck into BENCH_micro.json looking
+# like regressions. (The benchmark library's own "library_build_type"
+# context key describes the system libbenchmark, not us — the
+# authoritative stamp is the photofourier_build_type custom context
+# micro_kernels writes.)
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' \
+    "$build_dir/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+    echo "error: bench tree '$build_dir' is built as" \
+        "'${build_type:-unset}', not Release; refusing to record" \
+        "benchmark numbers" >&2
+    exit 1
+fi
+
+# Keep the previous numbers so the run ends with a before/after table
+# from the same host.
+prev_micro=""
+if [ -f "$repo_root/BENCH_micro.json" ]; then
+    prev_micro="$build_dir/BENCH_micro.prev.json"
+    cp "$repo_root/BENCH_micro.json" "$prev_micro"
+fi
+
+# Record to a temp path first: the committed BENCH_micro.json is only
+# replaced after the build-type stamp checks out, so a debug run can
+# never corrupt the tracked numbers.
+micro_tmp="$build_dir/BENCH_micro.new.json"
 "$build_dir/micro_kernels" \
-    --benchmark_out="$repo_root/BENCH_micro.json" \
+    --benchmark_out="$micro_tmp" \
     --benchmark_out_format=json \
     "$@"
 
+if grep -q '"photofourier_build_type": "debug"' "$micro_tmp"; then
+    echo "error: micro_kernels reports a debug photofourier build" \
+        "(CMakeCache said Release — check CMAKE_CXX_FLAGS_RELEASE);" \
+        "leaving $repo_root/BENCH_micro.json untouched" >&2
+    exit 1
+fi
+mv "$micro_tmp" "$repo_root/BENCH_micro.json"
 echo "Wrote $repo_root/BENCH_micro.json"
+
+if [ -n "$prev_micro" ] && command -v python3 >/dev/null 2>&1; then
+    echo ""
+    echo "=== micro-kernel speedups vs previous BENCH_micro.json ==="
+    python3 "$repo_root/bench/compare_bench.py" \
+        "$prev_micro" "$repo_root/BENCH_micro.json" || true
+fi
 
 # Serving smoke: closed-loop throughput vs micro-batch cap on the
 # digital engine (fast enough for CI); wall-clock scaling is bounded

@@ -77,6 +77,7 @@ putEngineConfig(WireWriter &w, const nn::PhotoFourierEngineConfig &c)
     w.f64(c.snr_db);
     w.u64(c.noise_seed);
     w.u8(c.optical_backend ? 1 : 0);
+    w.u8(static_cast<uint8_t>(c.conv_path));
 }
 
 bool
@@ -91,6 +92,10 @@ getEngineConfig(WireReader &r, nn::PhotoFourierEngineConfig *c)
     c->snr_db = r.f64();
     c->noise_seed = r.u64();
     c->optical_backend = r.u8() != 0;
+    const uint8_t path = r.u8();
+    if (path > static_cast<uint8_t>(nn::ConvPath::Fft))
+        return false;
+    c->conv_path = static_cast<nn::ConvPath>(path);
     return r.ok();
 }
 

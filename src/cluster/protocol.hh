@@ -47,7 +47,7 @@ namespace cluster {
 constexpr uint32_t kMagic = 0x31434650;
 
 /** Protocol version; bumped on any layout change. */
-constexpr uint16_t kProtocolVersion = 1;
+constexpr uint16_t kProtocolVersion = 2; ///< v2: engine conv_path field
 
 /** Message tags (u8 on the wire). */
 enum class MsgType : uint8_t

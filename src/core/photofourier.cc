@@ -56,8 +56,20 @@ PhotoFourierAccelerator::servingConfig(serve::BatchingConfig batching,
     serve::ServerConfig server_cfg;
     server_cfg.batching = batching;
     const auto engine_cfg = engineConfig(with_noise, snr_db);
-    server_cfg.engine_factory = [engine_cfg](size_t) {
-        return std::make_shared<nn::PhotoFourierEngine>(engine_cfg);
+    // One kernel-spectrum cache shared by every worker's engine:
+    // static weights are transformed once per process, and all
+    // replicas read the same immutable spectra (the cache is
+    // thread-safe; results don't depend on who populated it). This
+    // cache lives as long as the factory does and is content-keyed
+    // with no eviction, so its footprint grows with the total set of
+    // distinct kernels ever served through it; deployments that
+    // re-register models frequently should use per-model engine
+    // overrides instead — the registry swaps those caches on every
+    // version bump.
+    auto spectra = std::make_shared<tiling::KernelSpectrumCache>();
+    server_cfg.engine_factory = [engine_cfg, spectra](size_t) {
+        return std::make_shared<nn::PhotoFourierEngine>(engine_cfg,
+                                                        spectra);
     };
     return server_cfg;
 }

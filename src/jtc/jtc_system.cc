@@ -164,11 +164,23 @@ slidingCorrelationReference(const std::vector<double> &s,
                             const std::vector<double> &k, size_t count,
                             long start)
 {
-    std::vector<double> out(count, 0.0);
+    std::vector<double> out;
+    slidingCorrelationInto(s, k, count, start, out);
+    return out;
+}
+
+void
+slidingCorrelationInto(const std::vector<double> &s,
+                       const std::vector<double> &k, size_t count,
+                       long start, std::vector<double> &out)
+{
+    out.resize(count);
     // Tiled kernels are mostly zero padding (rows separated by
     // Si - Sk zeros); skipping zero taps keeps this exact and fast.
-    std::vector<size_t> taps;
-    taps.reserve(k.size());
+    // The tap list is per-thread scratch so the hot path never
+    // allocates in steady state.
+    static thread_local std::vector<size_t> taps;
+    taps.clear();
     for (size_t t = 0; t < k.size(); ++t)
         if (k[t] != 0.0)
             taps.push_back(t);
@@ -182,7 +194,6 @@ slidingCorrelationReference(const std::vector<double> &s,
         }
         out[i] = acc;
     }
-    return out;
 }
 
 } // namespace jtc

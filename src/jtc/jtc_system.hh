@@ -159,6 +159,15 @@ std::vector<double> slidingCorrelationReference(const std::vector<double> &s,
                                                 size_t count,
                                                 long start = 0);
 
+/**
+ * Allocation-free variant: writes the window into `out` (resized to
+ * count, capacity reused). This is the digital-backend hot path — the
+ * tiled executor calls it once per tile per request.
+ */
+void slidingCorrelationInto(const std::vector<double> &s,
+                            const std::vector<double> &k, size_t count,
+                            long start, std::vector<double> &out);
+
 } // namespace jtc
 } // namespace photofourier
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "photonics/converters.hh"
+#include "signal/fft.hh"
 #include "signal/fft_plan.hh"
 #include "tiling/tiled_convolution.hh"
 
@@ -13,6 +14,32 @@ namespace photofourier {
 namespace nn {
 
 namespace {
+
+/**
+ * Per-thread scratch for the engines' convolution hot loops: channel
+ * matrices, partial planes, and the tiled executor's workspace, all
+ * reused across calls so steady-state inference never allocates on
+ * the per-channel path.
+ */
+struct EngineScratch
+{
+    signal::Matrix in_ch;
+    signal::Matrix w_ch;
+    signal::Matrix part_p;
+    signal::Matrix part_n;
+    tiling::ConvWorkspace conv;
+    std::vector<double> kernel_row;
+    signal::ComplexVector acc_spec;
+    std::vector<double> row_time;
+    std::vector<std::shared_ptr<const signal::ComplexVector>> specs;
+};
+
+EngineScratch &
+threadEngineScratch()
+{
+    static thread_local EngineScratch scratch;
+    return scratch;
+}
 
 void
 checkConvShapes(const Tensor &input, const std::vector<Tensor> &weights,
@@ -54,7 +81,155 @@ hashTensor(uint64_t h, const Tensor &t)
     return h;
 }
 
+/**
+ * True when the frequency-domain row path is predicted faster than the
+ * direct sliding window for one conv-layer call. Flop model, fitted in
+ * Release against BM_DirectEngine{Sliding,FftRows} in
+ * bench/micro_kernels.cc: a transform of size n costs ~5*n*log2(n)
+ * model-flops, a frequency MAC 8 per bin, and a direct sliding MAC 4
+ * (the 2D window walk runs ~2x slower per multiply than the
+ * contiguous spectral loops — measured, k=3..13 at 32x32x8x8). The
+ * FFT path pays one r2c per (input channel, input row), one c2r per
+ * (output channel, output row), and a complex multiply-add per
+ * half-spectrum bin per (oc, ic, kernel row, output row); the direct
+ * path pays ow*k*k MACs per (oc, ic, output row) — so frequency
+ * accumulation wins once kernels get large (k >= ~5 at CIFAR widths).
+ */
+bool
+fftRowPathProfitable(size_t in_rows, size_t in_cols, size_t k,
+                     size_t n_in, size_t n_out, size_t oh, size_t ow)
+{
+    const size_t n = signal::nextPowerOfTwo(in_cols + k - 1);
+    const size_t half = n / 2 + 1;
+    const double log2n = std::log2(static_cast<double>(n));
+    const double transform_flops =
+        5.0 * static_cast<double>(n) * log2n *
+        static_cast<double>(n_in * in_rows + n_out * oh);
+    const double product_flops =
+        8.0 * static_cast<double>(half * k) *
+        static_cast<double>(n_out * n_in * oh);
+    const double direct_flops =
+        4.0 * static_cast<double>(n_out * n_in * oh) *
+        static_cast<double>(ow * k * k);
+    return tiling::fftCrossoverScale() *
+               (transform_flops + product_flops) <
+           direct_flops;
+}
+
+/**
+ * The frequency-domain conv layer: input row half-spectra are computed
+ * once per (channel, row), kernel-row spectra come from the shared
+ * cache, and each output row accumulates its (ic, kernel row) products
+ * in the frequency domain so one c2r finishes the row. Matches the
+ * direct path within FFT rounding (~1e-12 relative).
+ */
+Tensor
+fftRowConvolve(const Tensor &input, const std::vector<Tensor> &weights,
+               const std::vector<double> &bias, size_t stride,
+               signal::ConvMode mode, tiling::KernelSpectrumCache &cache)
+{
+    const size_t k = weights[0].height();
+    const size_t n_in = input.channels();
+    const size_t n_out = weights.size();
+    const size_t rows = input.height();
+    const size_t cols = input.width();
+    const size_t oh = outputDim(rows, k, stride, mode);
+    const size_t ow = outputDim(cols, k, stride, mode);
+    const long pad =
+        mode == signal::ConvMode::Same ? static_cast<long>(k / 2) : 0;
+
+    const size_t n = signal::nextPowerOfTwo(cols + k - 1);
+    const auto plan = signal::fftPlanFor(n);
+    const size_t half = plan->halfSpectrumSize();
+
+    const size_t total_macs = n_out * n_in * oh * ow * k * k;
+    const size_t workers =
+        total_macs < signal::kParallelDispatchThreshold ? 1 : 0;
+
+    // Input row spectra, computed once and shared read-only by the
+    // output-channel fan-out. Disjoint writes keep the pass bit-exact
+    // for any worker count.
+    signal::ComplexVector in_spec(n_in * rows * half);
+    signal::parallelFor(n_in * rows, workers, [&](size_t job) {
+        const size_t ic = job / rows;
+        const size_t r = job % rows;
+        // Slot 16: first slot of the nn-engine reserved range (16-19,
+        // see FftWorkspace's slot discipline).
+        std::vector<double> &pad_buf =
+            signal::threadFftWorkspace().realBuffer(16, n);
+        const double *row = input.data().data() +
+                            (ic * rows + r) * cols;
+        std::copy(row, row + cols, pad_buf.begin());
+        std::fill(pad_buf.begin() + cols, pad_buf.end(), 0.0);
+        plan->executeReal(pad_buf.data(), &in_spec[job * half]);
+    });
+
+    Tensor out(n_out, oh, ow);
+    signal::parallelFor(n_out, workers, [&](size_t oc) {
+        EngineScratch &sc = threadEngineScratch();
+        // Kernel-row spectra for this output channel, fetched once
+        // from the shared cache (hits after the first request).
+        sc.specs.resize(n_in * k);
+        sc.kernel_row.resize(k);
+        for (size_t ic = 0; ic < n_in; ++ic) {
+            for (size_t kr = 0; kr < k; ++kr) {
+                for (size_t kc = 0; kc < k; ++kc)
+                    sc.kernel_row[kc] = weights[oc].at(ic, kr, kc);
+                sc.specs[ic * k + kr] =
+                    cache.correlationSpectrum(sc.kernel_row, n);
+            }
+        }
+
+        sc.acc_spec.resize(half);
+        sc.row_time.resize(n);
+        const double b = bias.empty() ? 0.0 : bias[oc];
+        for (size_t r_out = 0; r_out < oh; ++r_out) {
+            std::fill(sc.acc_spec.begin(), sc.acc_spec.end(),
+                      signal::Complex(0.0, 0.0));
+            for (size_t ic = 0; ic < n_in; ++ic) {
+                for (size_t kr = 0; kr < k; ++kr) {
+                    const long r_in =
+                        static_cast<long>(r_out * stride) - pad +
+                        static_cast<long>(kr);
+                    if (r_in < 0 || r_in >= static_cast<long>(rows))
+                        continue;
+                    const signal::Complex *src =
+                        &in_spec[(ic * rows +
+                                  static_cast<size_t>(r_in)) *
+                                 half];
+                    const signal::Complex *ks =
+                        sc.specs[ic * k + kr]->data();
+                    for (size_t i = 0; i < half; ++i)
+                        sc.acc_spec[i] += src[i] * ks[i];
+                }
+            }
+            plan->executeRealInverse(sc.acc_spec.data(),
+                                     sc.row_time.data());
+            for (size_t c = 0; c < ow; ++c)
+                out.at(oc, r_out, c) =
+                    sc.row_time[static_cast<size_t>(
+                        static_cast<long>(c * stride) - pad +
+                        static_cast<long>(k) - 1)] +
+                    b;
+        }
+        // Release the spectrum handles: the thread_local scratch
+        // outlives this call, and pinned shared_ptrs would keep a
+        // re-registered model's swapped-out cache alive per thread.
+        sc.specs.clear();
+    });
+    return out;
+}
+
 } // namespace
+
+DirectEngine::DirectEngine(
+    std::shared_ptr<tiling::KernelSpectrumCache> spectra, ConvPath path)
+    : spectra_(spectra
+                   ? std::move(spectra)
+                   : std::make_shared<tiling::KernelSpectrumCache>()),
+      path_(path)
+{
+}
 
 Tensor
 DirectEngine::convolve(const Tensor &input,
@@ -64,8 +239,25 @@ DirectEngine::convolve(const Tensor &input,
 {
     checkConvShapes(input, weights, bias);
     const size_t k = weights[0].height();
+    // Catch the degenerate shape before outputDim's size_t arithmetic
+    // wraps: the sliding path would hit conv2dInto's assert anyway,
+    // but the FFT row path must not get as far as allocating a
+    // wrapped-size output.
+    pf_assert(mode != signal::ConvMode::Valid ||
+              (input.height() >= k && input.width() >= k),
+              "conv2d valid: kernel larger than input");
     const size_t oh = outputDim(input.height(), k, stride, mode);
     const size_t ow = outputDim(input.width(), k, stride, mode);
+
+    const bool use_fft =
+        path_ == ConvPath::Fft ||
+        (path_ == ConvPath::Auto &&
+         fftRowPathProfitable(input.height(), input.width(), k,
+                              input.channels(), weights.size(), oh,
+                              ow));
+    if (use_fft)
+        return fftRowConvolve(input, weights, bias, stride, mode,
+                              *spectra_);
 
     // Output channels are independent; fan them across the worker
     // pool. Each channel's input-channel accumulation keeps its
@@ -78,13 +270,16 @@ DirectEngine::convolve(const Tensor &input,
         total_macs < signal::kParallelDispatchThreshold ? 1 : 0;
     Tensor out(weights.size(), oh, ow);
     signal::parallelFor(weights.size(), oc_workers, [&](size_t oc) {
-        signal::Matrix acc(oh, ow);
+        EngineScratch &sc = threadEngineScratch();
+        signal::Matrix &acc = sc.part_p;
+        acc.resize(oh, ow);
         for (size_t ic = 0; ic < input.channels(); ++ic) {
-            const auto partial = signal::conv2d(
-                input.channelMatrix(ic),
-                weights[oc].channelMatrix(ic), mode, stride);
+            input.channelMatrixInto(ic, sc.in_ch);
+            weights[oc].channelMatrixInto(ic, sc.w_ch);
+            signal::conv2dInto(sc.in_ch, sc.w_ch, mode, stride,
+                               sc.part_n);
             for (size_t i = 0; i < acc.data.size(); ++i)
-                acc.data[i] += partial.data[i];
+                acc.data[i] += sc.part_n.data[i];
         }
         const double b = bias.empty() ? 0.0 : bias[oc];
         for (size_t i = 0; i < acc.data.size(); ++i)
@@ -94,8 +289,13 @@ DirectEngine::convolve(const Tensor &input,
     return out;
 }
 
-PhotoFourierEngine::PhotoFourierEngine(PhotoFourierEngineConfig config)
-    : config_(config)
+PhotoFourierEngine::PhotoFourierEngine(
+    PhotoFourierEngineConfig config,
+    std::shared_ptr<tiling::KernelSpectrumCache> spectra)
+    : config_(config),
+      spectra_(spectra
+                   ? std::move(spectra)
+                   : std::make_shared<tiling::KernelSpectrumCache>())
 {
     pf_assert(config_.temporal_accumulation_depth >= 1,
               "temporal accumulation depth must be >= 1");
@@ -146,9 +346,23 @@ PhotoFourierEngine::convolve(const Tensor &input,
         .stride = stride,
         .zero_pad_rows = config_.zero_pad_rows,
     };
-    tiling::TiledConvolution tiled(
-        params, config_.optical_backend ? tiling::jtcBackend()
-                                        : tiling::cpuBackend());
+    tiling::Conv1dBackend backend;
+    if (config_.optical_backend) {
+        backend = tiling::jtcBackend();
+    } else {
+        switch (config_.conv_path) {
+          case ConvPath::Auto:
+            backend = tiling::autoBackend(spectra_);
+            break;
+          case ConvPath::Direct:
+            backend = tiling::cpuBackend();
+            break;
+          case ConvPath::Fft:
+            backend = tiling::fftBackend(spectra_);
+            break;
+        }
+    }
+    tiling::TiledConvolution tiled(params, std::move(backend));
 
     const size_t oh = outputDim(input.height(), k, stride, mode);
     const size_t ow = outputDim(input.width(), k, stride, mode);
@@ -202,6 +416,7 @@ PhotoFourierEngine::convolve(const Tensor &input,
     const size_t oc_workers =
         total_macs < signal::kParallelDispatchThreshold ? 1 : 0;
     signal::parallelFor(n_out, oc_workers, [&](size_t oc) {
+        EngineScratch &sc = threadEngineScratch();
         Rng noise_rng(hashBits(noise_key, oc + 1));
         group_p[oc].assign(groups, signal::Matrix(oh, ow));
         group_n[oc].assign(groups, signal::Matrix(oh, ow));
@@ -211,14 +426,14 @@ PhotoFourierEngine::convolve(const Tensor &input,
             auto &acc_n = group_n[oc][g];
             const size_t ic_end = std::min(n_in, (g + 1) * nta);
             for (size_t ic = g * nta; ic < ic_end; ++ic) {
-                const auto in_ch = q_input.channelMatrix(ic);
-                const auto part_p =
-                    tiled.execute(in_ch, w_pos[oc].channelMatrix(ic));
-                const auto part_n =
-                    tiled.execute(in_ch, w_neg[oc].channelMatrix(ic));
+                q_input.channelMatrixInto(ic, sc.in_ch);
+                w_pos[oc].channelMatrixInto(ic, sc.w_ch);
+                tiled.execute(sc.in_ch, sc.w_ch, sc.part_p, sc.conv);
+                w_neg[oc].channelMatrixInto(ic, sc.w_ch);
+                tiled.execute(sc.in_ch, sc.w_ch, sc.part_n, sc.conv);
                 for (size_t i = 0; i < acc_p.data.size(); ++i) {
-                    acc_p.data[i] += part_p.data[i];
-                    acc_n.data[i] += part_n.data[i];
+                    acc_p.data[i] += sc.part_p.data[i];
+                    acc_n.data[i] += sc.part_n.data[i];
                 }
             }
             if (config_.noise) {

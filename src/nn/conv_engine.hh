@@ -23,9 +23,28 @@
 #include "common/rng.hh"
 #include "nn/tensor.hh"
 #include "signal/convolution.hh"
+#include "tiling/spectrum_cache.hh"
 
 namespace photofourier {
 namespace nn {
+
+/**
+ * How a digital engine computes its convolutions.
+ *
+ * Auto picks per layer geometry between the direct/sliding reference
+ * and the real-FFT frequency path using a measured crossover — the
+ * choice is a pure function of the shapes, so outputs stay
+ * deterministic across threads, workers, and processes. The FFT path
+ * reuses kernel spectra through a KernelSpectrumCache and matches the
+ * direct path within ~1e-12 relative error (well inside the 1e-9
+ * engine contract).
+ */
+enum class ConvPath
+{
+    Auto,   ///< measured crossover decides per call shape
+    Direct, ///< always the sliding/direct reference
+    Fft,    ///< always the frequency-domain fast path
+};
 
 /**
  * Abstract convolution executor.
@@ -65,16 +84,39 @@ class ConvEngine
     virtual std::string name() const = 0;
 };
 
-/** Floating-point reference engine (direct 2D sliding window). */
+/** Floating-point reference engine (direct 2D sliding window, with an
+ *  FFT fast path for geometries where it measures faster). */
 class DirectEngine : public ConvEngine
 {
   public:
+    /**
+     * @param spectra kernel-spectrum cache the FFT path draws from;
+     *                null = a private cache (still reused across calls
+     *                on this engine). Pass the registry's per-model
+     *                cache to share spectra across worker replicas.
+     * @param path    force the direct or FFT path (Auto = crossover)
+     */
+    explicit DirectEngine(
+        std::shared_ptr<tiling::KernelSpectrumCache> spectra = nullptr,
+        ConvPath path = ConvPath::Auto);
+
     Tensor convolve(const Tensor &input,
                     const std::vector<Tensor> &weights,
                     const std::vector<double> &bias, size_t stride,
                     signal::ConvMode mode) const override;
 
     std::string name() const override { return "direct"; }
+
+    /** The kernel-spectrum cache this engine populates and reads. */
+    const std::shared_ptr<tiling::KernelSpectrumCache> &
+    spectrumCache() const
+    {
+        return spectra_;
+    }
+
+  private:
+    std::shared_ptr<tiling::KernelSpectrumCache> spectra_;
+    ConvPath path_;
 };
 
 /** Numerical model of PhotoFourier execution. */
@@ -117,6 +159,14 @@ struct PhotoFourierEngineConfig
      * backend. Slow; for end-to-end validation and demos.
      */
     bool optical_backend = false;
+
+    /**
+     * Digital 1D-backend selection for the tiled path (ignored when
+     * optical_backend is set): Auto picks sliding vs real-FFT
+     * correlation per tile shape by the measured crossover; Direct
+     * and Fft force one path (tests, benchmarks).
+     */
+    ConvPath conv_path = ConvPath::Auto;
 };
 
 /**
@@ -129,7 +179,17 @@ struct PhotoFourierEngineConfig
 class PhotoFourierEngine : public ConvEngine
 {
   public:
-    explicit PhotoFourierEngine(PhotoFourierEngineConfig config = {});
+    /**
+     * @param config  mixed-signal numerics settings
+     * @param spectra kernel-spectrum cache for the FFT backend; null =
+     *                a private cache (spectra still amortize across
+     *                calls on this engine). The serving layer passes
+     *                the registry's per-(model, version) cache so all
+     *                worker replicas share one set of spectra.
+     */
+    explicit PhotoFourierEngine(
+        PhotoFourierEngineConfig config = {},
+        std::shared_ptr<tiling::KernelSpectrumCache> spectra = nullptr);
 
     Tensor convolve(const Tensor &input,
                     const std::vector<Tensor> &weights,
@@ -141,8 +201,16 @@ class PhotoFourierEngine : public ConvEngine
     /** The configuration. */
     const PhotoFourierEngineConfig &config() const { return config_; }
 
+    /** The kernel-spectrum cache this engine populates and reads. */
+    const std::shared_ptr<tiling::KernelSpectrumCache> &
+    spectrumCache() const
+    {
+        return spectra_;
+    }
+
   private:
     PhotoFourierEngineConfig config_;
+    std::shared_ptr<tiling::KernelSpectrumCache> spectra_;
 };
 
 } // namespace nn

@@ -38,6 +38,17 @@ Tensor::channelMatrix(size_t c) const
 }
 
 void
+Tensor::channelMatrixInto(size_t c, signal::Matrix &out) const
+{
+    pf_assert(c < channels_, "channel ", c, " out of range ", channels_);
+    out.rows = height_;
+    out.cols = width_;
+    const size_t base = c * height_ * width_;
+    out.data.assign(data_.begin() + base,
+                    data_.begin() + base + height_ * width_);
+}
+
+void
 Tensor::setChannel(size_t c, const signal::Matrix &m)
 {
     pf_assert(c < channels_, "channel ", c, " out of range ", channels_);

@@ -45,6 +45,10 @@ class Tensor
     /** Copy channel c out as a Matrix (for the conv kernels). */
     signal::Matrix channelMatrix(size_t c) const;
 
+    /** Copy channel c into `out` (resized, capacity reused) — the
+     *  allocation-free form the conv hot loops use. */
+    void channelMatrixInto(size_t c, signal::Matrix &out) const;
+
     /** Write a Matrix into channel c (shapes must match). */
     void setChannel(size_t c, const signal::Matrix &m);
 

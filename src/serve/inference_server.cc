@@ -125,10 +125,14 @@ InferenceServer::workerLoop(size_t id)
             auto replica = registry_.instantiateReplica(model);
             if (replica.engine_override) {
                 // Per-model override wins over the worker's factory
-                // engine; each worker builds its own instance.
+                // engine; each worker builds its own instance, but
+                // all instances of one (model, version) share the
+                // registry's kernel-spectrum cache — static weights
+                // are transformed once per registration, not once per
+                // worker, and a version bump swaps the cache.
                 replica.network.setConvEngine(
                     std::make_shared<nn::PhotoFourierEngine>(
-                        *replica.engine_override));
+                        *replica.engine_override, replica.spectra));
             } else if (engine) {
                 replica.network.setConvEngine(engine);
             }

@@ -17,11 +17,17 @@ ModelRegistry::addEntry(
     pf_assert(!name.empty(), "registering a model with an empty name");
     pf_assert(prototype.layerCount() > 0, "registering empty network '",
               name, "'");
+    // Fresh spectra per registration (allocated outside the lock):
+    // new weights start from an empty, independently owned cache;
+    // replicas of the previous version keep their old one alive until
+    // they re-clone.
+    auto spectra = std::make_shared<tiling::KernelSpectrumCache>();
     std::lock_guard<std::mutex> lock(mutex_);
     Entry &entry = models_[name];
     entry.prototype = std::move(prototype);
     ++entry.version;
     entry.engine_override = std::move(engine);
+    entry.spectra = std::move(spectra);
 }
 
 void
@@ -59,6 +65,17 @@ ModelRegistry::setEngineOverride(
               "engine override for unknown model '", name, "'");
     it->second.engine_override = std::move(engine_override);
     ++it->second.version;
+    // Version bumps always swap the cache so workers rebinding their
+    // engines never mix spectra across registrations.
+    it->second.spectra = std::make_shared<tiling::KernelSpectrumCache>();
+}
+
+std::shared_ptr<tiling::KernelSpectrumCache>
+ModelRegistry::spectrumCache(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    return it != models_.end() ? it->second.spectra : nullptr;
 }
 
 std::optional<nn::PhotoFourierEngineConfig>
@@ -131,6 +148,7 @@ ModelRegistry::instantiateReplica(const std::string &name) const
     replica.network = it->second.prototype.clone();
     replica.version = it->second.version;
     replica.engine_override = it->second.engine_override;
+    replica.spectra = it->second.spectra;
     return replica;
 }
 

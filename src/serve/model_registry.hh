@@ -54,6 +54,17 @@ class ModelRegistry
         nn::Network network;
         uint64_t version = 0;
         std::optional<nn::PhotoFourierEngineConfig> engine_override;
+
+        /**
+         * The registration's shared kernel-spectrum cache: every
+         * replica of this (name, version) binds its engines to the
+         * same cache, so a layer's spectra are transformed once per
+         * registration, not once per worker. A version bump allocates
+         * a fresh cache — re-registered weights can never read stale
+         * spectra (entries are content-addressed anyway; the swap
+         * bounds memory).
+         */
+        std::shared_ptr<tiling::KernelSpectrumCache> spectra;
     };
 
     /**
@@ -91,6 +102,14 @@ class ModelRegistry
 
     /** The engine override of `name` (nullopt when none/unknown). */
     std::optional<nn::PhotoFourierEngineConfig> engineOverride(
+        const std::string &name) const;
+
+    /**
+     * The kernel-spectrum cache of `name`'s current registration
+     * (null for unknown names). Replaced — never mutated in place —
+     * on every version bump.
+     */
+    std::shared_ptr<tiling::KernelSpectrumCache> spectrumCache(
         const std::string &name) const;
 
     /** True when `name` has a prototype. */
@@ -134,6 +153,7 @@ class ModelRegistry
         nn::Network prototype;
         uint64_t version = 0;
         std::optional<nn::PhotoFourierEngineConfig> engine_override;
+        std::shared_ptr<tiling::KernelSpectrumCache> spectra;
     };
 
     /** add() body; caller composes the override. */

@@ -4,9 +4,20 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "signal/fft_plan.hh"
 
 namespace photofourier {
 namespace signal {
+
+namespace {
+
+// Workspace slots 4-7 are reserved for the signal-level convolution
+// helpers (see FftWorkspace's slot discipline).
+constexpr size_t kSlotConvReal = 4;
+constexpr size_t kSlotConvSpecA = 5;
+constexpr size_t kSlotConvSpecB = 6;
+
+} // namespace
 
 std::vector<double>
 convolve1d(const std::vector<double> &a, const std::vector<double> &b)
@@ -32,24 +43,33 @@ convolve1dFft(const std::vector<double> &a, const std::vector<double> &b)
     pf_assert(!a.empty() && !b.empty(), "convolve1dFft with empty input");
     const size_t out_size = a.size() + b.size() - 1;
     const size_t n = nextPowerOfTwo(out_size);
+    const auto plan = fftPlanFor(n);
+    const size_t half = plan->halfSpectrumSize();
 
-    ComplexVector fa(n, Complex(0.0, 0.0));
-    ComplexVector fb(n, Complex(0.0, 0.0));
-    for (size_t i = 0; i < a.size(); ++i)
-        fa[i] = Complex(a[i], 0.0);
-    for (size_t i = 0; i < b.size(); ++i)
-        fb[i] = Complex(b[i], 0.0);
+    // Real inputs cost half a complex FFT each (r2c packing), and the
+    // product of the two half-spectra is the half-spectrum of the
+    // (real) convolution, so one c2r finishes the job. All scratch
+    // lives in the per-thread workspace — steady state allocates only
+    // the returned vector.
+    FftWorkspace &ws = threadFftWorkspace();
+    std::vector<double> &padded = ws.realBuffer(kSlotConvReal, n);
+    ComplexVector &fa = ws.complexBuffer(kSlotConvSpecA, half);
+    ComplexVector &fb = ws.complexBuffer(kSlotConvSpecB, half);
 
-    fftRadix2(fa, false);
-    fftRadix2(fb, false);
-    for (size_t i = 0; i < n; ++i)
+    std::copy(a.begin(), a.end(), padded.begin());
+    std::fill(padded.begin() + a.size(), padded.end(), 0.0);
+    plan->executeReal(padded.data(), fa.data());
+
+    std::copy(b.begin(), b.end(), padded.begin());
+    std::fill(padded.begin() + b.size(), padded.end(), 0.0);
+    plan->executeReal(padded.data(), fb.data());
+
+    for (size_t i = 0; i < half; ++i)
         fa[i] *= fb[i];
-    fftRadix2(fa, true);
+    plan->executeRealInverse(fa.data(), padded.data());
 
-    std::vector<double> out(out_size);
-    for (size_t i = 0; i < out_size; ++i)
-        out[i] = fa[i].real();
-    return out;
+    return std::vector<double>(padded.begin(),
+                               padded.begin() + out_size);
 }
 
 std::vector<double>
@@ -57,20 +77,35 @@ convolveCircular(const std::vector<double> &a, const std::vector<double> &b)
 {
     pf_assert(a.size() == b.size() && !a.empty(),
               "convolveCircular needs equal non-empty sizes");
-    ComplexVector fa = fftReal(a);
-    ComplexVector fb = fftReal(b);
-    for (size_t i = 0; i < fa.size(); ++i)
+    const size_t n = a.size();
+    const auto plan = fftPlanFor(n);
+    const size_t half = plan->halfSpectrumSize();
+
+    FftWorkspace &ws = threadFftWorkspace();
+    ComplexVector &fa = ws.complexBuffer(kSlotConvSpecA, half);
+    ComplexVector &fb = ws.complexBuffer(kSlotConvSpecB, half);
+    std::vector<double> &time = ws.realBuffer(kSlotConvReal, n);
+
+    plan->executeReal(a.data(), fa.data());
+    plan->executeReal(b.data(), fb.data());
+    for (size_t i = 0; i < half; ++i)
         fa[i] *= fb[i];
-    ComplexVector result = ifft(fa);
-    std::vector<double> out(a.size());
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] = result[i].real();
-    return out;
+    plan->executeRealInverse(fa.data(), time.data());
+    return std::vector<double>(time.begin(), time.end());
 }
 
 Matrix
 conv2d(const Matrix &input, const Matrix &kernel, ConvMode mode,
        size_t stride)
+{
+    Matrix out;
+    conv2dInto(input, kernel, mode, stride, out);
+    return out;
+}
+
+void
+conv2dInto(const Matrix &input, const Matrix &kernel, ConvMode mode,
+           size_t stride, Matrix &out)
 {
     pf_assert(input.rows > 0 && input.cols > 0, "conv2d: empty input");
     pf_assert(kernel.rows > 0 && kernel.cols > 0, "conv2d: empty kernel");
@@ -91,7 +126,7 @@ conv2d(const Matrix &input, const Matrix &kernel, ConvMode mode,
         out_cols = (input.cols + stride - 1) / stride;
     }
 
-    Matrix out(out_rows, out_cols);
+    out.resizeNoFill(out_rows, out_cols);
     for (size_t orow = 0; orow < out_rows; ++orow) {
         for (size_t ocol = 0; ocol < out_cols; ++ocol) {
             double acc = 0.0;
@@ -115,7 +150,6 @@ conv2d(const Matrix &input, const Matrix &kernel, ConvMode mode,
             out.at(orow, ocol) = acc;
         }
     }
-    return out;
 }
 
 double

@@ -41,6 +41,30 @@ struct Matrix
     /** Construct a zero-filled rows x cols matrix. */
     Matrix(size_t r, size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
 
+    /**
+     * Reshape to r x c with every element zeroed, reusing the existing
+     * allocation when capacity suffices (the workspace idiom: hot
+     * paths resize the same matrix every call without allocating).
+     */
+    void resize(size_t r, size_t c)
+    {
+        rows = r;
+        cols = c;
+        data.assign(r * c, 0.0);
+    }
+
+    /**
+     * Reshape without the zero-fill, for callers that overwrite every
+     * element anyway — skips a full memset on the conv hot loops.
+     * Accumulating callers (+=) must use resize() instead.
+     */
+    void resizeNoFill(size_t r, size_t c)
+    {
+        rows = r;
+        cols = c;
+        data.resize(r * c);
+    }
+
     /** Element access (no bounds check in release paths). */
     double &at(size_t r, size_t c) { return data[r * cols + c]; }
 
@@ -86,6 +110,11 @@ std::vector<double> convolveCircular(const std::vector<double> &a,
  */
 Matrix conv2d(const Matrix &input, const Matrix &kernel, ConvMode mode,
               size_t stride = 1);
+
+/** conv2d writing into `out` (resized, capacity reused) — the
+ *  allocation-free form the nn engines' hot loops use. */
+void conv2dInto(const Matrix &input, const Matrix &kernel, ConvMode mode,
+                size_t stride, Matrix &out);
 
 /** Elementwise maximum absolute difference between two matrices. */
 double matrixMaxAbsDiff(const Matrix &a, const Matrix &b);

@@ -52,10 +52,26 @@ ifft(const ComplexVector &input)
 ComplexVector
 fftReal(const std::vector<double> &input)
 {
-    ComplexVector data(input.size());
-    for (size_t i = 0; i < input.size(); ++i)
-        data[i] = Complex(input[i], 0.0);
-    return fft(data);
+    pf_assert(!input.empty(), "fftReal of empty vector");
+    const size_t n = input.size();
+    const auto plan = fftPlanFor(n);
+    ComplexVector out(n);
+    // r2c into the lower bins, then the Hermitian mirror fills the
+    // upper half: X[n-k] = conj(X[k]).
+    plan->executeReal(input.data(), out.data());
+    for (size_t k = n / 2 + 1; k < n; ++k)
+        out[k] = std::conj(out[n - k]);
+    return out;
+}
+
+ComplexVector
+fftRealHalf(const std::vector<double> &input)
+{
+    pf_assert(!input.empty(), "fftRealHalf of empty vector");
+    const auto plan = fftPlanFor(input.size());
+    ComplexVector out(plan->halfSpectrumSize());
+    plan->executeReal(input.data(), out.data());
+    return out;
 }
 
 ComplexVector

@@ -50,8 +50,20 @@ ComplexVector fft(const ComplexVector &input);
 /** Inverse DFT of arbitrary size, normalized by 1/N. */
 ComplexVector ifft(const ComplexVector &input);
 
-/** Forward DFT of a real signal (returns full complex spectrum). */
+/**
+ * Forward DFT of a real signal (returns the full complex spectrum).
+ * Runs the half-cost real-to-complex path and mirrors the Hermitian
+ * upper half; prefer fftRealHalf when the n/2+1 half-spectrum is
+ * enough (it skips the mirror copy).
+ */
 ComplexVector fftReal(const std::vector<double> &input);
+
+/**
+ * Forward DFT of a real signal, returned as the n/2+1 Hermitian
+ * half-spectrum (bins 0..n/2); bin n-k equals conj(bin k). Costs half
+ * a complex FFT for even sizes (two-for-one packing).
+ */
+ComplexVector fftRealHalf(const std::vector<double> &input);
 
 /** Naive O(N^2) DFT used as a test oracle. */
 ComplexVector dftNaive(const ComplexVector &input, bool inverse);

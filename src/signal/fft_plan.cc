@@ -1,5 +1,6 @@
 #include "signal/fft_plan.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -13,6 +14,54 @@
 
 namespace photofourier {
 namespace signal {
+
+// ---------------------------------------------------------------------------
+// FftWorkspace
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Reserved workspace slots (see the header's slot discipline). The
+// FftPlan internals below use the 0-3 range: Bluestein scratch and the
+// real-transform pack/unpack buffers can be live on one thread at the
+// same time (executeReal on an even size may recurse into a Bluestein
+// half plan), so they must not share a slot.
+constexpr size_t kSlotBluestein = 0;
+constexpr size_t kSlotRealPack = 1;
+
+} // namespace
+
+ComplexVector &
+FftWorkspace::complexBuffer(size_t slot, size_t n)
+{
+    if (slot >= complex_.size())
+        complex_.resize(slot + 1);
+    complex_[slot].resize(n);
+    return complex_[slot];
+}
+
+std::vector<double> &
+FftWorkspace::realBuffer(size_t slot, size_t n)
+{
+    if (slot >= real_.size())
+        real_.resize(slot + 1);
+    real_[slot].resize(n);
+    return real_[slot];
+}
+
+void
+FftWorkspace::reset()
+{
+    complex_.clear();
+    real_.clear();
+}
+
+FftWorkspace &
+threadFftWorkspace()
+{
+    static thread_local FftWorkspace workspace;
+    return workspace;
+}
 
 // ---------------------------------------------------------------------------
 // FftPlan
@@ -139,8 +188,9 @@ FftPlan::executeBluestein(Complex *data, bool inverse) const
         inverse ? chirp_spectrum_inv_ : chirp_spectrum_fwd_;
 
     // Per-thread scratch, reused across calls (capacity persists).
-    static thread_local ComplexVector scratch;
-    scratch.assign(m, Complex(0.0, 0.0));
+    ComplexVector &scratch =
+        threadFftWorkspace().complexBuffer(kSlotBluestein, m);
+    std::fill(scratch.begin(), scratch.end(), Complex(0.0, 0.0));
 
     if (inverse) {
         for (size_t k = 0; k < n; ++k)
@@ -162,6 +212,122 @@ FftPlan::executeBluestein(Complex *data, bool inverse) const
     } else {
         for (size_t k = 0; k < n; ++k)
             data[k] = scratch[k] * chirp_[k];
+    }
+}
+
+void
+FftPlan::ensureRealTables() const
+{
+    // Even sizes only: the half-size plan the packed transform runs on
+    // and the untangling twiddles exp(-2*pi*i*k/n), k in [0, n/2].
+    // Lazy so complex-only plans never build the half-size chain (the
+    // plan cache grows by exactly one per complex size, as tests pin).
+    std::call_once(real_once_, [this] {
+        const size_t n = n_;
+        half_ = fftPlanFor(n / 2);
+        real_twiddle_.resize(n / 2 + 1);
+        for (size_t k = 0; k <= n / 2; ++k) {
+            const double angle = -2.0 * M_PI * static_cast<double>(k) /
+                                 static_cast<double>(n);
+            real_twiddle_[k] = Complex(std::cos(angle), std::sin(angle));
+        }
+    });
+}
+
+void
+FftPlan::executeReal(const double *in, Complex *out) const
+{
+    pf_assert(in != nullptr && out != nullptr,
+              "FftPlan::executeReal on null data");
+    const size_t n = n_;
+    if (n == 1) {
+        out[0] = Complex(in[0], 0.0);
+        return;
+    }
+
+    if (n % 2 != 0) {
+        // Odd sizes: no packing possible — run the complex transform
+        // on scratch and keep the lower half-spectrum.
+        ComplexVector &buf =
+            threadFftWorkspace().complexBuffer(kSlotRealPack, n);
+        for (size_t i = 0; i < n; ++i)
+            buf[i] = Complex(in[i], 0.0);
+        execute(buf.data(), false);
+        for (size_t k = 0; k <= n / 2; ++k)
+            out[k] = buf[k];
+        return;
+    }
+
+    // Two-for-one packing: transform z[j] = x[2j] + i*x[2j+1] with the
+    // half-size plan, then untangle the even/odd sub-spectra:
+    //   X[k] = (Z[k] + conj(Z[h-k]))/2
+    //        - i/2 * (Z[k] - conj(Z[h-k])) * exp(-2*pi*i*k/n).
+    ensureRealTables();
+    const size_t h = n / 2;
+    ComplexVector &z =
+        threadFftWorkspace().complexBuffer(kSlotRealPack, h);
+    for (size_t j = 0; j < h; ++j)
+        z[j] = Complex(in[2 * j], in[2 * j + 1]);
+    half_->execute(z.data(), false);
+
+    const Complex z0 = z[0];
+    out[0] = Complex(z0.real() + z0.imag(), 0.0);
+    out[h] = Complex(z0.real() - z0.imag(), 0.0);
+    for (size_t k = 1; k < h; ++k) {
+        const Complex a = z[k];
+        const Complex b = std::conj(z[h - k]);
+        const Complex even = 0.5 * (a + b);
+        const Complex odd = Complex(0.0, -0.5) * (a - b);
+        out[k] = even + real_twiddle_[k] * odd;
+    }
+}
+
+void
+FftPlan::executeRealInverse(const Complex *in, double *out) const
+{
+    pf_assert(in != nullptr && out != nullptr,
+              "FftPlan::executeRealInverse on null data");
+    const size_t n = n_;
+    if (n == 1) {
+        out[0] = in[0].real();
+        return;
+    }
+
+    if (n % 2 != 0) {
+        // Odd sizes: Hermitian-expand to the full spectrum and run the
+        // complex inverse on scratch.
+        ComplexVector &buf =
+            threadFftWorkspace().complexBuffer(kSlotRealPack, n);
+        for (size_t k = 0; k <= n / 2; ++k)
+            buf[k] = in[k];
+        for (size_t k = 1; k <= n / 2; ++k)
+            buf[n - k] = std::conj(in[k]);
+        execute(buf.data(), true);
+        for (size_t i = 0; i < n; ++i)
+            out[i] = buf[i].real();
+        return;
+    }
+
+    // Exact inverse of the forward untangling: rebuild the packed
+    // half-size spectrum Z'[k] = Xe[k] + i*Xo[k] and invert it (the
+    // half plan's 1/h normalization is exactly what the packing
+    // requires — the round trip is the identity).
+    ensureRealTables();
+    const size_t h = n / 2;
+    ComplexVector &z =
+        threadFftWorkspace().complexBuffer(kSlotRealPack, h);
+    for (size_t k = 0; k < h; ++k) {
+        const Complex a = in[k];
+        const Complex b = std::conj(in[h - k]);
+        const Complex even = 0.5 * (a + b);
+        const Complex odd =
+            0.5 * (a - b) * std::conj(real_twiddle_[k]);
+        z[k] = even + Complex(0.0, 1.0) * odd;
+    }
+    half_->execute(z.data(), true);
+    for (size_t j = 0; j < h; ++j) {
+        out[2 * j] = z[j].real();
+        out[2 * j + 1] = z[j].imag();
     }
 }
 

@@ -24,13 +24,56 @@
 #ifndef PHOTOFOURIER_SIGNAL_FFT_PLAN_HH
 #define PHOTOFOURIER_SIGNAL_FFT_PLAN_HH
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "signal/fft.hh"
 
 namespace photofourier {
 namespace signal {
+
+/**
+ * A reusable scratch arena for the transform hot paths.
+ *
+ * Buffers are identified by small slot indices and keep their capacity
+ * across calls, so a steady-state caller never allocates. One workspace
+ * must only ever be used from one thread at a time;
+ * threadFftWorkspace() hands out a thread_local instance shared by the
+ * library's own hot paths.
+ *
+ * Slot discipline: a (caller, slot) pair must be unique along any call
+ * chain that can be live at once on a thread. The library reserves
+ * slots 0-3 for FftPlan internals (Bluestein and real-transform
+ * scratch), 4-7 for signal-level convolution helpers, 8-15 for the
+ * tiling backends, and 16-19 for the nn engines; external callers of
+ * threadFftWorkspace() should use slots >= 20 (or a private
+ * FftWorkspace instance).
+ */
+class FftWorkspace
+{
+  public:
+    /** The complex buffer for `slot`, resized to n (contents are
+     *  unspecified — callers overwrite; capacity is reused). */
+    ComplexVector &complexBuffer(size_t slot, size_t n);
+
+    /** The real buffer for `slot`, resized to n (unspecified values). */
+    std::vector<double> &realBuffer(size_t slot, size_t n);
+
+    /** Release all held memory (buffers come back empty). */
+    void reset();
+
+  private:
+    // Deques so acquiring a new slot never moves existing buffers: a
+    // caller may hold references to several slots while a nested call
+    // (e.g. FftPlan's own scratch) grows the slot table.
+    std::deque<ComplexVector> complex_;
+    std::deque<std::vector<double>> real_;
+};
+
+/** This thread's shared scratch workspace (created on first use). */
+FftWorkspace &threadFftWorkspace();
 
 /**
  * A reusable DFT plan for one transform size.
@@ -52,6 +95,9 @@ class FftPlan
     /** True when this plan uses the radix-2 path (n a power of two). */
     bool radix2() const { return pow2_; }
 
+    /** Entries in the Hermitian half-spectrum: size()/2 + 1. */
+    size_t halfSpectrumSize() const { return n_ / 2 + 1; }
+
     /**
      * In-place DFT of exactly size() contiguous values. The inverse
      * transform includes the 1/N normalization.
@@ -60,6 +106,23 @@ class FftPlan
 
     /** Convenience overload; data.size() must equal size(). */
     void execute(ComplexVector &data, bool inverse) const;
+
+    /**
+     * Forward DFT of size() real samples into the n/2+1 Hermitian
+     * half-spectrum (bins 0..n/2; the rest is conj-mirrored). For even
+     * sizes this runs one complex FFT of size n/2 (the two-for-one
+     * real-input packing) — half the work of the full transform. `in`
+     * and `out` must not overlap. Allocation-free in steady state
+     * (scratch lives in threadFftWorkspace()).
+     */
+    void executeReal(const double *in, Complex *out) const;
+
+    /**
+     * Inverse of executeReal: consume an n/2+1 half-spectrum (assumed
+     * Hermitian — only bins 0..n/2 are read) and produce size() real
+     * samples, 1/N-normalized. `in` and `out` must not overlap.
+     */
+    void executeRealInverse(const Complex *in, double *out) const;
 
   private:
     void executeRadix2(Complex *data, bool inverse) const;
@@ -84,6 +147,18 @@ class FftPlan
     ComplexVector chirp_;
     ComplexVector chirp_spectrum_fwd_;
     ComplexVector chirp_spectrum_inv_;
+
+    // Real-transform path (even n only): the half-size plan the packed
+    // transform runs on, and exp(-2*pi*i*k/n) for k in [0, n/2] — the
+    // untangling twiddles (twiddle_fwd_ stops at n/2-1 and only exists
+    // on the radix-2 path, so Bluestein-sized real transforms need
+    // their own table). Built lazily on the first real transform (so
+    // complex-only plans never touch the half-size plan chain), under
+    // call_once — safe against concurrent first calls.
+    void ensureRealTables() const;
+    mutable std::once_flag real_once_;
+    mutable std::shared_ptr<const FftPlan> half_;
+    mutable ComplexVector real_twiddle_;
 };
 
 /**

@@ -1,20 +1,207 @@
 #include "tiling/backends.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 
 #include "common/logging.hh"
+#include "signal/fft_plan.hh"
 
 namespace photofourier {
 namespace tiling {
+
+namespace {
+
+// Workspace slots 8-15 are reserved for the tiling backends (slot 8 is
+// the spectrum cache's kernel-padding buffer; these must stay disjoint
+// from it because a cache miss computes a spectrum while the block
+// loop below holds its own buffers).
+constexpr size_t kSlotBlockInput = 9;
+constexpr size_t kSlotBlockSpectrum = 10;
+constexpr size_t kSlotLocalKernelSpectrum = 11;
+constexpr size_t kSlotBlockOutput = 12;
+
+/**
+ * Overlap-save block bound: inputs longer than this are correlated in
+ * blocks so the FFT size (and its scratch) stays cache-resident
+ * instead of growing with the input.
+ */
+constexpr size_t kMaxFftBlock = 1 << 14;
+
+/** FFT size for one correlation of N input samples with K taps. */
+size_t
+correlationFftSize(size_t n_input, size_t n_kernel)
+{
+    const size_t total = n_input + n_kernel - 1;
+    size_t n = signal::nextPowerOfTwo(total);
+    if (n > kMaxFftBlock)
+        n = std::max(kMaxFftBlock,
+                     signal::nextPowerOfTwo(2 * n_kernel));
+    return n;
+}
+
+/**
+ * Sliding correlation via the real-FFT path: linear convolution of
+ * the input with the reversed kernel, evaluated only over the blocks
+ * that overlap the requested window (overlap-save). All scratch lives
+ * in the per-thread workspace; the kernel half-spectrum comes from
+ * `cache` when given.
+ */
+void
+fftCorrelate(const std::vector<double> &input,
+             const std::vector<double> &kernel, long start, size_t count,
+             std::vector<double> &out, KernelSpectrumCache *cache)
+{
+    const size_t n_in = input.size();
+    const size_t n_k = kernel.size();
+    out.assign(count, 0.0);
+    if (count == 0 || n_in == 0 || n_k == 0)
+        return;
+
+    // out[i] = f[start + i + K - 1] where f = input (*) reverse(kernel)
+    // is the full linear convolution, f[m] defined for m in
+    // [0, N + K - 2]; window samples outside that range are zero.
+    const long m_base = start + static_cast<long>(n_k) - 1;
+    const long m_lo = std::max<long>(0, m_base);
+    const long m_hi =
+        std::min<long>(static_cast<long>(n_in + n_k) - 2,
+                       m_base + static_cast<long>(count) - 1);
+    if (m_lo > m_hi)
+        return;
+
+    const size_t n = correlationFftSize(n_in, n_k);
+    const auto plan = signal::fftPlanFor(n);
+    const size_t half = plan->halfSpectrumSize();
+    signal::FftWorkspace &ws = signal::threadFftWorkspace();
+
+    // Kernel half-spectrum: shared through the cache (one transform
+    // per static kernel per process) or computed into local scratch.
+    std::shared_ptr<const signal::ComplexVector> shared_spec;
+    const signal::Complex *kspec = nullptr;
+    if (cache != nullptr) {
+        shared_spec = cache->correlationSpectrum(kernel, n);
+        kspec = shared_spec->data();
+    } else {
+        signal::ComplexVector &local =
+            ws.complexBuffer(kSlotLocalKernelSpectrum, half);
+        computeCorrelationSpectrum(kernel, n, local.data());
+        kspec = local.data();
+    }
+
+    // Overlap-save: block b yields f[m] for m in [b*L, b*L + L) from
+    // the n input samples starting at b*L - (K - 1).
+    const size_t L = n - n_k + 1;
+    std::vector<double> &block = ws.realBuffer(kSlotBlockInput, n);
+    signal::ComplexVector &spec =
+        ws.complexBuffer(kSlotBlockSpectrum, half);
+    std::vector<double> &time = ws.realBuffer(kSlotBlockOutput, n);
+
+    const size_t b_first = static_cast<size_t>(m_lo) / L;
+    const size_t b_last = static_cast<size_t>(m_hi) / L;
+    for (size_t b = b_first; b <= b_last; ++b) {
+        const long src0 = static_cast<long>(b * L) -
+                          (static_cast<long>(n_k) - 1);
+        for (size_t j = 0; j < n; ++j) {
+            const long src = src0 + static_cast<long>(j);
+            block[j] = (src >= 0 && src < static_cast<long>(n_in))
+                           ? input[static_cast<size_t>(src)]
+                           : 0.0;
+        }
+        plan->executeReal(block.data(), spec.data());
+        for (size_t i = 0; i < half; ++i)
+            spec[i] *= kspec[i];
+        plan->executeRealInverse(spec.data(), time.data());
+
+        const long seg_lo = std::max<long>(m_lo, static_cast<long>(b * L));
+        const long seg_hi =
+            std::min<long>(m_hi, static_cast<long>(b * L + L - 1));
+        for (long m = seg_lo; m <= seg_hi; ++m)
+            out[static_cast<size_t>(m - m_base)] =
+                time[static_cast<size_t>(m) - b * L + n_k - 1];
+    }
+}
+
+} // namespace
 
 Conv1dBackend
 cpuBackend()
 {
     return [](const std::vector<double> &input,
-              const std::vector<double> &kernel, long start,
-              size_t count) {
-        return jtc::slidingCorrelationReference(input, kernel, count,
-                                                start);
+              const std::vector<double> &kernel, long start, size_t count,
+              std::vector<double> &out) {
+        jtc::slidingCorrelationInto(input, kernel, count, start, out);
+    };
+}
+
+Conv1dBackend
+fftBackend(std::shared_ptr<KernelSpectrumCache> cache)
+{
+    return [cache = std::move(cache)](const std::vector<double> &input,
+                                      const std::vector<double> &kernel,
+                                      long start, size_t count,
+                                      std::vector<double> &out) {
+        fftCorrelate(input, kernel, start, count, out, cache.get());
+    };
+}
+
+bool
+fftConvProfitable(size_t input_len, size_t kernel_len,
+                  size_t active_taps, size_t count)
+{
+    if (count == 0 || kernel_len == 0 || input_len == 0)
+        return false;
+
+    // Cost model, in sliding-MAC units. The sliding path does
+    // count * taps fused multiply-adds over contiguous doubles; the
+    // FFT path pays (per overlap-save block) one r2c, one half-
+    // spectrum product, and one c2r — about kFftMacFactor equivalent
+    // MACs per (n/2) * log2(n/2) butterfly, independent of tap count.
+    // kFftMacFactor was fitted against BM_Conv1dBackend{Cpu,FftCached}
+    // in Release on the bench host (see BENCH_micro.json): one cached
+    // FFT correlation at size n costs ~2.0 * n * log2(n) sliding-MAC
+    // equivalents (consistent within 3% across n = 512..8192), so the
+    // FFT path breaks even around count*taps ~ 2 * n * log2(n).
+    const size_t n = correlationFftSize(input_len, kernel_len);
+    const size_t blocks = (count + (n - kernel_len)) / (n - kernel_len + 1);
+    const double log2n = std::log2(static_cast<double>(n));
+    constexpr double kFftMacFactor = 2.0;
+
+    const double fft_cost = fftCrossoverScale() * kFftMacFactor *
+                            static_cast<double>(blocks) *
+                            static_cast<double>(n) * log2n;
+    const double direct_cost =
+        static_cast<double>(count) * static_cast<double>(active_taps);
+    return fft_cost < direct_cost;
+}
+
+double
+fftCrossoverScale()
+{
+    static const double scale = [] {
+        if (const char *env = std::getenv("PHOTOFOURIER_FFT_CROSSOVER")) {
+            const double parsed = std::atof(env);
+            if (parsed > 0.0)
+                return parsed;
+        }
+        return 1.0;
+    }();
+    return scale;
+}
+
+Conv1dBackend
+autoBackend(std::shared_ptr<KernelSpectrumCache> cache)
+{
+    return [cache = std::move(cache)](const std::vector<double> &input,
+                                      const std::vector<double> &kernel,
+                                      long start, size_t count,
+                                      std::vector<double> &out) {
+        size_t taps = 0;
+        for (double w : kernel)
+            taps += w != 0.0 ? 1 : 0;
+        if (fftConvProfitable(input.size(), kernel.size(), taps, count))
+            fftCorrelate(input, kernel, start, count, out, cache.get());
+        else
+            jtc::slidingCorrelationInto(input, kernel, count, start, out);
     };
 }
 
@@ -23,7 +210,7 @@ jtcBackend(jtc::JtcConfig config)
 {
     return [config](const std::vector<double> &input,
                     const std::vector<double> &kernel, long start,
-                    size_t count) {
+                    size_t count, std::vector<double> &out) {
         for (double v : input) {
             pf_assert(v >= 0.0,
                       "optical backend requires non-negative inputs "
@@ -34,8 +221,10 @@ jtcBackend(jtc::JtcConfig config)
         const bool any_negative =
             std::any_of(kernel.begin(), kernel.end(),
                         [](double w) { return w < 0.0; });
-        if (!any_negative)
-            return optics.correlationWindow(input, kernel, count, start);
+        if (!any_negative) {
+            out = optics.correlationWindow(input, kernel, count, start);
+            return;
+        }
 
         // Pseudo-negative decomposition [13]: k = p - n.
         std::vector<double> pos(kernel.size(), 0.0);
@@ -46,12 +235,11 @@ jtcBackend(jtc::JtcConfig config)
             else
                 neg[i] = -kernel[i];
         }
-        auto out = optics.correlationWindow(input, pos, count, start);
+        out = optics.correlationWindow(input, pos, count, start);
         const auto out_n =
             optics.correlationWindow(input, neg, count, start);
         for (size_t i = 0; i < out.size(); ++i)
             out[i] -= out_n[i];
-        return out;
     };
 }
 
@@ -64,7 +252,7 @@ variedBackend(Conv1dBackend base, std::vector<double> input_gains,
             weight_gains = std::move(weight_gains)](
                const std::vector<double> &input,
                const std::vector<double> &kernel, long start,
-               size_t count) {
+               size_t count, std::vector<double> &out) {
         pf_assert(input.size() <= input_gains.size(),
                   "input longer than the device's gain map");
         pf_assert(kernel.size() <= weight_gains.size(),
@@ -75,7 +263,7 @@ variedBackend(Conv1dBackend base, std::vector<double> input_gains,
         std::vector<double> varied_k(kernel.size());
         for (size_t i = 0; i < kernel.size(); ++i)
             varied_k[i] = kernel[i] * weight_gains[i];
-        return base(varied_in, varied_k, start, count);
+        base(varied_in, varied_k, start, count, out);
     };
 }
 

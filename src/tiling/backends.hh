@@ -3,27 +3,36 @@
  * 1D convolution backends for the tiled executor.
  *
  * The row-tiling executor is backend-agnostic: it hands flattened input
- * and kernel vectors to a Conv1dBackend and scatters the returned
- * sliding-correlation window into the 2D output. Backends:
+ * and kernel vectors to a Conv1dBackend which writes the requested
+ * sliding-correlation window into a caller-provided output buffer (so
+ * steady-state executions allocate nothing). Backends:
  *
  *  - cpuBackend: exact digital sliding dot product (golden model).
+ *  - fftBackend: frequency-domain correlation on the real-FFT fast
+ *    path, reusing kernel half-spectra through a KernelSpectrumCache.
+ *  - autoBackend: per-call choice between the two by a measured
+ *    crossover on the call shape (deterministic — the choice is a pure
+ *    function of the sizes, never of timing or cache state).
  *  - jtcBackend: the field-level optical JTC (optionally noisy),
  *    handling signed kernels via the pseudo-negative decomposition.
  *
- * Layering: both backends are implemented on top of jtc/ (cpuBackend
- * wraps jtc::slidingCorrelationReference, jtcBackend wraps
- * jtc::JtcSystem), so tiling sits strictly above jtc in the library
- * layer order declared in CMakeLists.txt. Backends returned here hold
- * no mutable shared state and are safe to invoke concurrently.
+ * Layering: the digital backends are implemented on top of jtc/
+ * (cpuBackend wraps jtc::slidingCorrelationReference) and signal/
+ * (fftBackend runs on FftPlan's r2c/c2r path); jtcBackend wraps
+ * jtc::JtcSystem. Backends returned here hold no mutable per-call
+ * state beyond the thread-safe spectrum cache and are safe to invoke
+ * concurrently.
  */
 
 #ifndef PHOTOFOURIER_TILING_BACKENDS_HH
 #define PHOTOFOURIER_TILING_BACKENDS_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "jtc/jtc_system.hh"
+#include "tiling/spectrum_cache.hh"
 
 namespace photofourier {
 namespace tiling {
@@ -32,14 +41,70 @@ namespace tiling {
  * A 1D sliding-correlation engine.
  *
  * out[i] = sum_t input[start + i + t] * kernel[t], i in [0, count),
- * out-of-range input samples read as zero.
+ * out-of-range input samples read as zero. `out` is resized to count;
+ * its previous contents are discarded but its capacity is reused, so
+ * callers that keep a buffer across calls never allocate.
  */
-using Conv1dBackend = std::function<std::vector<double>(
+using Conv1dBackend = std::function<void(
     const std::vector<double> &input, const std::vector<double> &kernel,
-    long start, size_t count)>;
+    long start, size_t count, std::vector<double> &out)>;
 
-/** Exact digital backend. */
+/** Exact digital backend (zero-skip sliding dot product). */
 Conv1dBackend cpuBackend();
+
+/**
+ * Frequency-domain digital backend: correlates through the real-FFT
+ * fast path (r2c, pointwise half-spectrum product, c2r), processing
+ * long inputs in overlap-save blocks so the FFT size stays bounded.
+ * Kernel half-spectra come from `cache` when given (shared across
+ * calls, threads, and engines — the serving hot path transforms each
+ * static kernel once); with a null cache each call transforms the
+ * kernel itself. Results match cpuBackend within ~1e-12 relative
+ * error (FFT rounding), far inside the 1e-9 contract the engines
+ * test against.
+ */
+Conv1dBackend fftBackend(
+    std::shared_ptr<KernelSpectrumCache> cache = nullptr);
+
+/**
+ * Per-call auto-selection between cpuBackend and fftBackend using
+ * fftConvProfitable on the call shape. The decision depends only on
+ * (input length, nonzero kernel taps, window length), so outputs are
+ * deterministic across threads, processes, and cache states.
+ */
+Conv1dBackend autoBackend(
+    std::shared_ptr<KernelSpectrumCache> cache = nullptr);
+
+/**
+ * True when the FFT path is predicted faster than the zero-skip
+ * sliding correlation for this call shape, assuming the kernel
+ * spectrum is cached (the serving steady state).
+ *
+ * The sliding path costs ~count * active_taps MACs; the FFT path costs
+ * one r2c + pointwise product + c2r at the padded size regardless of
+ * tap count. The crossover constant is measured in Release on the
+ * bench host (see BM_Conv1dBackend* in bench/micro_kernels.cc) and
+ * can be rescaled with PHOTOFOURIER_FFT_CROSSOVER (default 1.0;
+ * larger values favor the sliding path). The env var is read once per
+ * process, so the choice stays deterministic within a run.
+ *
+ * @param input_len   samples in the (tiled) input vector
+ * @param kernel_len  full kernel length including zero padding (sets
+ *                    the FFT size)
+ * @param active_taps nonzero kernel taps (tiled kernels are mostly
+ *                    zero padding, which the sliding path skips)
+ * @param count       requested window samples
+ */
+bool fftConvProfitable(size_t input_len, size_t kernel_len,
+                       size_t active_taps, size_t count);
+
+/**
+ * The PHOTOFOURIER_FFT_CROSSOVER scale factor (default 1.0; larger
+ * values make every Auto crossover favor the sliding path). Read once
+ * per process so decisions stay deterministic within a run; shared by
+ * fftConvProfitable and the nn engines' layer-level crossover.
+ */
+double fftCrossoverScale();
 
 /**
  * Optical JTC backend. Inputs must be non-negative (they are light

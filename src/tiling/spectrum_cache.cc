@@ -1,0 +1,112 @@
+#include "tiling/spectrum_cache.hh"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "signal/fft_plan.hh"
+
+namespace photofourier {
+namespace tiling {
+
+namespace {
+
+/** FNV-1a over the kernel bytes and the FFT size. */
+uint64_t
+spectrumKey(const std::vector<double> &kernel, size_t fft_n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        for (int shift = 0; shift < 64; shift += 8) {
+            h ^= (v >> shift) & 0xffull;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(fft_n);
+    mix(kernel.size());
+    for (double v : kernel)
+        mix(std::bit_cast<uint64_t>(v));
+    return h;
+}
+
+} // namespace
+
+void
+computeCorrelationSpectrum(const std::vector<double> &kernel,
+                           size_t fft_n, signal::Complex *out)
+{
+    pf_assert(!kernel.empty(), "correlation spectrum of empty kernel");
+    pf_assert(fft_n >= kernel.size(),
+              "FFT size ", fft_n, " shorter than kernel ",
+              kernel.size());
+    const auto plan = signal::fftPlanFor(fft_n);
+    // Slot 8 of the tiling-backend workspace range; disjoint from the
+    // block buffers the FFT backend holds while calling in here.
+    std::vector<double> &padded =
+        signal::threadFftWorkspace().realBuffer(/*slot=*/8, fft_n);
+    std::fill(padded.begin(), padded.end(), 0.0);
+    std::reverse_copy(kernel.begin(), kernel.end(), padded.begin());
+    plan->executeReal(padded.data(), out);
+}
+
+std::shared_ptr<const signal::ComplexVector>
+KernelSpectrumCache::correlationSpectrum(
+    const std::vector<double> &kernel, size_t fft_n)
+{
+    pf_assert(!kernel.empty(), "correlationSpectrum of empty kernel");
+    pf_assert(fft_n >= kernel.size(),
+              "FFT size ", fft_n, " shorter than kernel ", kernel.size());
+    const uint64_t key = spectrumKey(kernel, fft_n);
+
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto [it, end] = entries_.equal_range(key);
+        for (; it != end; ++it) {
+            const Entry &e = it->second;
+            if (e.fft_n == fft_n && e.kernel == kernel) {
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                return e.spectrum;
+            }
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+
+    // Compute outside any lock (a racing thread computing the same
+    // spectrum produces bit-identical values, so either copy may win).
+    auto spectrum =
+        std::make_shared<signal::ComplexVector>(fft_n / 2 + 1);
+    computeCorrelationSpectrum(kernel, fft_n, spectrum->data());
+
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, end] = entries_.equal_range(key);
+    for (; it != end; ++it) {
+        const Entry &e = it->second;
+        if (e.fft_n == fft_n && e.kernel == kernel)
+            return e.spectrum; // a racing thread inserted first
+    }
+    auto inserted = entries_.emplace(
+        key, Entry{fft_n, kernel, std::move(spectrum)});
+    return inserted->second.spectrum;
+}
+
+KernelSpectrumCache::Stats
+KernelSpectrumCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    s.entries = entries_.size();
+    return s;
+}
+
+void
+KernelSpectrumCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_.clear();
+}
+
+} // namespace tiling
+} // namespace photofourier

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared cache of kernel half-spectra for the FFT convolution backend.
+ *
+ * The FFT backend's win over the sliding correlation comes from never
+ * transforming static data twice: a layer's (tiled, quantized) kernels
+ * are fixed between weight updates, so their padded, reversed
+ * half-spectra are computed once and reused by every request, worker
+ * replica, and tile that correlates against them.
+ *
+ * Entries are content-addressed — keyed by the kernel's exact bytes
+ * plus the FFT size — so two engines holding identical weights share
+ * spectra and a cache can never serve a stale spectrum for changed
+ * weights. Lifetime/invalidation is the owner's job: the serving
+ * registry allocates a fresh cache per (model, registration version),
+ * so re-registering a model drops the old spectra wholesale.
+ *
+ * Thread-safety: lookups take a shared lock and insertions a unique
+ * lock; the returned spectra are immutable and shared_ptr-owned, so
+ * readers are never invalidated. Hits are the steady state — the
+ * serving hot path takes the shared lock only.
+ */
+
+#ifndef PHOTOFOURIER_TILING_SPECTRUM_CACHE_HH
+#define PHOTOFOURIER_TILING_SPECTRUM_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "signal/fft.hh"
+
+namespace photofourier {
+namespace tiling {
+
+/**
+ * Compute the correlation operand the cache stores: the half-spectrum
+ * of `kernel`, reversed and zero-padded to fft_n, written to `out`
+ * (which must hold fft_n/2 + 1 entries). One definition shared by the
+ * cache and the FFT backend's cache-less path, so the two can never
+ * drift apart. Uses per-thread workspace scratch; allocation-free in
+ * steady state.
+ */
+void computeCorrelationSpectrum(const std::vector<double> &kernel,
+                                size_t fft_n, signal::Complex *out);
+
+/** Content-addressed kernel half-spectrum store. */
+class KernelSpectrumCache
+{
+  public:
+    /** Cache traffic counters (for tests and perf reports). */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        size_t entries = 0;
+    };
+
+    /**
+     * The n/2+1 half-spectrum of `kernel`, reversed and zero-padded to
+     * fft_n — the frequency-domain operand that turns a pointwise
+     * product into a sliding correlation. Computed on miss (exactly
+     * the same arithmetic every time, so results never depend on cache
+     * state), returned shared on hit. fft_n must be >= kernel.size().
+     */
+    std::shared_ptr<const signal::ComplexVector> correlationSpectrum(
+        const std::vector<double> &kernel, size_t fft_n);
+
+    /** Traffic counters and entry count. */
+    Stats stats() const;
+
+    /** Drop every entry (counters keep running). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        size_t fft_n;
+        std::vector<double> kernel; ///< exact bytes, verified on hit
+        std::shared_ptr<const signal::ComplexVector> spectrum;
+    };
+
+    mutable std::shared_mutex mutex_;
+    /** hash(fft_n, kernel bytes) -> entries; collisions chain. */
+    std::unordered_multimap<uint64_t, Entry> entries_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace tiling
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_TILING_SPECTRUM_CACHE_HH

@@ -16,38 +16,52 @@ ceilDiv(size_t a, size_t b)
     return (a + b - 1) / b;
 }
 
-/** Flatten the kernel with `row_stride - sk` zeros between rows. */
-std::vector<double>
-tileKernel(const signal::Matrix &kernel, size_t row_stride,
-           size_t first_row, size_t row_count)
+/** This thread's workspace for parallel tile jobs (the sequential
+ *  path uses the caller's workspace instead). */
+ConvWorkspace &
+threadConvWorkspace()
+{
+    static thread_local ConvWorkspace ws;
+    return ws;
+}
+
+/**
+ * Flatten kernel rows [first_row, first_row + row_count) with
+ * `row_stride - sk` zeros between rows, into `out` (resized, capacity
+ * reused).
+ */
+void
+tileKernelInto(const signal::Matrix &kernel, size_t row_stride,
+               size_t first_row, size_t row_count,
+               std::vector<double> &out)
 {
     const size_t sk = kernel.cols;
-    std::vector<double> tiled((row_count - 1) * row_stride + sk, 0.0);
+    out.assign((row_count - 1) * row_stride + sk, 0.0);
     for (size_t t = 0; t < row_count; ++t)
         for (size_t kc = 0; kc < sk; ++kc)
-            tiled[t * row_stride + kc] = kernel.at(first_row + t, kc);
-    return tiled;
+            out[t * row_stride + kc] = kernel.at(first_row + t, kc);
 }
 
 /**
  * Flatten input rows [first_row, first_row + row_count) with the given
- * row stride; rows outside the input read as zero (vertical padding),
- * columns beyond input.cols are the optional horizontal zero pad.
+ * row stride into `out`; rows outside the input read as zero (vertical
+ * padding), columns beyond input.cols are the optional horizontal zero
+ * pad.
  */
-std::vector<double>
-tileInputRows(const signal::Matrix &input, long first_row,
-              size_t row_count, size_t row_stride)
+void
+tileInputRowsInto(const signal::Matrix &input, long first_row,
+                  size_t row_count, size_t row_stride,
+                  std::vector<double> &out)
 {
-    std::vector<double> tiled(row_count * row_stride, 0.0);
+    out.assign(row_count * row_stride, 0.0);
     for (size_t t = 0; t < row_count; ++t) {
         const long src = first_row + static_cast<long>(t);
         if (src < 0 || src >= static_cast<long>(input.rows))
             continue;
         for (size_t c = 0; c < input.cols; ++c)
-            tiled[t * row_stride + c] =
+            out[t * row_stride + c] =
                 input.at(static_cast<size_t>(src), c);
     }
-    return tiled;
 }
 
 } // namespace
@@ -75,22 +89,30 @@ TiledConvolution::effectiveWorkers() const
     return macs < signal::kParallelDispatchThreshold ? 1 : 0;
 }
 
-signal::Matrix
-TiledConvolution::applyStride(const signal::Matrix &full) const
+void
+TiledConvolution::applyStride(const signal::Matrix &full,
+                              signal::Matrix &out) const
 {
-    if (params_.stride == 1)
-        return full;
     const size_t s = params_.stride;
-    signal::Matrix out(ceilDiv(full.rows, s), ceilDiv(full.cols, s));
+    out.resizeNoFill(ceilDiv(full.rows, s), ceilDiv(full.cols, s));
     for (size_t r = 0; r < out.rows; ++r)
         for (size_t c = 0; c < out.cols; ++c)
             out.at(r, c) = full.at(r * s, c * s);
-    return out;
 }
 
 signal::Matrix
 TiledConvolution::execute(const signal::Matrix &input,
                           const signal::Matrix &kernel) const
+{
+    signal::Matrix out;
+    execute(input, kernel, out, threadConvWorkspace());
+    return out;
+}
+
+void
+TiledConvolution::execute(const signal::Matrix &input,
+                          const signal::Matrix &kernel,
+                          signal::Matrix &out, ConvWorkspace &ws) const
 {
     pf_assert(input.rows == params_.input_size &&
               input.cols == params_.input_size,
@@ -102,24 +124,29 @@ TiledConvolution::execute(const signal::Matrix &input,
               " but the plan was built for ", params_.kernel_size);
 
     last_ops_ = 0;
-    signal::Matrix full;
+    // Unit stride writes straight into the caller's matrix; otherwise
+    // the full plane lands in workspace and is subsampled out.
+    signal::Matrix &full = params_.stride == 1 ? out : ws.full;
     switch (plan_.variant) {
       case Variant::RowTiling:
-        full = executeRowTiling(input, kernel);
+        executeRowTiling(input, kernel, full, ws);
         break;
       case Variant::PartialRowTiling:
-        full = executePartialRowTiling(input, kernel);
+        executePartialRowTiling(input, kernel, full, ws);
         break;
       case Variant::RowPartitioning:
-        full = executeRowPartitioning(input, kernel);
+        executeRowPartitioning(input, kernel, full, ws);
         break;
     }
-    return applyStride(full);
+    if (params_.stride != 1)
+        applyStride(full, out);
 }
 
-signal::Matrix
+void
 TiledConvolution::executeRowTiling(const signal::Matrix &input,
-                                   const signal::Matrix &kernel) const
+                                   const signal::Matrix &kernel,
+                                   signal::Matrix &out,
+                                   ConvWorkspace &ws) const
 {
     const size_t sk = params_.kernel_size;
     const bool same = params_.mode == signal::ConvMode::Same;
@@ -129,32 +156,37 @@ TiledConvolution::executeRowTiling(const signal::Matrix &input,
     const size_t sp = plan_.row_stride;
     const size_t nor = plan_.valid_rows_per_op;
 
-    const auto tiled_kernel = tileKernel(kernel, sp, 0, sk);
+    tileKernelInto(kernel, sp, 0, sk, ws.tiled_kernel);
+    const std::vector<double> &tiled_kernel = ws.tiled_kernel;
 
     // Every tile is an independent backend invocation writing a
     // disjoint block of output rows, so the fan-out is bit-exact
-    // regardless of scheduling.
+    // regardless of scheduling. Sequential runs draw scratch from the
+    // caller's workspace (allocation-free); parallel jobs use their
+    // worker thread's own.
     const size_t tiles = ceilDiv(out_rows, nor);
-    signal::Matrix out(out_rows, out_cols);
-    signal::parallelFor(tiles, effectiveWorkers(), [&](size_t tile) {
+    const size_t workers = effectiveWorkers();
+    out.resizeNoFill(out_rows, out_cols);
+    signal::parallelFor(tiles, workers, [&](size_t tile) {
+        ConvWorkspace &j = workers == 1 ? ws : threadConvWorkspace();
         const size_t r0 = tile * nor;
         const size_t rows_this = std::min(nor, out_rows - r0);
-        const auto tiled_in =
-            tileInputRows(input, static_cast<long>(r0) - pad,
-                          plan_.rows_per_tile, sp);
-        const auto window = backend_(tiled_in, tiled_kernel, -pad,
-                                     rows_this * sp);
+        tileInputRowsInto(input, static_cast<long>(r0) - pad,
+                          plan_.rows_per_tile, sp, j.tiled_input);
+        backend_(j.tiled_input, tiled_kernel, -pad, rows_this * sp,
+                 j.window);
         for (size_t r = 0; r < rows_this; ++r)
             for (size_t c = 0; c < out_cols; ++c)
-                out.at(r0 + r, c) = window[r * sp + c];
+                out.at(r0 + r, c) = j.window[r * sp + c];
     });
     last_ops_ = tiles;
-    return out;
 }
 
-signal::Matrix
-TiledConvolution::executePartialRowTiling(
-    const signal::Matrix &input, const signal::Matrix &kernel) const
+void
+TiledConvolution::executePartialRowTiling(const signal::Matrix &input,
+                                          const signal::Matrix &kernel,
+                                          signal::Matrix &out,
+                                          ConvWorkspace &ws) const
 {
     const size_t sk = params_.kernel_size;
     const bool same = params_.mode == signal::ConvMode::Same;
@@ -167,37 +199,42 @@ TiledConvolution::executePartialRowTiling(
 
     // The kernel-row-group tilings depend only on the group index:
     // build each once instead of once per output row.
-    std::vector<std::vector<double>> group_kernels(groups);
+    if (ws.kernel_groups.size() < groups)
+        ws.kernel_groups.resize(groups);
     for (size_t g = 0; g < groups; ++g) {
         const size_t kr0 = g * nir;
-        group_kernels[g] =
-            tileKernel(kernel, sp, kr0, std::min(nir, sk - kr0));
+        tileKernelInto(kernel, sp, kr0, std::min(nir, sk - kr0),
+                       ws.kernel_groups[g]);
     }
+    const auto &group_kernels = ws.kernel_groups;
 
     // Each output row accumulates its kernel-row groups sequentially
     // (fixed order), rows fan out across the pool.
-    signal::Matrix out(out_rows, out_cols);
-    signal::parallelFor(out_rows, effectiveWorkers(), [&](size_t r0) {
+    const size_t workers = effectiveWorkers();
+    out.resize(out_rows, out_cols);
+    signal::parallelFor(out_rows, workers, [&](size_t r0) {
+        ConvWorkspace &j = workers == 1 ? ws : threadConvWorkspace();
         for (size_t g = 0; g < groups; ++g) {
             const size_t kr0 = g * nir;
             const size_t rows_this = std::min(nir, sk - kr0);
-            const auto tiled_in = tileInputRows(
+            tileInputRowsInto(
                 input,
                 static_cast<long>(r0) - pad + static_cast<long>(kr0),
-                rows_this, sp);
-            const auto window =
-                backend_(tiled_in, group_kernels[g], -pad, sp);
+                rows_this, sp, j.tiled_input);
+            backend_(j.tiled_input, group_kernels[g], -pad, sp,
+                     j.window);
             for (size_t c = 0; c < out_cols; ++c)
-                out.at(r0, c) += window[c];
+                out.at(r0, c) += j.window[c];
         }
     });
     last_ops_ = out_rows * groups;
-    return out;
 }
 
-signal::Matrix
-TiledConvolution::executeRowPartitioning(
-    const signal::Matrix &input, const signal::Matrix &kernel) const
+void
+TiledConvolution::executeRowPartitioning(const signal::Matrix &input,
+                                         const signal::Matrix &kernel,
+                                         signal::Matrix &out,
+                                         ConvWorkspace &ws) const
 {
     const size_t sk = params_.kernel_size;
     const bool same = params_.mode == signal::ConvMode::Same;
@@ -209,45 +246,49 @@ TiledConvolution::executeRowPartitioning(
     const size_t step = n_conv - sk + 1;
     const size_t partitions = ceilDiv(out_cols, step);
 
-    std::vector<std::vector<double>> kernel_rows(sk,
-                                                 std::vector<double>(sk));
-    for (size_t kr = 0; kr < sk; ++kr)
+    if (ws.kernel_groups.size() < sk)
+        ws.kernel_groups.resize(sk);
+    for (size_t kr = 0; kr < sk; ++kr) {
+        ws.kernel_groups[kr].assign(sk, 0.0);
         for (size_t kc = 0; kc < sk; ++kc)
-            kernel_rows[kr][kc] = kernel.at(kr, kc);
+            ws.kernel_groups[kr][kc] = kernel.at(kr, kc);
+    }
+    const auto &kernel_rows = ws.kernel_groups;
 
     // Rows fan out; within a row the (kernel row x partition)
     // accumulation keeps its sequential order.
-    signal::Matrix out(out_rows, out_cols);
-    signal::parallelFor(out_rows, effectiveWorkers(), [&](size_t r0) {
-        std::vector<double> piece(n_conv);
+    const size_t workers = effectiveWorkers();
+    out.resize(out_rows, out_cols);
+    signal::parallelFor(out_rows, workers, [&](size_t r0) {
+        ConvWorkspace &j = workers == 1 ? ws : threadConvWorkspace();
+        j.piece.resize(n_conv);
         for (size_t kr = 0; kr < sk; ++kr) {
             const long src_row =
                 static_cast<long>(r0) - pad + static_cast<long>(kr);
             for (size_t p = 0; p < partitions; ++p) {
                 const long col0 =
                     static_cast<long>(p * step) - pad;
-                std::fill(piece.begin(), piece.end(), 0.0);
+                std::fill(j.piece.begin(), j.piece.end(), 0.0);
                 if (src_row >= 0 &&
                     src_row < static_cast<long>(input.rows)) {
                     for (size_t i = 0; i < n_conv; ++i) {
                         const long c = col0 + static_cast<long>(i);
                         if (c >= 0 && c < static_cast<long>(input.cols))
-                            piece[i] = input.at(
+                            j.piece[i] = input.at(
                                 static_cast<size_t>(src_row),
                                 static_cast<size_t>(c));
                     }
                 }
                 const size_t cols_this =
                     std::min(step, out_cols - p * step);
-                const auto window =
-                    backend_(piece, kernel_rows[kr], 0, cols_this);
+                backend_(j.piece, kernel_rows[kr], 0, cols_this,
+                         j.window);
                 for (size_t i = 0; i < cols_this; ++i)
-                    out.at(r0, p * step + i) += window[i];
+                    out.at(r0, p * step + i) += j.window[i];
             }
         }
     });
     last_ops_ = out_rows * sk * partitions;
-    return out;
 }
 
 } // namespace tiling

@@ -21,6 +21,25 @@
 namespace photofourier {
 namespace tiling {
 
+/**
+ * Reusable scratch for TiledConvolution::execute. All buffers keep
+ * their capacity across calls, so a caller that holds one workspace
+ * per thread (the serving hot path) executes convolutions without
+ * touching the allocator. A workspace may be used by one execute()
+ * at a time; the executor's internal tile fan-out uses per-thread
+ * workspaces of its own when it goes parallel.
+ */
+struct ConvWorkspace
+{
+    std::vector<double> tiled_input;   ///< flattened input rows
+    std::vector<double> tiled_kernel;  ///< flattened, zero-spaced kernel
+    std::vector<double> window;        ///< backend output window
+    std::vector<double> piece;         ///< row-partitioning input slice
+    /** Kernel-row-group tilings (partial row tiling / partitioning). */
+    std::vector<std::vector<double>> kernel_groups;
+    signal::Matrix full;               ///< pre-stride output plane
+};
+
 /** Executes 2D convolutions through 1D tiling on a chosen backend. */
 class TiledConvolution
 {
@@ -29,7 +48,7 @@ class TiledConvolution
      * @param params  problem geometry; input/kernel passed to execute()
      *                must match input_size/kernel_size
      * @param backend 1D convolution engine; must be safe to invoke from
-     *                multiple threads at once (both built-in backends
+     *                multiple threads at once (all built-in backends
      *                are — they hold no mutable shared state)
      * @param workers worker threads for the tile fan-out (0 = the
      *                signal-layer default, 1 = fully sequential)
@@ -39,10 +58,19 @@ class TiledConvolution
 
     /**
      * Compute the 2D convolution of `input` with `kernel` through row
-     * tiling/partitioning. Result matches signal::conv2d() exactly in
-     * Valid mode (or Same mode with zero_pad_rows); Same mode without
-     * padding shows the paper's row-edge effect.
+     * tiling/partitioning, writing the result into `out` (resized to
+     * the output shape, capacity reused) with scratch drawn from `ws`.
+     * Result matches signal::conv2d() exactly in Valid mode (or Same
+     * mode with zero_pad_rows); Same mode without padding shows the
+     * paper's row-edge effect. Allocation-free in steady state when
+     * the tile fan-out runs sequentially (the serving regime).
      */
+    void execute(const signal::Matrix &input,
+                 const signal::Matrix &kernel, signal::Matrix &out,
+                 ConvWorkspace &ws) const;
+
+    /** Convenience overload: returns a fresh matrix, using this
+     *  thread's shared workspace for scratch. */
     signal::Matrix execute(const signal::Matrix &input,
                            const signal::Matrix &kernel) const;
 
@@ -67,15 +95,21 @@ class TiledConvolution
      *  a pool dispatch. */
     size_t effectiveWorkers() const;
 
-    signal::Matrix executeRowTiling(const signal::Matrix &input,
-                                    const signal::Matrix &kernel) const;
-    signal::Matrix executePartialRowTiling(
-        const signal::Matrix &input, const signal::Matrix &kernel) const;
-    signal::Matrix executeRowPartitioning(
-        const signal::Matrix &input, const signal::Matrix &kernel) const;
+    void executeRowTiling(const signal::Matrix &input,
+                          const signal::Matrix &kernel,
+                          signal::Matrix &out, ConvWorkspace &ws) const;
+    void executePartialRowTiling(const signal::Matrix &input,
+                                 const signal::Matrix &kernel,
+                                 signal::Matrix &out,
+                                 ConvWorkspace &ws) const;
+    void executeRowPartitioning(const signal::Matrix &input,
+                                const signal::Matrix &kernel,
+                                signal::Matrix &out,
+                                ConvWorkspace &ws) const;
 
-    /** Subsample a unit-stride output by the configured stride. */
-    signal::Matrix applyStride(const signal::Matrix &full) const;
+    /** Subsample the unit-stride plane in ws.full into out. */
+    void applyStride(const signal::Matrix &full,
+                     signal::Matrix &out) const;
 };
 
 } // namespace tiling

@@ -690,3 +690,73 @@ TEST(Network, CloneIsDeepAcrossAllLayerKinds)
     EXPECT_NE(copy.logits(input), expected);
     EXPECT_EQ(net.logits(input), expected);
 }
+
+// --- DirectEngine frequency-domain row path --------------------------------
+
+TEST(DirectEngine, FftRowPathMatchesSlidingAcrossShapes)
+{
+    // The forced-FFT engine must reproduce the forced-direct engine
+    // within the 1e-9 contract for every mode/stride/kernel shape,
+    // including even kernels and non-square inputs (the row path's
+    // pad and column indexing differ per case).
+    pf::Rng rng(515);
+    struct Shape
+    {
+        size_t ic, oc, h, w, k, stride;
+        sig::ConvMode mode;
+    };
+    const Shape shapes[] = {
+        {3, 4, 16, 16, 3, 1, sig::ConvMode::Same},
+        {2, 3, 16, 16, 5, 2, sig::ConvMode::Same},
+        {2, 2, 20, 12, 7, 1, sig::ConvMode::Valid},
+        {1, 2, 12, 12, 4, 2, sig::ConvMode::Valid},
+        {2, 2, 9, 17, 9, 3, sig::ConvMode::Same},
+    };
+    nn::DirectEngine direct(nullptr, nn::ConvPath::Direct);
+    nn::DirectEngine fft(nullptr, nn::ConvPath::Fft);
+    for (const auto &s : shapes) {
+        nn::Tensor input(s.ic, s.h, s.w);
+        input.data() = rng.uniformVector(s.ic * s.h * s.w, -1.0, 1.0);
+        std::vector<nn::Tensor> weights;
+        for (size_t oc = 0; oc < s.oc; ++oc) {
+            nn::Tensor w(s.ic, s.k, s.k);
+            w.data() = rng.uniformVector(s.ic * s.k * s.k, -1.0, 1.0);
+            weights.push_back(std::move(w));
+        }
+        const auto bias = rng.uniformVector(s.oc, -0.5, 0.5);
+        const auto a =
+            direct.convolve(input, weights, bias, s.stride, s.mode);
+        const auto b =
+            fft.convolve(input, weights, bias, s.stride, s.mode);
+        ASSERT_EQ(a.channels(), b.channels());
+        ASSERT_EQ(a.height(), b.height());
+        ASSERT_EQ(a.width(), b.width());
+        for (size_t i = 0; i < a.data().size(); ++i)
+            ASSERT_NEAR(a.data()[i], b.data()[i], 1e-9)
+                << "k=" << s.k << " stride=" << s.stride << " i=" << i;
+    }
+}
+
+TEST(DirectEngine, FftRowPathIsRepeatableThroughTheCache)
+{
+    // Second convolve reads every kernel-row spectrum from the cache;
+    // results must be bit-identical to the populating call.
+    pf::Rng rng(516);
+    nn::Tensor input(4, 24, 24);
+    input.data() = rng.uniformVector(4 * 24 * 24, -1.0, 1.0);
+    std::vector<nn::Tensor> weights;
+    for (size_t oc = 0; oc < 4; ++oc) {
+        nn::Tensor w(4, 7, 7);
+        w.data() = rng.uniformVector(4 * 7 * 7, -1.0, 1.0);
+        weights.push_back(std::move(w));
+    }
+    nn::DirectEngine fft(nullptr, nn::ConvPath::Fft);
+    const auto first =
+        fft.convolve(input, weights, {}, 1, sig::ConvMode::Same);
+    const auto cache_stats = fft.spectrumCache()->stats();
+    EXPECT_GT(cache_stats.entries, 0u);
+    const auto second =
+        fft.convolve(input, weights, {}, 1, sig::ConvMode::Same);
+    EXPECT_EQ(first.data(), second.data());
+    EXPECT_GT(fft.spectrumCache()->stats().hits, cache_stats.hits);
+}

@@ -628,3 +628,126 @@ TEST(Facade, EngineConfigMatchesAcceleratorNumerics)
     // Distinct engine instances per worker.
     EXPECT_NE(engine.get(), server_cfg.engine_factory(1).get());
 }
+
+// --- Kernel-spectrum cache through the serving stack ---------------------
+
+TEST(ModelRegistry, SpectrumCacheSwapsOnEveryVersionBump)
+{
+    serve::ModelRegistry registry;
+    EXPECT_EQ(registry.spectrumCache("absent"), nullptr);
+
+    registry.add("m", tinyNet());
+    const auto v1_cache = registry.spectrumCache("m");
+    ASSERT_NE(v1_cache, nullptr);
+    EXPECT_EQ(registry.instantiateReplica("m").spectra.get(),
+              v1_cache.get())
+        << "replicas must share the registration's cache";
+
+    // Re-registration bumps the version and swaps in a fresh cache —
+    // new weights can never read spectra transformed from old ones.
+    registry.add("m", tinyNet(99));
+    const auto v2_cache = registry.spectrumCache("m");
+    ASSERT_NE(v2_cache, nullptr);
+    EXPECT_NE(v2_cache.get(), v1_cache.get());
+
+    // Engine-override changes are version bumps too.
+    nn::PhotoFourierEngineConfig override_cfg;
+    registry.setEngineOverride("m", override_cfg);
+    EXPECT_NE(registry.spectrumCache("m").get(), v2_cache.get());
+}
+
+TEST(InferenceServer, OverrideReplicasPopulateTheSharedCache)
+{
+    // Force the FFT path so serving traffic populates the registry's
+    // cache; 2 workers x many requests must still transform each
+    // tiled kernel exactly once (content-addressed shared entries).
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    serve::InferenceServer server(cfg);
+
+    nn::PhotoFourierEngineConfig fft_cfg;
+    fft_cfg.conv_path = nn::ConvPath::Fft;
+    server.registry().add("m", tinyNet(), fft_cfg);
+    const auto cache = server.registry().spectrumCache("m");
+    ASSERT_NE(cache, nullptr);
+
+    const auto inputs = tinyInputs(24);
+    std::vector<serve::Completion> handles;
+    for (const auto &input : inputs)
+        handles.push_back(server.submit("m", input));
+    for (auto &h : handles)
+        ASSERT_EQ(h.wait(), serve::RequestStatus::Done);
+    server.shutdown();
+
+    const auto stats = cache->stats();
+    EXPECT_GT(stats.entries, 0u) << "serving never reached the cache";
+    // Entries are per distinct (kernel, fft size); concurrent first
+    // touches may each count a miss, but the steady state is hits.
+    EXPECT_GE(stats.misses, stats.entries);
+    EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST(InferenceServer, FftPathServesBitExactAcrossWorkerCounts)
+{
+    // The batched==sequential equivalence, on the forced-FFT engine:
+    // worker count and batching must not change a single bit.
+    nn::PhotoFourierEngineConfig fft_cfg;
+    fft_cfg.conv_path = nn::ConvPath::Fft;
+    auto proto = tinyNet();
+    proto.setConvEngine(
+        std::make_shared<nn::PhotoFourierEngine>(fft_cfg));
+    const auto inputs = tinyInputs(16);
+    const auto expected = referenceLogits(proto, inputs);
+
+    for (size_t workers : {1u, 3u}) {
+        serve::ServerConfig cfg;
+        cfg.workers = workers;
+        serve::InferenceServer server(cfg);
+        server.registry().add("m", proto.clone());
+        std::vector<serve::Completion> handles;
+        for (const auto &input : inputs)
+            handles.push_back(server.submit("m", input));
+        for (size_t i = 0; i < handles.size(); ++i) {
+            ASSERT_EQ(handles[i].wait(), serve::RequestStatus::Done);
+            EXPECT_EQ(handles[i].logits(), expected[i])
+                << "workers=" << workers << " request=" << i;
+        }
+        server.shutdown();
+    }
+}
+
+TEST(KernelSpectrumCacheTsan, ConcurrentSharedReadsAndInserts)
+{
+    // Aimed at the TSan CI job: many threads hammering one cache with
+    // a mix of repeated (hit path, shared lock) and fresh (miss path,
+    // unique lock) kernels, while readers use the returned spectra.
+    pf::tiling::KernelSpectrumCache cache;
+    pf::Rng seed_rng(404);
+    std::vector<std::vector<double>> kernels;
+    for (size_t i = 0; i < 8; ++i)
+        kernels.push_back(seed_rng.uniformVector(33, -1.0, 1.0));
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (size_t round = 0; round < 50; ++round) {
+                const auto &k = kernels[(t + round) % kernels.size()];
+                const auto spec = cache.correlationSpectrum(k, 128);
+                if (spec->size() != 65)
+                    failures.fetch_add(1);
+                // A fresh kernel every few rounds exercises insertion
+                // racing the shared-lock readers.
+                if (round % 9 == 0) {
+                    auto fresh = k;
+                    fresh[0] += static_cast<double>(t * 1000 + round);
+                    (void)cache.correlationSpectrum(fresh, 128);
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_GT(cache.stats().hits, 0u);
+}

@@ -218,6 +218,25 @@ TEST(ConvolveCircular, MatchesLinearWhenPadded)
     EXPECT_NEAR(circ[15], 0.0, 1e-9);
 }
 
+TEST(ConvolveCircular, MatchesDirectSumAtBluesteinSizes)
+{
+    // The r2c path must be exact off powers of two as well (odd and
+    // even Bluestein sizes take different real-transform branches).
+    pf::Rng rng(42);
+    for (size_t n : {9u, 12u, 63u, 100u}) {
+        const auto a = rng.uniformVector(n, -1.0, 1.0);
+        const auto b = rng.uniformVector(n, -1.0, 1.0);
+        const auto fft_path = sig::convolveCircular(a, b);
+        for (size_t i = 0; i < n; ++i) {
+            double direct = 0.0;
+            for (size_t j = 0; j < n; ++j)
+                direct += a[j] * b[(i + n - j) % n];
+            EXPECT_NEAR(fft_path[i], direct, 1e-9)
+                << "n=" << n << " i=" << i;
+        }
+    }
+}
+
 TEST(Conv2d, ValidModeKnownExample)
 {
     sig::Matrix input(3, 3);

@@ -377,3 +377,185 @@ TEST(TiledConvolution, MismatchedInputPanics)
     sig::Matrix kernel(3, 3);
     EXPECT_DEATH((void)conv.execute(input, kernel), "plan was built");
 }
+
+// --- FFT backend, auto crossover, and the kernel-spectrum cache ----------
+
+namespace {
+
+std::vector<double>
+randomVector(pf::Rng &rng, size_t n, double lo, double hi)
+{
+    return rng.uniformVector(n, lo, hi);
+}
+
+double
+maxAbsDiffVec(const std::vector<double> &a, const std::vector<double> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+} // namespace
+
+TEST(FftBackend, MatchesCpuBackendOnRawWindows)
+{
+    pf::Rng rng(301);
+    auto cpu = tl::cpuBackend();
+    auto fft = tl::fftBackend();
+    // Signed kernels, negative starts, windows past both input ends.
+    struct Case { size_t n, k; long start; size_t count; };
+    const Case cases[] = {
+        {16, 3, 0, 14},     {64, 9, -4, 80},   {256, 67, -1, 256},
+        {300, 25, -12, 331}, {512, 129, 0, 384}, {31, 31, -30, 92},
+    };
+    for (const auto &tc : cases) {
+        const auto s = randomVector(rng, tc.n, -1.0, 1.0);
+        const auto k = randomVector(rng, tc.k, -1.0, 1.0);
+        std::vector<double> ref, out;
+        cpu(s, k, tc.start, tc.count, ref);
+        fft(s, k, tc.start, tc.count, out);
+        EXPECT_LT(maxAbsDiffVec(ref, out), 1e-9)
+            << "n=" << tc.n << " k=" << tc.k << " start=" << tc.start;
+    }
+}
+
+TEST(FftBackend, OverlapSaveMatchesOnLongInputs)
+{
+    // 40000 + 257 - 1 far exceeds the single-FFT block bound, so this
+    // runs the multi-block overlap-save path.
+    pf::Rng rng(302);
+    const auto s = randomVector(rng, 40000, -1.0, 1.0);
+    const auto k = randomVector(rng, 257, -0.5, 0.5);
+    std::vector<double> ref, out;
+    tl::cpuBackend()(s, k, -100, 2000, ref);
+    tl::fftBackend()(s, k, -100, 2000, out);
+    EXPECT_LT(maxAbsDiffVec(ref, out), 1e-9);
+}
+
+TEST(FftBackend, TiledEquivalenceAcrossGeometriesAndStrides)
+{
+    // fftBackend must reproduce cpuBackend through the tiled executor
+    // for every variant, stride, mode, and signed (pseudo-negative
+    // decomposed) kernels, within the 1e-9 engine contract.
+    pf::Rng rng(303);
+    struct Geometry { size_t si, sk, n_conv, stride; sig::ConvMode mode; };
+    const Geometry cases[] = {
+        {16, 3, 256, 1, sig::ConvMode::Same},   // row tiling
+        {16, 5, 256, 2, sig::ConvMode::Valid},  // row tiling, strided
+        {32, 5, 64, 1, sig::ConvMode::Same},    // partial row tiling
+        {32, 7, 64, 2, sig::ConvMode::Valid},   // partial, strided
+        {64, 3, 32, 1, sig::ConvMode::Same},    // row partitioning
+        {64, 5, 48, 3, sig::ConvMode::Valid},   // partitioning, strided
+    };
+    for (const auto &g : cases) {
+        const auto input = randomMatrix(rng, g.si, g.si, -1.0, 1.0);
+        const auto kernel = randomMatrix(rng, g.sk, g.sk, -0.5, 0.5);
+        tl::TilingParams p{.input_size = g.si, .kernel_size = g.sk,
+                           .n_conv = g.n_conv, .mode = g.mode,
+                           .stride = g.stride};
+        tl::TiledConvolution cpu(p, tl::cpuBackend());
+        tl::TiledConvolution fft(p, tl::fftBackend());
+        const auto a = cpu.execute(input, kernel);
+        const auto b = fft.execute(input, kernel);
+        ASSERT_EQ(a.rows, b.rows);
+        ASSERT_EQ(a.cols, b.cols);
+        EXPECT_LT(sig::matrixMaxAbsDiff(a, b), 1e-9)
+            << "si=" << g.si << " sk=" << g.sk << " nconv=" << g.n_conv
+            << " stride=" << g.stride;
+    }
+}
+
+TEST(FftBackend, ZeroPadRowsStaysExactOnBothBackends)
+{
+    pf::Rng rng(304);
+    const auto input = randomMatrix(rng, 14, 14, -1.0, 1.0);
+    const auto kernel = randomMatrix(rng, 3, 3, -0.5, 0.5);
+    tl::TilingParams p{.input_size = 14, .kernel_size = 3,
+                       .n_conv = 256, .mode = sig::ConvMode::Same,
+                       .zero_pad_rows = true};
+    const auto ref = sig::conv2d(input, kernel, sig::ConvMode::Same);
+    tl::TiledConvolution fft(p, tl::fftBackend());
+    EXPECT_LT(sig::matrixMaxAbsDiff(fft.execute(input, kernel), ref),
+              1e-9);
+}
+
+TEST(AutoBackend, MatchesCpuAcrossTheCrossover)
+{
+    pf::Rng rng(305);
+    auto cpu = tl::cpuBackend();
+    auto aut = tl::autoBackend();
+    // Small/sparse (sliding side of the crossover) and large/dense
+    // (FFT side) shapes; either way the result must agree.
+    struct Case { size_t n, k; size_t count; };
+    const Case cases[] = {{64, 9, 64}, {4096, 511, 4096}};
+    for (const auto &tc : cases) {
+        const auto s = randomVector(rng, tc.n, -1.0, 1.0);
+        const auto k = randomVector(rng, tc.k, -1.0, 1.0);
+        std::vector<double> ref, out;
+        cpu(s, k, 0, tc.count, ref);
+        aut(s, k, 0, tc.count, out);
+        EXPECT_LT(maxAbsDiffVec(ref, out), 1e-9);
+    }
+}
+
+TEST(CrossoverModel, PrefersSlidingForSparseTiledKernels)
+{
+    // A CIFAR-scale tiled kernel: 9 active taps in a 67-sample tiled
+    // vector over a 256-sample tile. The zero-skip sliding loop does
+    // ~2.3k MACs — far cheaper than any FFT at the padded size.
+    EXPECT_FALSE(tl::fftConvProfitable(256, 67, 9, 256));
+    // Dense long correlations are the FFT's home turf.
+    EXPECT_TRUE(tl::fftConvProfitable(4096, 511, 511, 4096));
+}
+
+TEST(KernelSpectrumCache, HitsAfterFirstUseAndContentKeying)
+{
+    auto cache = std::make_shared<tl::KernelSpectrumCache>();
+    pf::Rng rng(306);
+    const auto k1 = randomVector(rng, 25, -1.0, 1.0);
+    auto k2 = k1;
+    k2[7] += 0.25; // same length, different content
+
+    const auto s1 = cache->correlationSpectrum(k1, 128);
+    EXPECT_EQ(cache->stats().misses, 1u);
+    EXPECT_EQ(cache->stats().entries, 1u);
+
+    // Same kernel + size: shared spectrum, a hit, no new entry.
+    const auto s1_again = cache->correlationSpectrum(k1, 128);
+    EXPECT_EQ(s1.get(), s1_again.get());
+    EXPECT_EQ(cache->stats().hits, 1u);
+    EXPECT_EQ(cache->stats().entries, 1u);
+
+    // Different content and different FFT size are distinct entries.
+    (void)cache->correlationSpectrum(k2, 128);
+    (void)cache->correlationSpectrum(k1, 256);
+    EXPECT_EQ(cache->stats().entries, 3u);
+
+    cache->clear();
+    EXPECT_EQ(cache->stats().entries, 0u);
+}
+
+TEST(KernelSpectrumCache, SharedAcrossBackendsAmortizesTransforms)
+{
+    auto cache = std::make_shared<tl::KernelSpectrumCache>();
+    auto fft_a = tl::fftBackend(cache);
+    auto fft_b = tl::fftBackend(cache); // a second "worker replica"
+    pf::Rng rng(307);
+    const auto s = randomVector(rng, 512, -1.0, 1.0);
+    const auto k = randomVector(rng, 129, -1.0, 1.0);
+
+    std::vector<double> out_a, out_b;
+    fft_a(s, k, 0, 384, out_a);
+    const auto after_first = cache->stats();
+    EXPECT_EQ(after_first.misses, 1u);
+
+    fft_b(s, k, 0, 384, out_b);
+    const auto after_second = cache->stats();
+    EXPECT_EQ(after_second.misses, 1u) << "replica re-transformed";
+    EXPECT_GE(after_second.hits, 1u);
+    EXPECT_EQ(maxAbsDiffVec(out_a, out_b), 0.0)
+        << "cache hits must be bit-identical to the miss path";
+}
