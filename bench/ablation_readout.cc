@@ -41,6 +41,7 @@ main()
     // R_i^2 vs R_i.
     TextTable table({"depth", "rel. error accumulate(R) [linear]",
                      "rel. error sqrt(accumulate(R^2)) [square]"});
+    std::vector<double> l, q; // reused across channels (Into API)
     for (size_t depth : {2u, 4u, 8u, 16u}) {
         std::vector<double> exact(64, 0.0), acc_lin(64, 0.0),
             acc_sq(64, 0.0);
@@ -49,8 +50,8 @@ main()
             const auto kc = rng.uniformVector(9, 0.0, 0.5);
             const auto ref =
                 jtc::slidingCorrelationReference(sc, kc, 64);
-            const auto l = linear.correlationWindow(sc, kc, 64);
-            const auto q = square.correlationWindow(sc, kc, 64);
+            linear.correlationWindowInto(sc, kc, 64, 0, l);
+            square.correlationWindowInto(sc, kc, 64, 0, q);
             for (size_t i = 0; i < 64; ++i) {
                 exact[i] += ref[i];
                 acc_lin[i] += l[i];      // charge ~ R

@@ -55,7 +55,8 @@ main()
         signal::conv2d(image, kernel, signal::ConvMode::Valid);
 
     fourier4f::Jtc2d jtc;
-    const auto jtc_out = jtc.correlate(image, kernel);
+    signal::Matrix jtc_out;
+    jtc.correlateInto(image, kernel, jtc_out);
 
     TextTable acc({"system", "modulator precision",
                    "rel. RMSE vs exact"});
@@ -69,12 +70,13 @@ main()
         for (size_t c = 0; c < 3; ++c)
             flipped.at(r, c) = kernel.at(2 - r, 2 - c);
 
+    signal::Matrix full;
     for (int bits : {0, 8, 6, 4}) {
         fourier4f::System4fConfig cfg;
         cfg.amplitude_bits = bits;
         cfg.phase_bits = bits;
         fourier4f::System4f sys(cfg);
-        const auto full = sys.convolve(image, flipped);
+        sys.apply(image, flipped, full);
         // Extract the valid region (offset by kernel-1).
         signal::Matrix valid(exact.rows, exact.cols);
         for (size_t r = 0; r < exact.rows; ++r)

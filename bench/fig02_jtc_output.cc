@@ -38,7 +38,8 @@ main()
     jtc::JtcSystem optics;
     const auto layout =
         jtc::JtcSystem::layoutFor(tiled_input, tiled_kernel);
-    const auto plane = optics.outputPlane(tiled_input, tiled_kernel);
+    std::vector<double> plane;
+    optics.outputPlaneInto(tiled_input, tiled_kernel, plane);
 
     std::printf("plane size %zu, signal %zu samples at 0, kernel %zu "
                 "samples at %zu\n\n",
@@ -85,9 +86,11 @@ main()
     std::printf("paper: three terms spatially separated, no overlap "
                 "-> reproduced (guard-band share ~0)\n");
 
-    // Cross-check: the extracted correlation equals the direct one.
-    const auto window = optics.correlationWindow(
-        tiled_input, tiled_kernel, tiled_input.size());
+    // Cross-check: the extracted correlation equals the direct one
+    // (the kernel field comes from the now-warm spectrum cache).
+    std::vector<double> window;
+    optics.correlationWindowInto(tiled_input, tiled_kernel,
+                                 tiled_input.size(), 0, window);
     const auto exact = jtc::slidingCorrelationReference(
         tiled_input, tiled_kernel, tiled_input.size());
     std::printf("extracted correlation vs direct: max |diff| = %.2e\n",

@@ -14,10 +14,13 @@
 #include <utility>
 
 #include "common/rng.hh"
+#include "fourier4f/system4f.hh"
 #include "jtc/jtc_system.hh"
 #include "nn/conv_engine.hh"
 #include "signal/convolution.hh"
 #include "signal/fft.hh"
+#include "signal/fft2d.hh"
+#include "signal/fft2d_plan.hh"
 #include "signal/fft_plan.hh"
 #include "tiling/spectrum_cache.hh"
 #include "tiling/tiled_convolution.hh"
@@ -605,6 +608,101 @@ BM_DirectEngineFftRows(benchmark::State &state)
     engineLayerBench(state, pf::nn::ConvPath::Fft);
 }
 BENCHMARK(BM_DirectEngineFftRows)->Arg(3)->Arg(7)->Arg(13);
+
+// --- 2D transforms: the seed complex path (full complex plane, two
+// --- allocating transposes) vs the real half-spectrum path, and the
+// --- allocation-free plan Into form — the optical comparators' hot
+// --- loop. BM_Fft2dRealInto vs BM_Fft2dComplex is the recorded
+// --- optical fast-path speedup.
+
+static void
+BM_Fft2dComplex(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    pf::Rng rng(10);
+    sig::Matrix m(n, n);
+    m.data = rng.uniformVector(n * n, -1.0, 1.0);
+    const auto field = sig::toComplex(m);
+    for (auto _ : state) {
+        auto out = sig::fft2d(field);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+}
+BENCHMARK(BM_Fft2dComplex)->Arg(28)->Arg(64)->Arg(256);
+
+static void
+BM_Fft2dReal(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    pf::Rng rng(10);
+    sig::Matrix m(n, n);
+    m.data = rng.uniformVector(n * n, -1.0, 1.0);
+    for (auto _ : state) {
+        auto half = sig::forward2dReal(m);
+        benchmark::DoNotOptimize(half.data.data());
+    }
+}
+BENCHMARK(BM_Fft2dReal)->Arg(28)->Arg(64)->Arg(256);
+
+static void
+BM_Fft2dRealInto(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    pf::Rng rng(10);
+    sig::Matrix m(n, n);
+    m.data = rng.uniformVector(n * n, -1.0, 1.0);
+    const auto plan = sig::fft2dPlanFor(n, n);
+    sig::ComplexMatrix half;
+    plan->forwardRealInto(m, half); // warm plan tables + scratch
+    for (auto _ : state) {
+        plan->forwardRealInto(m, half);
+        benchmark::DoNotOptimize(half.data.data());
+    }
+}
+BENCHMARK(BM_Fft2dRealInto)->Arg(28)->Arg(64)->Arg(256);
+
+// --- Optical comparators, serving steady state: the static operand
+// --- (programmed 4F filter / JTC joint-plane kernel field) comes out
+// --- of a warm spectrum cache and only the activations move.
+
+static void
+BM_System4fCached(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    pf::Rng rng(11);
+    sig::Matrix image(n, n);
+    image.data = rng.uniformVector(n * n, 0.0, 1.0);
+    sig::Matrix kernel(3, 3);
+    kernel.data = rng.uniformVector(9, -0.3, 0.3);
+    pf::fourier4f::System4f system;
+    sig::Matrix out;
+    system.apply(image, kernel, out); // program the filter once
+    for (auto _ : state) {
+        system.apply(image, kernel, out);
+        benchmark::DoNotOptimize(out.data.data());
+    }
+}
+BENCHMARK(BM_System4fCached)->Arg(14)->Arg(28)->Arg(56);
+
+static void
+BM_JtcCorrelateCached(benchmark::State &state)
+{
+    // Same geometry as BM_JtcCorrelationWindow (256-sample tiled row,
+    // 67-sample tiled kernel); the delta against it is the cached
+    // kernel field + r2c path.
+    pf::Rng rng(3);
+    const auto s =
+        rng.uniformVector(static_cast<size_t>(state.range(0)), 0, 1);
+    const auto k = rng.uniformVector(67, 0, 0.3);
+    jtc::JtcSystem optics;
+    std::vector<double> out;
+    optics.correlationWindowInto(s, k, s.size(), 0, out); // warm
+    for (auto _ : state) {
+        optics.correlationWindowInto(s, k, s.size(), 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_JtcCorrelateCached)->Arg(64)->Arg(256)->Arg(512);
 
 int
 main(int argc, char **argv)

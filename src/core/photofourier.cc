@@ -59,7 +59,10 @@ PhotoFourierAccelerator::servingConfig(serve::BatchingConfig batching,
     // One kernel-spectrum cache shared by every worker's engine:
     // static weights are transformed once per process, and all
     // replicas read the same immutable spectra (the cache is
-    // thread-safe; results don't depend on who populated it). This
+    // thread-safe; results don't depend on who populated it). The
+    // cache composes the optical PlaneSpectrumCache, so engines
+    // running the field-level JTC backend share their transformed
+    // joint-plane kernel fields the same way. This
     // cache lives as long as the factory does and is content-keyed
     // with no eviction, so its footprint grows with the total set of
     // distinct kernels ever served through it; deployments that

@@ -3,9 +3,21 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "signal/fft2d_plan.hh"
 
 namespace photofourier {
 namespace fourier4f {
+
+namespace {
+
+// Workspace slot 26: the 2D JTC share of the optical-simulator range
+// (see the slot discipline in fft_plan.hh) — the kernel-block padding
+// scratch on cache misses. The per-call signal plane is a
+// thread_local Matrix (the plan's joint-autocorrelation core draws
+// its own scratch from slots 2-3/7).
+constexpr size_t kSlotJtc2dPad = 26;
+
+} // namespace
 
 Jtc2dLayout
 Jtc2dLayout::design(size_t signal_rows, size_t signal_cols,
@@ -31,41 +43,111 @@ Jtc2dLayout::design(size_t signal_rows, size_t signal_cols,
     return layout;
 }
 
+Jtc2d::Jtc2d(std::shared_ptr<signal::PlaneSpectrumCache> spectra)
+    : spectra_(spectra
+                   ? std::move(spectra)
+                   : std::make_shared<signal::PlaneSpectrumCache>())
+{
+}
+
+std::shared_ptr<const signal::ComplexVector>
+Jtc2d::kernelPlaneSpectrum(const signal::Matrix &k,
+                           const Jtc2dLayout &layout) const
+{
+    // Salt: plane geometry, block placement, and the kernel's column
+    // count (the payload bytes alone do not encode the block shape).
+    uint64_t salt = signal::planeSpectrumSalt(layout.plane_rows);
+    salt = signal::planeSpectrumSalt(layout.plane_cols, salt);
+    salt = signal::planeSpectrumSalt(layout.kernel_row_pos, salt);
+    salt = signal::planeSpectrumSalt(k.cols, salt);
+
+    struct Ctx
+    {
+        const signal::Matrix *k;
+        const Jtc2dLayout *layout;
+    } ctx{&k, &layout};
+    const size_t hc = layout.plane_cols / 2 + 1;
+    return spectra_->spectrum(
+        salt, k.data, layout.plane_rows * hc,
+        [&ctx](signal::ComplexVector &out) {
+            const size_t rows = ctx.layout->plane_rows;
+            const size_t cols = ctx.layout->plane_cols;
+            const auto plan = signal::fft2dPlanFor(rows, cols);
+            std::vector<double> &padded =
+                signal::threadFftWorkspace().realBuffer(kSlotJtc2dPad,
+                                                        rows * cols);
+            std::fill(padded.begin(), padded.end(), 0.0);
+            const signal::Matrix &kern = *ctx.k;
+            for (size_t r = 0; r < kern.rows; ++r)
+                std::copy(kern.data.begin() + r * kern.cols,
+                          kern.data.begin() + (r + 1) * kern.cols,
+                          padded.begin() +
+                              (ctx.layout->kernel_row_pos + r) * cols);
+            plan->forwardReal(padded.data(), out.data());
+        });
+}
+
 signal::Matrix
 Jtc2d::outputPlane(const signal::Matrix &s, const signal::Matrix &k) const
 {
+    signal::Matrix out;
+    outputPlaneInto(s, k, out);
+    return out;
+}
+
+void
+Jtc2d::outputPlaneInto(const signal::Matrix &s, const signal::Matrix &k,
+                       signal::Matrix &out) const
+{
     const auto layout =
         Jtc2dLayout::design(s.rows, s.cols, k.rows, k.cols);
+    const size_t rows = layout.plane_rows;
+    const size_t cols = layout.plane_cols;
+    const auto plan = signal::fft2dPlanFor(rows, cols);
 
-    signal::ComplexMatrix plane(layout.plane_rows, layout.plane_cols);
+    // Static kernel block: transformed once per (kernel, layout) and
+    // cached; fetched before the signal plane is built.
+    const auto kspec = kernelPlaneSpectrum(k, layout);
+
+    // Signal block on the (real) joint plane; the kernel block stays
+    // zero — its contribution is the cached spectrum, added between
+    // the lenses (the lens transform is linear).
+    static thread_local signal::Matrix plane;
+    plane.resize(rows, cols);
     for (size_t r = 0; r < s.rows; ++r)
-        for (size_t c = 0; c < s.cols; ++c)
-            plane.at(r, c) = signal::Complex(s.at(r, c), 0.0);
-    for (size_t r = 0; r < k.rows; ++r)
-        for (size_t c = 0; c < k.cols; ++c)
-            plane.at(layout.kernel_row_pos + r, c) =
-                signal::Complex(k.at(r, c), 0.0);
+        std::copy(s.data.begin() + r * s.cols,
+                  s.data.begin() + (r + 1) * s.cols,
+                  plane.data.begin() + r * cols);
 
     // Lens -> intensity -> lens: ifft2d(|fft2d(E)|^2) is the circular
     // 2D autocorrelation (correlation theorem), exactly as in 1D.
-    auto spectrum = signal::fft2d(plane);
-    for (auto &value : spectrum.data)
-        value = signal::Complex(std::norm(value), 0.0);
-    return signal::realPart(signal::ifft2d(spectrum));
+    plan->jointAutocorrelationInto(plane, kspec->data(), out);
 }
 
 signal::Matrix
 Jtc2d::correlate(const signal::Matrix &s, const signal::Matrix &k) const
 {
+    signal::Matrix out;
+    correlateInto(s, k, out);
+    return out;
+}
+
+void
+Jtc2d::correlateInto(const signal::Matrix &s, const signal::Matrix &k,
+                     signal::Matrix &out) const
+{
     pf_assert(s.rows >= k.rows && s.cols >= k.cols,
               "kernel larger than signal");
     const auto layout =
         Jtc2dLayout::design(s.rows, s.cols, k.rows, k.cols);
-    const auto plane = outputPlane(s, k);
+    // The full plane is per-thread scratch (same idiom as the tap
+    // list in slidingCorrelationInto): steady state never allocates.
+    static thread_local signal::Matrix plane;
+    outputPlaneInto(s, k, plane);
 
     const size_t out_rows = s.rows - k.rows + 1;
     const size_t out_cols = s.cols - k.cols + 1;
-    signal::Matrix out(out_rows, out_cols);
+    out.resizeNoFill(out_rows, out_cols);
     for (size_t i = 0; i < out_rows; ++i) {
         const size_t dr =
             (layout.kernel_row_pos - i) % layout.plane_rows;
@@ -75,7 +157,6 @@ Jtc2d::correlate(const signal::Matrix &s, const signal::Matrix &k) const
             out.at(i, j) = plane.at(dr, dc);
         }
     }
-    return out;
 }
 
 } // namespace fourier4f

@@ -9,12 +9,22 @@
  * validate the on-chip 1D + row-tiling pipeline against native 2D
  * Fourier optics (the row-edge effect is the only difference), and to
  * give the "free-space vs on-chip" comparison substance.
+ *
+ * The whole optical path runs on the cached 2D real-FFT plan
+ * (signal::Fft2dPlan): the joint plane is real, so both lenses ride
+ * the half-spectrum transforms, and the static kernel block's
+ * Fourier-plane contribution is transformed once per (kernel, layout)
+ * through a content-addressed signal::PlaneSpectrumCache — only the
+ * streamed signal is transformed per call.
  */
 
 #ifndef PHOTOFOURIER_FOURIER4F_JTC2D_HH
 #define PHOTOFOURIER_FOURIER4F_JTC2D_HH
 
+#include <memory>
+
 #include "signal/fft2d.hh"
+#include "signal/plane_spectrum_cache.hh"
 
 namespace photofourier {
 namespace fourier4f {
@@ -37,6 +47,15 @@ class Jtc2d
 {
   public:
     /**
+     * @param spectra kernel-block spectrum cache, keyed on the kernel
+     *                bytes and the plane layout. Null = a private
+     *                cache (spectra still amortize across calls on
+     *                this instance).
+     */
+    explicit Jtc2d(
+        std::shared_ptr<signal::PlaneSpectrumCache> spectra = nullptr);
+
+    /**
      * Full output plane: the circular 2D autocorrelation of the joint
      * input plane, with the cross-correlation terms displaced
      * vertically by the input separation.
@@ -44,12 +63,38 @@ class Jtc2d
     signal::Matrix outputPlane(const signal::Matrix &s,
                                const signal::Matrix &k) const;
 
+    /** outputPlane writing into `out` (resized, capacity reused);
+     *  allocation-free with a warm kernel-spectrum cache. */
+    void outputPlaneInto(const signal::Matrix &s,
+                         const signal::Matrix &k,
+                         signal::Matrix &out) const;
+
     /**
      * Extracted 2D sliding correlation (the CNN convolution),
      * `Valid` support: (Sr-Kr+1) x (Sc-Kc+1).
      */
     signal::Matrix correlate(const signal::Matrix &s,
                              const signal::Matrix &k) const;
+
+    /** correlate writing into `out`; allocation-free when warm (the
+     *  full plane lives in per-thread scratch). */
+    void correlateInto(const signal::Matrix &s, const signal::Matrix &k,
+                       signal::Matrix &out) const;
+
+    /** The kernel-block spectrum cache of this instance. */
+    const std::shared_ptr<signal::PlaneSpectrumCache> &
+    spectrumCache() const
+    {
+        return spectra_;
+    }
+
+  private:
+    /** Cached plane_rows x (plane_cols/2+1) half-spectrum of the
+     *  kernel block placed at (kernel_row_pos, 0). */
+    std::shared_ptr<const signal::ComplexVector> kernelPlaneSpectrum(
+        const signal::Matrix &k, const Jtc2dLayout &layout) const;
+
+    std::shared_ptr<signal::PlaneSpectrumCache> spectra_;
 };
 
 } // namespace fourier4f

@@ -1,14 +1,30 @@
 #include "fourier4f/system4f.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
 #include "photonics/converters.hh"
+#include "signal/fft2d_plan.hh"
 
 namespace photofourier {
 namespace fourier4f {
 
-System4f::System4f(System4fConfig config) : config_(config)
+namespace {
+
+// Workspace slots 24-25: the fourier4f share of the optical-simulator
+// range (see the slot discipline in fft_plan.hh).
+constexpr size_t kSlot4fPad = 24;
+constexpr size_t kSlot4fSpectrum = 25;
+
+} // namespace
+
+System4f::System4f(System4fConfig config,
+                   std::shared_ptr<signal::PlaneSpectrumCache> spectra)
+    : config_(config),
+      spectra_(spectra
+                   ? std::move(spectra)
+                   : std::make_shared<signal::PlaneSpectrumCache>())
 {
     pf_assert(config_.amplitude_bits >= 0 && config_.phase_bits >= 0,
               "negative modulator resolution");
@@ -50,29 +66,87 @@ System4f::programFilter(const signal::Matrix &kernel, size_t rows,
     return filter;
 }
 
+std::shared_ptr<const signal::ComplexVector>
+System4f::filterHalfSpectrum(const signal::Matrix &kernel, size_t rows,
+                             size_t cols) const
+{
+    // Salt: plane geometry, the kernel's column count (two kernels
+    // with equal bytes but different shapes pad differently), and the
+    // modulator resolutions the quantization depends on.
+    uint64_t salt = signal::planeSpectrumSalt(rows);
+    salt = signal::planeSpectrumSalt(cols, salt);
+    salt = signal::planeSpectrumSalt(kernel.cols, salt);
+    salt = signal::planeSpectrumSalt(
+        static_cast<uint64_t>(config_.amplitude_bits), salt);
+    salt = signal::planeSpectrumSalt(
+        static_cast<uint64_t>(config_.phase_bits), salt);
+
+    struct Ctx
+    {
+        const System4f *self;
+        const signal::Matrix *kernel;
+        size_t rows, cols;
+    } ctx{this, &kernel, rows, cols};
+    const size_t hc = cols / 2 + 1;
+    return spectra_->spectrum(
+        salt, kernel.data, rows * hc,
+        [&ctx](signal::ComplexVector &out) {
+            // Program the full filter (FT + polar quantization), then
+            // keep the Hermitian half. The quantizer is symmetric
+            // (q(-x) == -q(x)), so the programmed filter stays
+            // Hermitian and the half representation is lossless.
+            const auto filter = ctx.self->programFilter(
+                *ctx.kernel, ctx.rows, ctx.cols);
+            const size_t hc = ctx.cols / 2 + 1;
+            for (size_t r = 0; r < ctx.rows; ++r)
+                for (size_t c = 0; c < hc; ++c)
+                    out[r * hc + c] = filter.at(r, c);
+        });
+}
+
 signal::Matrix
 System4f::convolve(const signal::Matrix &image,
                    const signal::Matrix &kernel) const
 {
+    signal::Matrix out;
+    apply(image, kernel, out);
+    return out;
+}
+
+void
+System4f::apply(const signal::Matrix &image, const signal::Matrix &kernel,
+                signal::Matrix &out) const
+{
     pf_assert(image.rows > 0 && kernel.rows > 0, "empty operands");
     const size_t rows = image.rows + kernel.rows - 1;
     const size_t cols = image.cols + kernel.cols - 1;
+    const auto plan = signal::fft2dPlanFor(rows, cols);
+    const size_t hc = plan->halfCols();
+    signal::FftWorkspace &ws = signal::threadFftWorkspace();
 
-    // Input plane -> first lens.
-    signal::ComplexMatrix field(rows, cols);
+    // The programmed filter is static per kernel: transformed (and
+    // quantized) once, fetched from the cache thereafter.
+    const auto filter = filterHalfSpectrum(kernel, rows, cols);
+
+    // Input plane -> first lens (r2c: the input plane is real).
+    std::vector<double> &padded = ws.realBuffer(kSlot4fPad, rows * cols);
+    std::fill(padded.begin(), padded.end(), 0.0);
     for (size_t r = 0; r < image.rows; ++r)
-        for (size_t c = 0; c < image.cols; ++c)
-            field.at(r, c) = signal::Complex(image.at(r, c), 0.0);
-    auto spectrum = signal::fft2d(field);
+        std::copy(image.data.begin() + r * image.cols,
+                  image.data.begin() + (r + 1) * image.cols,
+                  padded.begin() + r * cols);
+    signal::ComplexVector &spectrum =
+        ws.complexBuffer(kSlot4fSpectrum, rows * hc);
+    plan->forwardReal(padded.data(), spectrum.data());
 
     // Fourier plane: point-wise multiplication with the programmed
-    // complex filter.
-    const auto filter = programFilter(kernel, rows, cols);
-    for (size_t i = 0; i < spectrum.data.size(); ++i)
-        spectrum.data[i] *= filter.data[i];
+    // complex filter (its cached Hermitian half).
+    for (size_t i = 0; i < spectrum.size(); ++i)
+        spectrum[i] *= (*filter)[i];
 
     // Second lens back to the space domain.
-    return signal::realPart(signal::ifft2d(spectrum));
+    out.resizeNoFill(rows, cols);
+    plan->inverseReal(spectrum.data(), out.data.data());
 }
 
 Requirements4f

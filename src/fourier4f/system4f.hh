@@ -24,8 +24,10 @@
 #define PHOTOFOURIER_FOURIER4F_SYSTEM4F_HH
 
 #include <cstddef>
+#include <memory>
 
 #include "signal/fft2d.hh"
+#include "signal/plane_spectrum_cache.hh"
 
 namespace photofourier {
 namespace fourier4f {
@@ -63,7 +65,20 @@ struct Requirements4f
 class System4f
 {
   public:
-    explicit System4f(System4fConfig config = {});
+    /**
+     * @param config  modulator resolutions
+     * @param spectra cache of programmed Fourier filters, keyed on
+     *                (kernel bytes, plane geometry, modulator bits):
+     *                a 4F system programs its filter once per kernel
+     *                and then streams activations through the lens,
+     *                and the simulation mirrors that — the filter FT
+     *                (and its quantization) runs once per distinct
+     *                kernel. Null = a private cache, still reused
+     *                across calls on this instance.
+     */
+    explicit System4f(
+        System4fConfig config = {},
+        std::shared_ptr<signal::PlaneSpectrumCache> spectra = nullptr);
 
     /**
      * Convolve image with kernel through the 4F path. Returns the
@@ -72,6 +87,16 @@ class System4f
      */
     signal::Matrix convolve(const signal::Matrix &image,
                             const signal::Matrix &kernel) const;
+
+    /**
+     * convolve writing into `out` (resized, capacity reused) — the
+     * streaming form: with the kernel's filter already programmed
+     * (warm cache), one apply is an r2c of the input plane, a
+     * pointwise product against the cached filter half-spectrum, and
+     * a c2r back — no heap allocation at all.
+     */
+    void apply(const signal::Matrix &image, const signal::Matrix &kernel,
+               signal::Matrix &out) const;
 
     /**
      * The Fourier-domain filter actually programmed: FT of the
@@ -88,8 +113,21 @@ class System4f
 
     const System4fConfig &config() const { return config_; }
 
+    /** The programmed-filter spectrum cache of this instance. */
+    const std::shared_ptr<signal::PlaneSpectrumCache> &
+    spectrumCache() const
+    {
+        return spectra_;
+    }
+
   private:
+    /** Cached rows x (cols/2+1) half-spectrum of the programmed
+     *  filter for `kernel` on a rows x cols Fourier plane. */
+    std::shared_ptr<const signal::ComplexVector> filterHalfSpectrum(
+        const signal::Matrix &kernel, size_t rows, size_t cols) const;
+
     System4fConfig config_;
+    std::shared_ptr<signal::PlaneSpectrumCache> spectra_;
 };
 
 } // namespace fourier4f

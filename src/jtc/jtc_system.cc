@@ -9,6 +9,20 @@
 namespace photofourier {
 namespace jtc {
 
+namespace {
+
+// Workspace slots 20-23: the optical-simulator range reserved for the
+// 1D JTC (see the slot discipline in fft_plan.hh). The plane buffer
+// doubles as the kernel-padding scratch on cache misses (the miss
+// computes before the signal plane is built) and as the intensity
+// buffer on the noise path (the plane is consumed by then).
+constexpr size_t kSlotJtcPlane = 20;
+constexpr size_t kSlotJtcHalf = 21;
+constexpr size_t kSlotJtcFull = 22;
+constexpr size_t kSlotJtcOutPlane = 23;
+
+} // namespace
+
 JtcPlaneLayout
 JtcPlaneLayout::design(size_t signal_len, size_t kernel_len)
 {
@@ -31,8 +45,45 @@ JtcPlaneLayout::design(size_t signal_len, size_t kernel_len)
     return layout;
 }
 
-JtcSystem::JtcSystem(JtcConfig config) : config_(config)
+JtcSystem::JtcSystem(JtcConfig config,
+                     std::shared_ptr<signal::PlaneSpectrumCache> spectra)
+    : config_(config),
+      spectra_(spectra
+                   ? std::move(spectra)
+                   : std::make_shared<signal::PlaneSpectrumCache>())
 {
+}
+
+std::shared_ptr<const signal::ComplexVector>
+JtcSystem::kernelPlaneSpectrum(const std::vector<double> &k,
+                               const JtcPlaneLayout &layout) const
+{
+    // The salt pins the placement geometry; the cache verifies the
+    // kernel bytes. Together they content-address the static field.
+    uint64_t salt = signal::planeSpectrumSalt(layout.plane_size);
+    salt = signal::planeSpectrumSalt(layout.kernel_pos, salt);
+
+    struct Ctx
+    {
+        const std::vector<double> *k;
+        const JtcPlaneLayout *layout;
+    } ctx{&k, &layout};
+    // Single-reference capture: the Compute stays in std::function's
+    // small-buffer storage, so cache hits never allocate.
+    return spectra_->spectrum(
+        salt, k, layout.plane_size / 2 + 1,
+        [&ctx](signal::ComplexVector &out) {
+            const size_t n = ctx.layout->plane_size;
+            const auto plan = signal::fftPlanFor(n);
+            std::vector<double> &padded =
+                signal::threadFftWorkspace().realBuffer(kSlotJtcPlane,
+                                                        n);
+            std::fill(padded.begin(), padded.end(), 0.0);
+            std::copy(ctx.k->begin(), ctx.k->end(),
+                      padded.begin() +
+                          static_cast<long>(ctx.layout->kernel_pos));
+            plan->executeReal(padded.data(), out.data());
+        });
 }
 
 JtcPlaneLayout
@@ -64,66 +115,111 @@ std::vector<double>
 JtcSystem::outputPlane(const std::vector<double> &s,
                        const std::vector<double> &k) const
 {
+    std::vector<double> out;
+    outputPlaneInto(s, k, out);
+    return out;
+}
+
+void
+JtcSystem::outputPlaneInto(const std::vector<double> &s,
+                           const std::vector<double> &k,
+                           std::vector<double> &out) const
+{
     const JtcPlaneLayout layout = layoutFor(s, k);
     const size_t n = layout.plane_size;
     // Both lens transforms reuse one cached plan for the plane size; a
     // CNN layer evaluates thousands of same-geometry JTC passes, so the
     // twiddle/bit-reversal tables are built exactly once per layout.
     const auto plan = signal::fftPlanFor(n);
+    const size_t half_n = plan->halfSpectrumSize();
+    signal::FftWorkspace &ws = signal::threadFftWorkspace();
 
-    // Joint input plane.
-    std::vector<double> plane(n, 0.0);
-    for (size_t i = 0; i < s.size(); ++i)
-        plane[layout.signal_pos + i] = s[i];
-    for (size_t i = 0; i < k.size(); ++i)
-        plane[layout.kernel_pos + i] = k[i];
+    // Static kernel field: transformed once per (kernel, layout) and
+    // cached. Fetched before the signal plane is built — the miss
+    // path borrows the plane slot for its padding scratch.
+    const auto kspec = kernelPlaneSpectrum(k, layout);
 
-    // First lens: E -> F(u).
-    signal::ComplexVector field(n);
-    for (size_t i = 0; i < n; ++i)
-        field[i] = signal::Complex(plane[i], 0.0);
-    plan->execute(field, false);
+    // Signal field on the joint plane (the kernel block stays zero:
+    // its contribution is the cached spectrum, added after the lens —
+    // the lens transform is linear).
+    std::vector<double> &plane = ws.realBuffer(kSlotJtcPlane, n);
+    std::fill(plane.begin(), plane.end(), 0.0);
+    std::copy(s.begin(), s.end(),
+              plane.begin() + static_cast<long>(layout.signal_pos));
 
-    // Fourier plane: photodetectors record |F|^2; EOMs re-emit the
-    // intensity as a fresh (real, non-negative) optical amplitude. The
-    // SNR target applies per detector, i.e. noise scales with each
-    // detector's own signal (not the plane peak — the DC term would
-    // otherwise drown the correlation terms).
-    photonics::Photodetector mid_pd(config_.detector, config_.noise_seed);
-    std::vector<double> intensity(n);
-    for (size_t i = 0; i < n; ++i)
-        intensity[i] = std::norm(field[i]);
-    if (config_.noise) {
-        for (auto &value : intensity)
-            value = std::max(0.0, mid_pd.addSensingNoise(value, value));
+    // First lens: E -> F(u), on the r2c path (the plane is real).
+    signal::ComplexVector &field = ws.complexBuffer(kSlotJtcHalf, half_n);
+    plan->executeReal(plane.data(), field.data());
+    for (size_t i = 0; i < half_n; ++i)
+        field[i] += (*kspec)[i];
+
+    photonics::Photodetector out_pd(config_.detector,
+                                    config_.noise_seed + 1);
+    if (!config_.noise) {
+        // Fourier plane intensity |F|^2 of a real plane is even-
+        // symmetric, so its stored half is the half-spectrum of the
+        // (real) output plane: one c2r finishes the second lens.
+        for (size_t i = 0; i < half_n; ++i)
+            field[i] = signal::Complex(std::norm(field[i]), 0.0);
+        out.resize(n);
+        plan->executeRealInverse(field.data(), out.data());
+        for (size_t i = 0; i < n; ++i)
+            out[i] = readOut(out[i], out[i], out_pd);
+        return;
     }
+
+    // Noise path: every one of the n Fourier-plane photodetectors
+    // draws its own sensing noise, which breaks the Hermitian
+    // symmetry — expand to the full intensity pattern and run the
+    // full inverse transform, exactly as the noiseless math would
+    // without the symmetry shortcut. The SNR target applies per
+    // detector, i.e. noise scales with each detector's own signal
+    // (not the plane peak — the DC term would otherwise drown the
+    // correlation terms).
+    photonics::Photodetector mid_pd(config_.detector, config_.noise_seed);
+    std::vector<double> &intensity = ws.realBuffer(kSlotJtcPlane, n);
+    for (size_t i = 0; i < half_n; ++i)
+        intensity[i] = std::norm(field[i]);
+    for (size_t i = half_n; i < n; ++i)
+        intensity[i] = intensity[n - i];
+    for (auto &value : intensity)
+        value = std::max(0.0, mid_pd.addSensingNoise(value, value));
 
     // Second lens: I(u) -> R(x). The inverse DFT (with its 1/n) is the
     // correlation theorem: ifft(|fft(E)|^2)[d] = sum_x E[x] E[(x+d)%n],
     // exactly the circular autocorrelation of the joint plane. A
     // forward DFT would yield the mirrored plane; physical lenses
     // differ only by that reflection.
-    signal::ComplexVector spectrum(n);
+    signal::ComplexVector &spectrum = ws.complexBuffer(kSlotJtcFull, n);
     for (size_t i = 0; i < n; ++i)
         spectrum[i] = signal::Complex(intensity[i], 0.0);
-    plan->execute(spectrum, true);
+    plan->execute(spectrum.data(), true);
 
-    photonics::Photodetector out_pd(config_.detector,
-                                    config_.noise_seed + 1);
-    std::vector<double> recorded(n);
+    out.resize(n);
     for (size_t i = 0; i < n; ++i) {
         const double r = spectrum[i].real();
-        recorded[i] = readOut(r, r, out_pd);
+        out[i] = readOut(r, r, out_pd);
     }
-    return recorded;
 }
 
 std::vector<double>
 JtcSystem::fullCorrelation(const std::vector<double> &s,
                            const std::vector<double> &k) const
 {
+    std::vector<double> out;
+    fullCorrelationInto(s, k, out);
+    return out;
+}
+
+void
+JtcSystem::fullCorrelationInto(const std::vector<double> &s,
+                               const std::vector<double> &k,
+                               std::vector<double> &out) const
+{
     const JtcPlaneLayout layout = layoutFor(s, k);
-    const auto plane = outputPlane(s, k);
+    std::vector<double> &plane = signal::threadFftWorkspace().realBuffer(
+        kSlotJtcOutPlane, layout.plane_size);
+    outputPlaneInto(s, k, plane);
 
     // c[m] = R[q + m] for m in [-(Ls-1), Lk-1].
     const size_t n = layout.plane_size;
@@ -131,14 +227,13 @@ JtcSystem::fullCorrelation(const std::vector<double> &s,
     const long m_lo = -static_cast<long>(s.size()) + 1;
     const long m_hi = static_cast<long>(k.size()) - 1;
 
-    std::vector<double> out(static_cast<size_t>(m_hi - m_lo + 1));
+    out.resize(static_cast<size_t>(m_hi - m_lo + 1));
     for (long m = m_lo; m <= m_hi; ++m) {
         const size_t idx = static_cast<size_t>(
             ((q + m) % static_cast<long>(n) + static_cast<long>(n)) %
             static_cast<long>(n));
         out[static_cast<size_t>(m - m_lo)] = plane[idx];
     }
-    return out;
 }
 
 std::vector<double>
@@ -146,17 +241,42 @@ JtcSystem::correlationWindow(const std::vector<double> &s,
                              const std::vector<double> &k,
                              size_t count, long start) const
 {
-    // out[i] = c[-(start + i)]: read the full correlation backwards.
-    const auto c = fullCorrelation(s, k);
+    std::vector<double> out;
+    correlationWindowInto(s, k, count, start, out);
+    return out;
+}
+
+void
+JtcSystem::correlationWindowInto(const std::vector<double> &s,
+                                 const std::vector<double> &k,
+                                 size_t count, long start,
+                                 std::vector<double> &out) const
+{
+    // out[i] = c[-(start + i)]: read the full correlation backwards,
+    // straight off the output plane (c[m + Ls - 1] = R[(q + m) % n]).
+    const JtcPlaneLayout layout = layoutFor(s, k);
+    std::vector<double> &plane = signal::threadFftWorkspace().realBuffer(
+        kSlotJtcOutPlane, layout.plane_size);
+    outputPlaneInto(s, k, plane);
+
+    const long n = static_cast<long>(layout.plane_size);
+    const long q = static_cast<long>(layout.kernel_pos);
     const long zero_index = static_cast<long>(s.size()) - 1;
-    std::vector<double> out(count, 0.0);
+    const long c_size =
+        static_cast<long>(s.size() + k.size()) - 1;
+    out.resize(count);
     for (size_t i = 0; i < count; ++i) {
         const long idx = zero_index - (start + static_cast<long>(i));
-        if (idx >= 0 && idx < static_cast<long>(c.size()))
-            out[i] = c[static_cast<size_t>(idx)];
-        // Outside: kernel fully past either end of the signal -> zero.
+        if (idx >= 0 && idx < c_size) {
+            const long m = idx - zero_index;
+            const size_t p =
+                static_cast<size_t>(((q + m) % n + n) % n);
+            out[i] = plane[p];
+        } else {
+            // Kernel fully past either end of the signal -> zero.
+            out[i] = 0.0;
+        }
     }
-    return out;
 }
 
 std::vector<double>

@@ -30,10 +30,12 @@
 #define PHOTOFOURIER_JTC_JTC_SYSTEM_HH
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "photonics/photodetector.hh"
 #include "signal/fft.hh"
+#include "signal/plane_spectrum_cache.hh"
 
 namespace photofourier {
 namespace jtc {
@@ -93,8 +95,23 @@ struct JtcConfig
 class JtcSystem
 {
   public:
-    /** Build a simulator with the given configuration. */
-    explicit JtcSystem(JtcConfig config = {});
+    /**
+     * Build a simulator with the given configuration.
+     *
+     * The joint plane is the sum of the signal field and the static
+     * kernel field, and the lens transform is linear — so the
+     * kernel's contribution to the Fourier plane is transformed once
+     * per (kernel bytes, plane layout) and cached in `spectra`;
+     * every correlate call transforms only the streamed signal.
+     * Pass a shared cache to amortize across instances (the tiled
+     * optical backend constructs a JtcSystem per call and the engine
+     * shares the serving registry's per-model cache); null gives
+     * this instance a private cache, which still amortizes repeated
+     * kernels across calls.
+     */
+    explicit JtcSystem(
+        JtcConfig config = {},
+        std::shared_ptr<signal::PlaneSpectrumCache> spectra = nullptr);
 
     /**
      * Propagate the joint plane through the full optical path and
@@ -109,12 +126,29 @@ class JtcSystem
                                     const std::vector<double> &k) const;
 
     /**
+     * outputPlane writing into `out` (resized to the plane size,
+     * capacity reused). With a warm kernel-spectrum cache the
+     * noiseless path is allocation-free: one r2c of the signal
+     * plane, the cached kernel spectrum added in the Fourier plane,
+     * the detected intensity inverted through one c2r.
+     */
+    void outputPlaneInto(const std::vector<double> &s,
+                         const std::vector<double> &k,
+                         std::vector<double> &out) const;
+
+    /**
      * Full cross-correlation c[m] = sum_i s[i] k[i + m] extracted from
      * the output plane, for m in [-(Ls-1), Lk-1]; returned with index
      * offset so that result[m + Ls - 1] == c[m].
      */
     std::vector<double> fullCorrelation(const std::vector<double> &s,
                                         const std::vector<double> &k) const;
+
+    /** fullCorrelation writing into `out` (allocation-free with a
+     *  warm cache; the plane lives in per-thread scratch). */
+    void fullCorrelationInto(const std::vector<double> &s,
+                             const std::vector<double> &k,
+                             std::vector<double> &out) const;
 
     /**
      * The CNN-style sliding correlation window the hardware reads:
@@ -134,6 +168,13 @@ class JtcSystem
                                           size_t count,
                                           long start = 0) const;
 
+    /** correlationWindow writing into `out` — the optical-backend
+     *  hot path; allocation-free with a warm kernel cache. */
+    void correlationWindowInto(const std::vector<double> &s,
+                               const std::vector<double> &k,
+                               size_t count, long start,
+                               std::vector<double> &out) const;
+
     /** Layout used for the most recent evaluation sizes. */
     static JtcPlaneLayout layoutFor(const std::vector<double> &s,
                                     const std::vector<double> &k);
@@ -141,8 +182,23 @@ class JtcSystem
     /** The configuration of this instance. */
     const JtcConfig &config() const { return config_; }
 
+    /** The kernel-plane spectrum cache this instance reads/populates. */
+    const std::shared_ptr<signal::PlaneSpectrumCache> &
+    spectrumCache() const
+    {
+        return spectra_;
+    }
+
   private:
     JtcConfig config_;
+    std::shared_ptr<signal::PlaneSpectrumCache> spectra_;
+
+    /** The cached Fourier-plane contribution of `k` placed at
+     *  layout.kernel_pos on a layout.plane_size joint plane (the
+     *  plane_size/2+1 Hermitian half-spectrum). */
+    std::shared_ptr<const signal::ComplexVector> kernelPlaneSpectrum(
+        const std::vector<double> &k,
+        const JtcPlaneLayout &layout) const;
 
     /** Apply the configured readout model (+ optional noise). */
     double readOut(double field_value, double scale,

@@ -348,7 +348,10 @@ PhotoFourierEngine::convolve(const Tensor &input,
     };
     tiling::Conv1dBackend backend;
     if (config_.optical_backend) {
-        backend = tiling::jtcBackend();
+        // The optical cache rides along with the digital spectrum
+        // cache (one lifetime), so serving replicas sharing spectra_
+        // also share the transformed joint-plane kernel fields.
+        backend = tiling::jtcBackend({}, spectra_->opticalPlaneCache());
     } else {
         switch (config_.conv_path) {
           case ConvPath::Auto:

@@ -1,77 +1,111 @@
 #include "signal/fft2d.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
-#include "signal/fft_plan.hh"
+#include "signal/fft2d_plan.hh"
 
 namespace photofourier {
 namespace signal {
 
 namespace {
 
-ComplexMatrix
-transform2d(const ComplexMatrix &input, bool inverse)
-{
-    pf_assert(input.rows > 0 && input.cols > 0, "empty 2D transform");
-
-    // Row pass: every row is contiguous in the row-major layout, so the
-    // whole pass is one batched call fanned across the worker pool.
-    ComplexMatrix out = input;
-    batchFft(out.data.data(), out.rows, out.cols, inverse);
-
-    // Column pass: transpose, batch the (now contiguous) columns,
-    // transpose back. The two copies are cheaper than strided FFTs for
-    // the matrix sizes the comparators use.
-    ComplexMatrix transposed(out.cols, out.rows);
-    for (size_t r = 0; r < out.rows; ++r)
-        for (size_t c = 0; c < out.cols; ++c)
-            transposed.at(c, r) = out.at(r, c);
-    batchFft(transposed.data.data(), transposed.rows, transposed.cols,
-             inverse);
-    for (size_t r = 0; r < out.rows; ++r)
-        for (size_t c = 0; c < out.cols; ++c)
-            out.at(r, c) = transposed.at(c, r);
-    return out;
-}
+// Signal-level convolution helper slots (4-7 range; see the slot
+// discipline in fft_plan.hh). Disjoint from the 1D convolve1dFft
+// buffers only by never being live at the same time — convolve2dFft
+// does not nest inside the 1D helpers.
+constexpr size_t kSlotConv2dPad = 4;
+constexpr size_t kSlotConv2dSpecA = 5;
+constexpr size_t kSlotConv2dSpecB = 6;
 
 } // namespace
 
 ComplexMatrix
 fft2d(const ComplexMatrix &input)
 {
-    return transform2d(input, false);
+    pf_assert(input.rows > 0 && input.cols > 0, "empty 2D transform");
+    ComplexMatrix out;
+    fft2dPlanFor(input.rows, input.cols)
+        ->executeInto(input, out, /*inverse=*/false);
+    return out;
 }
 
 ComplexMatrix
 ifft2d(const ComplexMatrix &input)
 {
-    return transform2d(input, true);
+    pf_assert(input.rows > 0 && input.cols > 0, "empty 2D transform");
+    ComplexMatrix out;
+    fft2dPlanFor(input.rows, input.cols)
+        ->executeInto(input, out, /*inverse=*/true);
+    return out;
+}
+
+ComplexMatrix
+forward2dReal(const Matrix &input)
+{
+    pf_assert(input.rows > 0 && input.cols > 0, "empty 2D transform");
+    ComplexMatrix half;
+    fft2dPlanFor(input.rows, input.cols)->forwardRealInto(input, half);
+    return half;
+}
+
+Matrix
+inverse2dReal(const ComplexMatrix &half, size_t cols)
+{
+    pf_assert(half.rows > 0 && half.cols > 0, "empty 2D transform");
+    pf_assert(half.cols == cols / 2 + 1, "half-spectrum width ",
+              half.cols, " does not match cols ", cols);
+    Matrix out;
+    fft2dPlanFor(half.rows, cols)->inverseRealInto(half, out);
+    return out;
 }
 
 ComplexMatrix
 toComplex(const Matrix &input)
 {
-    ComplexMatrix out(input.rows, input.cols);
+    ComplexMatrix out;
+    toComplexInto(input, out);
+    return out;
+}
+
+void
+toComplexInto(const Matrix &input, ComplexMatrix &out)
+{
+    out.resizeNoFill(input.rows, input.cols);
     for (size_t i = 0; i < input.data.size(); ++i)
         out.data[i] = Complex(input.data[i], 0.0);
-    return out;
 }
 
 Matrix
 realPart(const ComplexMatrix &input)
 {
-    Matrix out(input.rows, input.cols);
+    Matrix out;
+    realPartInto(input, out);
+    return out;
+}
+
+void
+realPartInto(const ComplexMatrix &input, Matrix &out)
+{
+    out.resizeNoFill(input.rows, input.cols);
     for (size_t i = 0; i < input.data.size(); ++i)
         out.data[i] = input.data[i].real();
-    return out;
 }
 
 Matrix
 intensity(const ComplexMatrix &field)
 {
-    Matrix out(field.rows, field.cols);
+    Matrix out;
+    intensityInto(field, out);
+    return out;
+}
+
+void
+intensityInto(const ComplexMatrix &field, Matrix &out)
+{
+    out.resizeNoFill(field.rows, field.cols);
     for (size_t i = 0; i < field.data.size(); ++i)
         out.data[i] = std::norm(field.data[i]);
-    return out;
 }
 
 Matrix
@@ -80,20 +114,38 @@ convolve2dFft(const Matrix &a, const Matrix &b)
     pf_assert(a.rows > 0 && b.rows > 0, "empty convolution operand");
     const size_t rows = a.rows + b.rows - 1;
     const size_t cols = a.cols + b.cols - 1;
+    const auto plan = fft2dPlanFor(rows, cols);
+    const size_t hc = plan->halfCols();
+    FftWorkspace &ws = threadFftWorkspace();
 
-    ComplexMatrix fa(rows, cols), fb(rows, cols);
+    // Both operands are real: r2c each, multiply the half-spectra,
+    // c2r once — half the transform work of the seed complex path.
+    std::vector<double> &padded =
+        ws.realBuffer(kSlotConv2dPad, rows * cols);
+    ComplexVector &sa = ws.complexBuffer(kSlotConv2dSpecA, rows * hc);
+    ComplexVector &sb = ws.complexBuffer(kSlotConv2dSpecB, rows * hc);
+
+    std::fill(padded.begin(), padded.end(), 0.0);
     for (size_t r = 0; r < a.rows; ++r)
-        for (size_t c = 0; c < a.cols; ++c)
-            fa.at(r, c) = Complex(a.at(r, c), 0.0);
-    for (size_t r = 0; r < b.rows; ++r)
-        for (size_t c = 0; c < b.cols; ++c)
-            fb.at(r, c) = Complex(b.at(r, c), 0.0);
+        std::copy(a.data.begin() + r * a.cols,
+                  a.data.begin() + (r + 1) * a.cols,
+                  padded.begin() + r * cols);
+    plan->forwardReal(padded.data(), sa.data());
 
-    auto sa = fft2d(fa);
-    const auto sb = fft2d(fb);
-    for (size_t i = 0; i < sa.data.size(); ++i)
-        sa.data[i] *= sb.data[i];
-    return realPart(ifft2d(sa));
+    std::fill(padded.begin(), padded.end(), 0.0);
+    for (size_t r = 0; r < b.rows; ++r)
+        std::copy(b.data.begin() + r * b.cols,
+                  b.data.begin() + (r + 1) * b.cols,
+                  padded.begin() + r * cols);
+    plan->forwardReal(padded.data(), sb.data());
+
+    for (size_t i = 0; i < sa.size(); ++i)
+        sa[i] *= sb[i];
+
+    Matrix out;
+    out.resizeNoFill(rows, cols);
+    plan->inverseReal(sa.data(), out.data.data());
+    return out;
 }
 
 } // namespace signal

@@ -644,8 +644,17 @@ batchFft(Complex *data, size_t batch, size_t n, bool inverse,
     const auto plan = fftPlanFor(n);
     if (threads == 0 && batch * n < kParallelDispatchThreshold)
         threads = 1;
-    parallelFor(batch, threads, [&](size_t row) {
-        plan->execute(data + row * n, inverse);
+    // One-reference capture keeps the std::function inside its
+    // small-buffer storage, so a steady-state batch never allocates.
+    struct Job
+    {
+        const FftPlan *plan;
+        Complex *data;
+        size_t n;
+        bool inverse;
+    } job{plan.get(), data, n, inverse};
+    parallelFor(batch, threads, [&job](size_t row) {
+        job.plan->execute(job.data + row * job.n, job.inverse);
     });
 }
 

@@ -45,10 +45,13 @@ namespace signal {
  *
  * Slot discipline: a (caller, slot) pair must be unique along any call
  * chain that can be live at once on a thread. The library reserves
- * slots 0-3 for FftPlan internals (Bluestein and real-transform
- * scratch), 4-7 for signal-level convolution helpers, 8-15 for the
- * tiling backends, and 16-19 for the nn engines; external callers of
- * threadFftWorkspace() should use slots >= 20 (or a private
+ * slots 0-1 for FftPlan internals (Bluestein and real-transform
+ * scratch), 2-3 for Fft2dPlan internals (transpose and inverse-real
+ * scratch), 4-7 for signal-level convolution helpers (7 doubles as
+ * the 2D autocorrelation half-spectrum), 8-15 for the tiling
+ * backends, 16-19 for the nn engines, and 20-27 for the optical
+ * simulators (jtc/fourier4f); external callers of
+ * threadFftWorkspace() should use slots >= 28 (or a private
  * FftWorkspace instance).
  */
 class FftWorkspace

@@ -1,0 +1,108 @@
+#include "signal/plane_spectrum_cache.hh"
+
+#include <bit>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace signal {
+
+namespace {
+
+uint64_t
+mixBytes(uint64_t h, uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (v >> shift) & 0xffull;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** FNV-1a over salt, spectrum size, and the payload bytes. */
+uint64_t
+entryKey(uint64_t salt, const std::vector<double> &payload,
+         size_t spectrum_size)
+{
+    uint64_t h = mixBytes(0xcbf29ce484222325ull, salt);
+    h = mixBytes(h, spectrum_size);
+    h = mixBytes(h, payload.size());
+    for (double v : payload)
+        h = mixBytes(h, std::bit_cast<uint64_t>(v));
+    return h;
+}
+
+} // namespace
+
+uint64_t
+planeSpectrumSalt(uint64_t value, uint64_t seed)
+{
+    return mixBytes(seed, value);
+}
+
+std::shared_ptr<const ComplexVector>
+PlaneSpectrumCache::spectrum(uint64_t salt,
+                             const std::vector<double> &payload,
+                             size_t spectrum_size,
+                             const Compute &compute)
+{
+    pf_assert(spectrum_size > 0, "empty plane spectrum");
+    pf_assert(compute, "null plane-spectrum compute");
+    const uint64_t key = entryKey(salt, payload, spectrum_size);
+
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto [it, end] = entries_.equal_range(key);
+        for (; it != end; ++it) {
+            const Entry &e = it->second;
+            if (e.salt == salt && e.spectrum_size == spectrum_size &&
+                e.payload == payload) {
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                return e.spectrum;
+            }
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+
+    // Compute outside any lock: `compute` is a pure function of
+    // (salt-encoded geometry, payload), so racing threads produce
+    // bit-identical spectra and either insert may win.
+    auto spectrum = std::make_shared<ComplexVector>(spectrum_size);
+    compute(*spectrum);
+    pf_assert(spectrum->size() == spectrum_size,
+              "plane-spectrum compute resized its output");
+
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, end] = entries_.equal_range(key);
+    for (; it != end; ++it) {
+        const Entry &e = it->second;
+        if (e.salt == salt && e.spectrum_size == spectrum_size &&
+            e.payload == payload)
+            return e.spectrum; // a racing thread inserted first
+    }
+    auto inserted = entries_.emplace(
+        key, Entry{salt, spectrum_size, payload, std::move(spectrum)});
+    return inserted->second.spectrum;
+}
+
+PlaneSpectrumCache::Stats
+PlaneSpectrumCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    s.entries = entries_.size();
+    return s;
+}
+
+void
+PlaneSpectrumCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_.clear();
+}
+
+} // namespace signal
+} // namespace photofourier

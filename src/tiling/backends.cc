@@ -206,38 +206,50 @@ autoBackend(std::shared_ptr<KernelSpectrumCache> cache)
 }
 
 Conv1dBackend
-jtcBackend(jtc::JtcConfig config)
+jtcBackend(jtc::JtcConfig config,
+           std::shared_ptr<signal::PlaneSpectrumCache> spectra)
 {
-    return [config](const std::vector<double> &input,
-                    const std::vector<double> &kernel, long start,
-                    size_t count, std::vector<double> &out) {
+    if (!spectra)
+        spectra = std::make_shared<signal::PlaneSpectrumCache>();
+    return [config, spectra = std::move(spectra)](
+               const std::vector<double> &input,
+               const std::vector<double> &kernel, long start,
+               size_t count, std::vector<double> &out) {
         for (double v : input) {
             pf_assert(v >= 0.0,
                       "optical backend requires non-negative inputs "
                       "(got ", v, ")");
         }
-        jtc::JtcSystem optics(config);
+        // The JtcSystem instance is per call (it is just config +
+        // cache handles), but the kernel-plane spectra live in the
+        // shared cache, so a layer's static (tiled) kernel field is
+        // transformed once per process, not once per tile.
+        jtc::JtcSystem optics(config, spectra);
 
         const bool any_negative =
             std::any_of(kernel.begin(), kernel.end(),
                         [](double w) { return w < 0.0; });
         if (!any_negative) {
-            out = optics.correlationWindow(input, kernel, count, start);
+            optics.correlationWindowInto(input, kernel, count, start,
+                                         out);
             return;
         }
 
-        // Pseudo-negative decomposition [13]: k = p - n.
-        std::vector<double> pos(kernel.size(), 0.0);
-        std::vector<double> neg(kernel.size(), 0.0);
+        // Pseudo-negative decomposition [13]: k = p - n. The split
+        // kernels and the negative pass's output are per-thread
+        // scratch (signed weights are the common trained-CNN case, so
+        // this path must stay allocation-free in steady state too).
+        static thread_local std::vector<double> pos, neg, out_n;
+        pos.assign(kernel.size(), 0.0);
+        neg.assign(kernel.size(), 0.0);
         for (size_t i = 0; i < kernel.size(); ++i) {
             if (kernel[i] >= 0.0)
                 pos[i] = kernel[i];
             else
                 neg[i] = -kernel[i];
         }
-        out = optics.correlationWindow(input, pos, count, start);
-        const auto out_n =
-            optics.correlationWindow(input, neg, count, start);
+        optics.correlationWindowInto(input, pos, count, start, out);
+        optics.correlationWindowInto(input, neg, count, start, out_n);
         for (size_t i = 0; i < out.size(); ++i)
             out[i] -= out_n[i];
     };

@@ -111,9 +111,17 @@ double fftCrossoverScale();
  * amplitudes); signed kernels run as a pseudo-negative pair (two
  * passes, subtracted digitally).
  *
- * @param config optical simulation settings (noise, readout model)
+ * @param config  optical simulation settings (noise, readout model)
+ * @param spectra joint-plane kernel-spectrum cache shared across
+ *                calls/threads/engines (the static kernel field is
+ *                transformed once per layout, exactly like the
+ *                digital cache amortizes kernel spectra); null = a
+ *                private cache for this backend instance (spectra
+ *                still amortize across its calls).
  */
-Conv1dBackend jtcBackend(jtc::JtcConfig config = {});
+Conv1dBackend jtcBackend(
+    jtc::JtcConfig config = {},
+    std::shared_ptr<signal::PlaneSpectrumCache> spectra = nullptr);
 
 /**
  * Decorate a backend with per-waveguide manufacturing variation:

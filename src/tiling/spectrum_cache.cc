@@ -1,36 +1,12 @@
 #include "tiling/spectrum_cache.hh"
 
 #include <algorithm>
-#include <bit>
-#include <mutex>
 
 #include "common/logging.hh"
 #include "signal/fft_plan.hh"
 
 namespace photofourier {
 namespace tiling {
-
-namespace {
-
-/** FNV-1a over the kernel bytes and the FFT size. */
-uint64_t
-spectrumKey(const std::vector<double> &kernel, size_t fft_n)
-{
-    uint64_t h = 0xcbf29ce484222325ull;
-    auto mix = [&h](uint64_t v) {
-        for (int shift = 0; shift < 64; shift += 8) {
-            h ^= (v >> shift) & 0xffull;
-            h *= 0x100000001b3ull;
-        }
-    };
-    mix(fft_n);
-    mix(kernel.size());
-    for (double v : kernel)
-        mix(std::bit_cast<uint64_t>(v));
-    return h;
-}
-
-} // namespace
 
 void
 computeCorrelationSpectrum(const std::vector<double> &kernel,
@@ -57,55 +33,39 @@ KernelSpectrumCache::correlationSpectrum(
     pf_assert(!kernel.empty(), "correlationSpectrum of empty kernel");
     pf_assert(fft_n >= kernel.size(),
               "FFT size ", fft_n, " shorter than kernel ", kernel.size());
-    const uint64_t key = spectrumKey(kernel, fft_n);
-
+    // fft_n is the whole keying beyond the kernel bytes (which the
+    // store verifies itself). Single-reference capture keeps the
+    // Compute in std::function's small-buffer storage — hits on the
+    // serving hot path never allocate.
+    struct Ctx
     {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
-        auto [it, end] = entries_.equal_range(key);
-        for (; it != end; ++it) {
-            const Entry &e = it->second;
-            if (e.fft_n == fft_n && e.kernel == kernel) {
-                hits_.fetch_add(1, std::memory_order_relaxed);
-                return e.spectrum;
-            }
-        }
-    }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-
-    // Compute outside any lock (a racing thread computing the same
-    // spectrum produces bit-identical values, so either copy may win).
-    auto spectrum =
-        std::make_shared<signal::ComplexVector>(fft_n / 2 + 1);
-    computeCorrelationSpectrum(kernel, fft_n, spectrum->data());
-
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    auto [it, end] = entries_.equal_range(key);
-    for (; it != end; ++it) {
-        const Entry &e = it->second;
-        if (e.fft_n == fft_n && e.kernel == kernel)
-            return e.spectrum; // a racing thread inserted first
-    }
-    auto inserted = entries_.emplace(
-        key, Entry{fft_n, kernel, std::move(spectrum)});
-    return inserted->second.spectrum;
+        const std::vector<double> *kernel;
+        size_t fft_n;
+    } ctx{&kernel, fft_n};
+    return digital_.spectrum(
+        signal::planeSpectrumSalt(fft_n), kernel, fft_n / 2 + 1,
+        [&ctx](signal::ComplexVector &out) {
+            computeCorrelationSpectrum(*ctx.kernel, ctx.fft_n,
+                                       out.data());
+        });
 }
 
 KernelSpectrumCache::Stats
 KernelSpectrumCache::stats() const
 {
+    const auto inner = digital_.stats();
     Stats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    s.entries = entries_.size();
+    s.hits = inner.hits;
+    s.misses = inner.misses;
+    s.entries = inner.entries;
     return s;
 }
 
 void
 KernelSpectrumCache::clear()
 {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    entries_.clear();
+    digital_.clear();
+    optical_->clear();
 }
 
 } // namespace tiling

@@ -18,20 +18,20 @@
  * Thread-safety: lookups take a shared lock and insertions a unique
  * lock; the returned spectra are immutable and shared_ptr-owned, so
  * readers are never invalidated. Hits are the steady state — the
- * serving hot path takes the shared lock only.
+ * serving hot path takes the shared lock only. The store itself is
+ * the generic signal::PlaneSpectrumCache; this class contributes the
+ * correlation-spectrum compute and the fft_n keying.
  */
 
 #ifndef PHOTOFOURIER_TILING_SPECTRUM_CACHE_HH
 #define PHOTOFOURIER_TILING_SPECTRUM_CACHE_HH
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "signal/fft.hh"
+#include "signal/plane_spectrum_cache.hh"
 
 namespace photofourier {
 namespace tiling {
@@ -72,22 +72,34 @@ class KernelSpectrumCache
     /** Traffic counters and entry count. */
     Stats stats() const;
 
-    /** Drop every entry (counters keep running). */
+    /** Drop every entry (counters keep running; the composed optical
+     *  plane cache is cleared too). */
     void clear();
 
-  private:
-    struct Entry
+    /**
+     * The optical twin riding along with this cache: joint-plane
+     * kernel spectra for the field-level JTC simulators
+     * (signal::PlaneSpectrumCache). Composing it here gives the two
+     * caches one lifetime — the serving registry's per-(model,
+     * version) swap, the engine plumbing, and the accelerator's
+     * shared serving cache all carry the optical spectra for free,
+     * so a model served on the optical backend transforms its static
+     * kernel planes once per registration exactly like the digital
+     * path does.
+     */
+    const std::shared_ptr<signal::PlaneSpectrumCache> &
+    opticalPlaneCache() const
     {
-        size_t fft_n;
-        std::vector<double> kernel; ///< exact bytes, verified on hit
-        std::shared_ptr<const signal::ComplexVector> spectrum;
-    };
+        return optical_;
+    }
 
-    mutable std::shared_mutex mutex_;
-    /** hash(fft_n, kernel bytes) -> entries; collisions chain. */
-    std::unordered_multimap<uint64_t, Entry> entries_;
-    std::atomic<uint64_t> hits_{0};
-    std::atomic<uint64_t> misses_{0};
+  private:
+    /** The digital entries, stored and synchronized by the generic
+     *  content-addressed cache (salt = fft_n); this class adds only
+     *  the correlation-spectrum compute and the fft_n keying. */
+    signal::PlaneSpectrumCache digital_;
+    std::shared_ptr<signal::PlaneSpectrumCache> optical_ =
+        std::make_shared<signal::PlaneSpectrumCache>();
 };
 
 } // namespace tiling

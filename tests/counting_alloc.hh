@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Counting global operator new/delete for zero-allocation pins.
+ *
+ * Including this header makes the test binary count every heap
+ * allocation in `pf_test_allocations`; steady-state tests snapshot
+ * the counter around a warm hot-path loop and assert a zero delta.
+ * Include from exactly one translation unit per binary (each test
+ * source file is its own binary, so a plain #include is fine).
+ */
+
+#ifndef PHOTOFOURIER_TESTS_COUNTING_ALLOC_HH
+#define PHOTOFOURIER_TESTS_COUNTING_ALLOC_HH
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+static std::atomic<uint64_t> pf_test_allocations{0};
+
+static inline void *
+pfTestCountedAlloc(std::size_t n)
+{
+    pf_test_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+static inline void *
+pfTestCountedAlignedAlloc(std::size_t n, std::align_val_t align)
+{
+    pf_test_allocations.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(align);
+    if (void *p = std::aligned_alloc(a, (n + a - 1) / a * a))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *operator new(std::size_t n) { return pfTestCountedAlloc(n); }
+void *operator new[](std::size_t n) { return pfTestCountedAlloc(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+// Over-aligned forms count too — without these, an alignas(>16) hot-
+// path buffer would allocate through the default aligned new and be
+// invisible to the zero-allocation pins.
+void *
+operator new(std::size_t n, std::align_val_t a)
+{
+    return pfTestCountedAlignedAlloc(n, a);
+}
+void *
+operator new[](std::size_t n, std::align_val_t a)
+{
+    return pfTestCountedAlignedAlloc(n, a);
+}
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // PHOTOFOURIER_TESTS_COUNTING_ALLOC_HH

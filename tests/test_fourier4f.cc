@@ -1,20 +1,28 @@
 /**
  * @file
  * Tests for the 2D Fourier substrate and the free-space comparators:
- * 2D FFT correctness, the 4F convolution engine, Fourier-filter
- * quantization behaviour, the 2D JTC, and the Section VIII claims
- * (filter size = input size, complex modulation) in quantified form.
+ * 2D FFT correctness, the Fft2dPlan real path vs the complex
+ * reference, the 4F convolution engine and its cached filter
+ * spectra, Fourier-filter quantization behaviour, the 2D JTC and its
+ * cached kernel-plane spectra (including a TSan-stressable shared-
+ * cache test), and the Section VIII claims (filter size = input
+ * size, complex modulation) in quantified form.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+
+#include "counting_alloc.hh"
 
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "fourier4f/jtc2d.hh"
 #include "fourier4f/system4f.hh"
 #include "signal/fft2d.hh"
+#include "signal/fft2d_plan.hh"
 #include "tiling/backends.hh"
 #include "tiling/tiled_convolution.hh"
 
@@ -31,6 +39,48 @@ randomMatrix(pf::Rng &rng, size_t rows, size_t cols, double lo = 0.0,
     sig::Matrix m(rows, cols);
     m.data = rng.uniformVector(rows * cols, lo, hi);
     return m;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor references: the seed complex-path implementations of
+// the optical comparators, kept verbatim (over the complex
+// fft2d/ifft2d facade) so the real-path rewrite stays pinned to them.
+// ---------------------------------------------------------------------------
+
+sig::Matrix
+reference4fConvolve(const f4::System4f &system, const sig::Matrix &image,
+                    const sig::Matrix &kernel)
+{
+    const size_t rows = image.rows + kernel.rows - 1;
+    const size_t cols = image.cols + kernel.cols - 1;
+    sig::ComplexMatrix field(rows, cols);
+    for (size_t r = 0; r < image.rows; ++r)
+        for (size_t c = 0; c < image.cols; ++c)
+            field.at(r, c) = sig::Complex(image.at(r, c), 0.0);
+    auto spectrum = sig::fft2d(field);
+    const auto filter = system.programFilter(kernel, rows, cols);
+    for (size_t i = 0; i < spectrum.data.size(); ++i)
+        spectrum.data[i] *= filter.data[i];
+    return sig::realPart(sig::ifft2d(spectrum));
+}
+
+sig::Matrix
+referenceJtc2dOutputPlane(const sig::Matrix &s, const sig::Matrix &k)
+{
+    const auto layout =
+        f4::Jtc2dLayout::design(s.rows, s.cols, k.rows, k.cols);
+    sig::ComplexMatrix plane(layout.plane_rows, layout.plane_cols);
+    for (size_t r = 0; r < s.rows; ++r)
+        for (size_t c = 0; c < s.cols; ++c)
+            plane.at(r, c) = sig::Complex(s.at(r, c), 0.0);
+    for (size_t r = 0; r < k.rows; ++r)
+        for (size_t c = 0; c < k.cols; ++c)
+            plane.at(layout.kernel_row_pos + r, c) =
+                sig::Complex(k.at(r, c), 0.0);
+    auto spectrum = sig::fft2d(plane);
+    for (auto &value : spectrum.data)
+        value = sig::Complex(std::norm(value), 0.0);
+    return sig::realPart(sig::ifft2d(spectrum));
 }
 
 } // namespace
@@ -235,4 +285,322 @@ TEST(Jtc2d, OnChipRowTilingMatchesFreeSpace2dInValidMode)
     ASSERT_EQ(native_2d.rows, tiled_1d.rows);
     ASSERT_EQ(native_2d.cols, tiled_1d.cols);
     EXPECT_LT(sig::matrixMaxAbsDiff(native_2d, tiled_1d), 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Fft2dPlan: the real path against the complex reference.
+// ---------------------------------------------------------------------------
+
+/** Geometries spanning pow2/pow2, even Bluestein, odd Bluestein, odd
+ *  columns (half width (c+1)/2), degenerate single row/column. */
+const std::pair<size_t, size_t> kRealPathGeometries[] = {
+    {8, 8},  {6, 10}, {7, 9},  {12, 15}, {30, 30},
+    {1, 16}, {16, 1}, {5, 21}, {9, 16},  {13, 13},
+};
+
+TEST(Fft2dPlan, RealForwardMatchesComplexAcrossGeometries)
+{
+    pf::Rng rng(31);
+    for (auto [rows, cols] : kRealPathGeometries) {
+        sig::Matrix m(rows, cols);
+        m.data = rng.uniformVector(rows * cols, -1.0, 1.0);
+
+        const auto half = sig::forward2dReal(m);
+        const auto full = sig::fft2d(sig::toComplex(m));
+        ASSERT_EQ(half.rows, rows);
+        ASSERT_EQ(half.cols, cols / 2 + 1);
+
+        // Stored bins match the complex transform...
+        for (size_t kr = 0; kr < rows; ++kr)
+            for (size_t kc = 0; kc < half.cols; ++kc)
+                EXPECT_LT(std::abs(half.at(kr, kc) - full.at(kr, kc)),
+                          1e-9)
+                    << rows << "x" << cols << " bin " << kr << ","
+                    << kc;
+        // ...and the mirrored bins are recoverable by Hermitian
+        // symmetry, so the half representation is lossless.
+        for (size_t kr = 0; kr < rows; ++kr)
+            for (size_t kc = half.cols; kc < cols; ++kc) {
+                const auto mirrored = std::conj(
+                    half.at((rows - kr) % rows, cols - kc));
+                EXPECT_LT(std::abs(mirrored - full.at(kr, kc)), 1e-9)
+                    << rows << "x" << cols << " bin " << kr << ","
+                    << kc;
+            }
+    }
+}
+
+TEST(Fft2dPlan, RealInverseRoundTripsAcrossGeometries)
+{
+    pf::Rng rng(32);
+    for (auto [rows, cols] : kRealPathGeometries) {
+        sig::Matrix m(rows, cols);
+        m.data = rng.uniformVector(rows * cols, -1.0, 1.0);
+        const auto roundtrip =
+            sig::inverse2dReal(sig::forward2dReal(m), cols);
+        ASSERT_EQ(roundtrip.rows, rows);
+        ASSERT_EQ(roundtrip.cols, cols);
+        EXPECT_LT(sig::matrixMaxAbsDiff(roundtrip, m), 1e-9)
+            << rows << "x" << cols;
+    }
+}
+
+TEST(Fft2dPlan, CircularAutocorrelationMatchesComplexPipeline)
+{
+    pf::Rng rng(33);
+    for (auto [rows, cols] : {std::pair<size_t, size_t>{16, 16},
+                              {12, 10}, {9, 15}}) {
+        sig::Matrix plane(rows, cols);
+        plane.data = rng.uniformVector(rows * cols, 0.0, 1.0);
+
+        const auto plan = sig::fft2dPlanFor(rows, cols);
+        sig::Matrix fast;
+        plan->circularAutocorrelationInto(plane, fast);
+
+        auto spectrum = sig::fft2d(sig::toComplex(plane));
+        for (auto &v : spectrum.data)
+            v = sig::Complex(std::norm(v), 0.0);
+        const auto ref = sig::realPart(sig::ifft2d(spectrum));
+        EXPECT_LT(sig::matrixMaxAbsDiff(fast, ref), 1e-7)
+            << rows << "x" << cols;
+    }
+}
+
+TEST(Fft2dPlan, TransposeIntoMatchesNaive)
+{
+    pf::Rng rng(34);
+    // Shapes straddling the 32x32 blocking: sub-block, exact
+    // multiple, ragged edges, extreme aspect ratio.
+    for (auto [rows, cols] : {std::pair<size_t, size_t>{5, 7},
+                              {32, 32}, {33, 65}, {70, 3}, {1, 100}}) {
+        sig::ComplexVector in(rows * cols);
+        for (auto &v : in)
+            v = sig::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        sig::ComplexVector out(rows * cols);
+        sig::transposeInto(in.data(), rows, cols, out.data());
+        for (size_t r = 0; r < rows; ++r)
+            for (size_t c = 0; c < cols; ++c)
+                EXPECT_EQ(out[c * rows + r], in[r * cols + c]);
+    }
+}
+
+TEST(Fft2dPlan, PlanCacheReturnsSharedInstances)
+{
+    const auto a = sig::fft2dPlanFor(24, 18);
+    const auto b = sig::fft2dPlanFor(24, 18);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), sig::fft2dPlanFor(18, 24).get());
+    EXPECT_GE(sig::fft2dPlanCacheSize(), 2u);
+}
+
+TEST(Fft2d, ComplexFacadeStillExact)
+{
+    // The complex facade (now a thin wrapper over the plan) keeps its
+    // contract: executeInto == execute-on-copy, any geometry.
+    pf::Rng rng(35);
+    sig::ComplexMatrix m(11, 6);
+    for (auto &v : m.data)
+        v = sig::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    const auto plan = sig::fft2dPlanFor(11, 6);
+    auto in_place = m;
+    plan->execute(in_place, false);
+    sig::ComplexMatrix out;
+    plan->executeInto(m, out, false);
+    for (size_t i = 0; i < m.data.size(); ++i)
+        EXPECT_EQ(in_place.data[i], out.data[i]);
+}
+
+// ---------------------------------------------------------------------------
+// The refactored comparators against the pre-refactor references.
+// ---------------------------------------------------------------------------
+
+TEST(System4f, ApplyMatchesPreRefactorReference)
+{
+    pf::Rng rng(36);
+    const auto image = randomMatrix(rng, 12, 14);
+    for (int bits : {0, 6}) {
+        f4::System4fConfig cfg;
+        cfg.amplitude_bits = bits;
+        cfg.phase_bits = bits;
+        f4::System4f system(cfg);
+        const auto kernel = randomMatrix(rng, 3, 5, -0.5, 0.5);
+        const auto fast = system.convolve(image, kernel);
+        const auto ref = reference4fConvolve(system, image, kernel);
+        ASSERT_EQ(fast.rows, ref.rows);
+        ASSERT_EQ(fast.cols, ref.cols);
+        EXPECT_LT(sig::matrixMaxAbsDiff(fast, ref), 1e-9)
+            << bits << " bits";
+    }
+}
+
+TEST(System4f, FilterSpectrumIsCachedPerKernel)
+{
+    pf::Rng rng(37);
+    const auto image = randomMatrix(rng, 10, 10);
+    const auto k1 = randomMatrix(rng, 3, 3, -0.5, 0.5);
+    const auto k2 = randomMatrix(rng, 3, 3, -0.5, 0.5);
+
+    f4::System4f system;
+    const auto &cache = *system.spectrumCache();
+    (void)system.convolve(image, k1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    (void)system.convolve(image, k1);
+    (void)system.convolve(image, k1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    // A different kernel is a different entry, never a stale hit.
+    (void)system.convolve(image, k2);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    // Two systems sharing one cache transform each kernel once.
+    auto shared = std::make_shared<sig::PlaneSpectrumCache>();
+    f4::System4f a({}, shared), b({}, shared);
+    (void)a.convolve(image, k1);
+    (void)b.convolve(image, k1);
+    EXPECT_EQ(shared->stats().misses, 1u);
+    EXPECT_EQ(shared->stats().hits, 1u);
+}
+
+TEST(System4f, QuantizationBitsKeyTheFilterCache)
+{
+    // Same kernel bytes, different modulator resolution: must be
+    // distinct entries (the programmed filter differs).
+    pf::Rng rng(38);
+    const auto image = randomMatrix(rng, 8, 8);
+    const auto kernel = randomMatrix(rng, 3, 3, -0.5, 0.5);
+    auto shared = std::make_shared<sig::PlaneSpectrumCache>();
+    f4::System4fConfig q;
+    q.amplitude_bits = 6;
+    q.phase_bits = 6;
+    f4::System4f ideal({}, shared), quantized(q, shared);
+    const auto out_ideal = ideal.convolve(image, kernel);
+    const auto out_q = quantized.convolve(image, kernel);
+    EXPECT_EQ(shared->stats().misses, 2u);
+    EXPECT_GT(sig::matrixMaxAbsDiff(out_ideal, out_q), 0.0);
+}
+
+TEST(System4f, SteadyStateApplyIsAllocationFree)
+{
+    pf::Rng rng(39);
+    const auto image = randomMatrix(rng, 12, 12);
+    const auto kernel = randomMatrix(rng, 3, 3, -0.5, 0.5);
+    f4::System4f system;
+    sig::Matrix out;
+    // Warm the filter cache, the 2D plan, and every scratch buffer.
+    system.apply(image, kernel, out);
+    system.apply(image, kernel, out);
+
+    const uint64_t before =
+        pf_test_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 16; ++i)
+        system.apply(image, kernel, out);
+    const uint64_t after = pf_test_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "System4f::apply allocated in steady state";
+}
+
+TEST(Jtc2d, OutputPlaneAndCorrelateMatchPreRefactorReference)
+{
+    pf::Rng rng(40);
+    for (auto shape : {std::pair<size_t, size_t>{8, 3},
+                       std::pair<size_t, size_t>{12, 5}}) {
+        const auto s = randomMatrix(rng, shape.first, shape.first);
+        const auto k = randomMatrix(rng, shape.second, shape.second);
+        f4::Jtc2d jtc;
+        const auto plane = jtc.outputPlane(s, k);
+        const auto ref = referenceJtc2dOutputPlane(s, k);
+        ASSERT_EQ(plane.rows, ref.rows);
+        ASSERT_EQ(plane.cols, ref.cols);
+        EXPECT_LT(sig::matrixMaxAbsDiff(plane, ref), 1e-8)
+            << shape.first << "x" << shape.second;
+    }
+}
+
+TEST(Jtc2d, KernelPlaneSpectrumIsCached)
+{
+    pf::Rng rng(41);
+    const auto s = randomMatrix(rng, 10, 10);
+    const auto k = randomMatrix(rng, 3, 3);
+    f4::Jtc2d jtc;
+    (void)jtc.correlate(s, k);
+    (void)jtc.correlate(s, k);
+    (void)jtc.correlate(s, k);
+    EXPECT_EQ(jtc.spectrumCache()->stats().misses, 1u);
+    EXPECT_EQ(jtc.spectrumCache()->stats().hits, 2u);
+}
+
+TEST(Jtc2d, SteadyStateCorrelateIsAllocationFree)
+{
+    pf::Rng rng(42);
+    const auto s = randomMatrix(rng, 10, 10);
+    const auto k = randomMatrix(rng, 3, 3);
+    f4::Jtc2d jtc;
+    sig::Matrix out;
+    jtc.correlateInto(s, k, out);
+    jtc.correlateInto(s, k, out);
+
+    const uint64_t before =
+        pf_test_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 16; ++i)
+        jtc.correlateInto(s, k, out);
+    const uint64_t after = pf_test_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "Jtc2d::correlateInto allocated in steady state";
+}
+
+TEST(OpticalSpectrumCache, SharedCacheIsRaceFreeAndExact)
+{
+    // TSan stress (this suite runs under -fsanitize=thread in CI):
+    // many threads hammer one shared PlaneSpectrumCache through both
+    // comparators, racing misses, inserts, and hits. Results must be
+    // bit-identical to the single-threaded warm path.
+    pf::Rng rng(43);
+    const auto image = randomMatrix(rng, 10, 10);
+    std::vector<sig::Matrix> kernels;
+    for (int i = 0; i < 4; ++i)
+        kernels.push_back(randomMatrix(rng, 3, 3, -0.5, 0.5));
+
+    auto shared = std::make_shared<sig::PlaneSpectrumCache>();
+    f4::System4f warm_system({}, shared);
+    f4::Jtc2d warm_jtc(shared);
+    std::vector<sig::Matrix> expect_4f, expect_jtc;
+    for (const auto &k : kernels) {
+        expect_4f.push_back(warm_system.convolve(image, k));
+        sig::Matrix abs_k = k;
+        for (auto &v : abs_k.data)
+            v = std::abs(v);
+        expect_jtc.push_back(warm_jtc.correlate(image, abs_k));
+    }
+    shared->clear(); // restart cold so the threads race the misses
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            f4::System4f system({}, shared);
+            f4::Jtc2d jtc(shared);
+            sig::Matrix out;
+            for (int iter = 0; iter < 8; ++iter) {
+                const size_t ki =
+                    static_cast<size_t>(t + iter) % kernels.size();
+                system.apply(image, kernels[ki], out);
+                if (sig::matrixMaxAbsDiff(out, expect_4f[ki]) != 0.0)
+                    mismatches.fetch_add(1);
+                sig::Matrix abs_k = kernels[ki];
+                for (auto &v : abs_k.data)
+                    v = std::abs(v);
+                jtc.correlateInto(image, abs_k, out);
+                if (sig::matrixMaxAbsDiff(out, expect_jtc[ki]) != 0.0)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    // Every kernel was transformed at least once; hits dominate.
+    const auto stats = shared->stats();
+    EXPECT_GE(stats.entries, 2 * kernels.size());
+    EXPECT_GT(stats.hits, 0u);
 }

@@ -9,15 +9,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+
+#include "counting_alloc.hh"
 
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "jtc/jtc_system.hh"
 #include "jtc/pfcu.hh"
+#include "signal/fft_plan.hh"
 
 namespace pf = photofourier;
 namespace jtc = photofourier::jtc;
+namespace sig = photofourier::signal;
 
 namespace {
 
@@ -25,6 +31,41 @@ std::vector<double>
 randomNonNegative(pf::Rng &rng, size_t n)
 {
     return rng.uniformVector(n, 0.0, 1.0);
+}
+
+/**
+ * Pre-refactor reference: the seed complex-path outputPlane (joint
+ * plane built whole, two full complex lens transforms), kept verbatim
+ * so the cached real-path rewrite stays pinned to it.
+ */
+std::vector<double>
+referenceOutputPlane(const std::vector<double> &s,
+                     const std::vector<double> &k)
+{
+    const auto layout = jtc::JtcSystem::layoutFor(s, k);
+    const size_t n = layout.plane_size;
+    const auto plan = sig::fftPlanFor(n);
+
+    std::vector<double> plane(n, 0.0);
+    for (size_t i = 0; i < s.size(); ++i)
+        plane[layout.signal_pos + i] = s[i];
+    for (size_t i = 0; i < k.size(); ++i)
+        plane[layout.kernel_pos + i] = k[i];
+
+    sig::ComplexVector field(n);
+    for (size_t i = 0; i < n; ++i)
+        field[i] = sig::Complex(plane[i], 0.0);
+    plan->execute(field, false);
+
+    sig::ComplexVector spectrum(n);
+    for (size_t i = 0; i < n; ++i)
+        spectrum[i] = sig::Complex(std::norm(field[i]), 0.0);
+    plan->execute(spectrum, true);
+
+    std::vector<double> recorded(n);
+    for (size_t i = 0; i < n; ++i)
+        recorded[i] = spectrum[i].real();
+    return recorded;
 }
 
 } // namespace
@@ -171,6 +212,119 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<size_t, size_t>{256, 256},
                       std::pair<size_t, size_t>{31, 7},
                       std::pair<size_t, size_t>{13, 13}));
+
+TEST(JtcSystem, OutputPlaneMatchesPreRefactorReference)
+{
+    // The cached real-path rewrite against the seed complex path, on
+    // both power-of-two-heavy and Bluestein-adjacent input sizes.
+    pf::Rng rng(61);
+    for (auto [ls, lk] : {std::pair<size_t, size_t>{16, 5},
+                          {256, 67}, {100, 25}, {33, 7}}) {
+        const auto s = randomNonNegative(rng, ls);
+        const auto k = randomNonNegative(rng, lk);
+        jtc::JtcSystem sys;
+        const auto fast = sys.outputPlane(s, k);
+        const auto ref = referenceOutputPlane(s, k);
+        ASSERT_EQ(fast.size(), ref.size());
+        EXPECT_LT(pf::maxAbsDiff(fast, ref), 1e-8)
+            << "ls=" << ls << " lk=" << lk;
+    }
+}
+
+TEST(JtcSystem, KernelPlaneSpectrumIsCachedPerKernelAndLayout)
+{
+    pf::Rng rng(62);
+    const auto s = randomNonNegative(rng, 64);
+    const auto k1 = randomNonNegative(rng, 9);
+    const auto k2 = randomNonNegative(rng, 9);
+
+    jtc::JtcSystem sys;
+    (void)sys.correlationWindow(s, k1, 64);
+    (void)sys.correlationWindow(s, k1, 64);
+    (void)sys.correlationWindow(s, k1, 64);
+    auto stats = sys.spectrumCache()->stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 2u);
+
+    // Changed kernel content -> new entry, never a stale spectrum.
+    (void)sys.correlationWindow(s, k2, 64);
+    EXPECT_EQ(sys.spectrumCache()->stats().misses, 2u);
+
+    // Same kernel bytes on a different layout (longer signal changes
+    // the plane size/separation) -> distinct entry as well.
+    const auto s_long = randomNonNegative(rng, 200);
+    (void)sys.correlationWindow(s_long, k1, 200);
+    EXPECT_EQ(sys.spectrumCache()->stats().misses, 3u);
+
+    // Instances sharing one cache transform each kernel field once.
+    auto shared = std::make_shared<sig::PlaneSpectrumCache>();
+    jtc::JtcSystem a({}, shared), b({}, shared);
+    (void)a.correlationWindow(s, k1, 64);
+    (void)b.correlationWindow(s, k1, 64);
+    EXPECT_EQ(shared->stats().misses, 1u);
+    EXPECT_EQ(shared->stats().hits, 1u);
+}
+
+TEST(JtcSystem, SteadyStateCorrelationWindowIsAllocationFree)
+{
+    pf::Rng rng(63);
+    const auto s = randomNonNegative(rng, 64);
+    const auto k = randomNonNegative(rng, 9);
+    jtc::JtcSystem sys;
+    std::vector<double> out;
+    // Warm the kernel-spectrum cache, the plan tables, and scratch.
+    sys.correlationWindowInto(s, k, 64, 0, out);
+    sys.correlationWindowInto(s, k, 64, 0, out);
+
+    const uint64_t before =
+        pf_test_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 16; ++i)
+        sys.correlationWindowInto(s, k, 64, 0, out);
+    const uint64_t after = pf_test_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "correlationWindowInto allocated in steady state";
+}
+
+TEST(JtcSystem, SharedSpectrumCacheIsRaceFreeAndExact)
+{
+    // TSan stress (this suite runs under -fsanitize=thread in CI):
+    // threads share one kernel-spectrum cache and race the misses,
+    // inserts, and hits; every result must be bit-identical to the
+    // warm single-threaded value.
+    pf::Rng rng(64);
+    const auto s = randomNonNegative(rng, 64);
+    std::vector<std::vector<double>> kernels;
+    for (int i = 0; i < 4; ++i)
+        kernels.push_back(randomNonNegative(rng, 9));
+
+    auto shared = std::make_shared<sig::PlaneSpectrumCache>();
+    jtc::JtcSystem warm({}, shared);
+    std::vector<std::vector<double>> expected;
+    for (const auto &k : kernels)
+        expected.push_back(warm.correlationWindow(s, k, 64));
+    shared->clear(); // restart cold so the threads race the misses
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            jtc::JtcSystem sys({}, shared);
+            std::vector<double> out;
+            for (int iter = 0; iter < 16; ++iter) {
+                const size_t ki =
+                    static_cast<size_t>(t + iter) % kernels.size();
+                sys.correlationWindowInto(s, kernels[ki], 64, 0, out);
+                if (pf::maxAbsDiff(out, expected[ki]) != 0.0)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(shared->stats().entries, kernels.size());
+    EXPECT_GT(shared->stats().hits, 0u);
+}
 
 TEST(JtcSystem, SquareLawReadoutRecoversByDigitalSqrt)
 {

@@ -13,7 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "counting_alloc.hh"
 
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -558,4 +562,58 @@ TEST(KernelSpectrumCache, SharedAcrossBackendsAmortizesTransforms)
     EXPECT_GE(after_second.hits, 1u);
     EXPECT_EQ(maxAbsDiffVec(out_a, out_b), 0.0)
         << "cache hits must be bit-identical to the miss path";
+}
+
+TEST(JtcBackend, SharedOpticalCacheAmortizesKernelTransforms)
+{
+    // The optical twin of the digital cache sharing above: two
+    // jtcBackend instances (two "worker replicas") handed the same
+    // PlaneSpectrumCache transform a static tiled kernel field once.
+    auto digital = std::make_shared<tl::KernelSpectrumCache>();
+    auto jtc_a = tl::jtcBackend({}, digital->opticalPlaneCache());
+    auto jtc_b = tl::jtcBackend({}, digital->opticalPlaneCache());
+    pf::Rng rng(311);
+    const auto s = randomVector(rng, 256, 0.0, 1.0);
+    const auto k = randomVector(rng, 67, 0.0, 0.3);
+
+    std::vector<double> out_a, out_b;
+    jtc_a(s, k, 0, 192, out_a);
+    const auto after_first = digital->opticalPlaneCache()->stats();
+    EXPECT_EQ(after_first.misses, 1u);
+
+    jtc_b(s, k, 0, 192, out_b);
+    const auto after_second = digital->opticalPlaneCache()->stats();
+    EXPECT_EQ(after_second.misses, 1u) << "replica re-transformed";
+    EXPECT_GE(after_second.hits, 1u);
+    EXPECT_EQ(maxAbsDiffVec(out_a, out_b), 0.0)
+        << "cache hits must be bit-identical to the miss path";
+
+    // KernelSpectrumCache::clear drops the composed optical entries
+    // too (the registry swap semantics).
+    digital->clear();
+    EXPECT_EQ(digital->opticalPlaneCache()->stats().entries, 0u);
+}
+
+TEST(JtcBackend, SignedKernelSteadyStateIsAllocationFree)
+{
+    // Trained CNN weights are signed, so the pseudo-negative optical
+    // path (two passes, digital subtraction) must be as allocation-
+    // free as the single-pass one once the caches are warm.
+    auto backend = tl::jtcBackend();
+    pf::Rng rng(313);
+    const auto s = randomVector(rng, 64, 0.0, 1.0);
+    const auto k = randomVector(rng, 9, -0.5, 0.5);
+    ASSERT_TRUE(std::any_of(k.begin(), k.end(),
+                            [](double w) { return w < 0.0; }));
+    std::vector<double> out;
+    backend(s, k, 0, 64, out); // warm: kernel spectra + scratch
+    backend(s, k, 0, 64, out);
+
+    const uint64_t before =
+        pf_test_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 16; ++i)
+        backend(s, k, 0, 64, out);
+    const uint64_t after = pf_test_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "signed-kernel jtcBackend allocated in steady state";
 }
