@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fuzz harness for model snapshot deserialization.
+ *
+ * loadNetwork parses the text weight format that travels inside
+ * RegisterModel frames (the `weights` field) and sits in artifact
+ * files on disk — both untrusted. The harness feeds arbitrary bytes
+ * into a real zoo network: loadNetwork must cleanly return false on
+ * anything that is not an exact architectural match, never crash or
+ * leave the network unusable, and an accepted payload must survive a
+ * save/load round trip.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/model_zoo.hh"
+#include "nn/network.hh"
+#include "nn/serialization.hh"
+
+namespace nn = photofourier::nn;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    // One target architecture, built once: the fuzzer explores the
+    // parser, not the zoo.
+    static nn::Network target = [] {
+        photofourier::Rng rng(4242);
+        return nn::buildSmallVgg(4, rng);
+    }();
+
+    const std::string payload(reinterpret_cast<const char *>(data),
+                              size);
+    std::istringstream in(payload);
+    if (!nn::loadNetwork(target, in))
+        return 0;
+
+    // Accepted payloads round trip: save the loaded parameters and
+    // load them again — both must succeed (the network stays valid).
+    std::ostringstream saved;
+    nn::saveNetwork(target, saved);
+    std::istringstream reload(saved.str());
+    pf_assert(nn::loadNetwork(target, reload),
+              "saveNetwork output rejected by loadNetwork");
+    return 0;
+}

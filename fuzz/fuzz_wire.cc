@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fuzz harness for the net::WireReader framing primitives.
+ *
+ * The input encodes an operation schedule plus a payload: byte 0 is
+ * the op count, the next bytes pick reader operations, and the rest
+ * is the buffer the reader consumes. The harness checks the sticky-
+ * failure contract the protocol decoders rely on:
+ *
+ *  - a failed reader stays failed and returns zero values forever,
+ *  - atEnd() implies ok(),
+ *  - returned strings/vectors never exceed the bytes present,
+ *  - a reader never touches memory outside the buffer (ASan's job).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/logging.hh"
+#include "net/wire.hh"
+
+namespace net = photofourier::net;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    if (size < 1)
+        return 0;
+    const size_t n_ops = data[0] % 16;
+    if (size < 1 + n_ops)
+        return 0;
+    const uint8_t *ops = data + 1;
+    const std::string_view payload(
+        reinterpret_cast<const char *>(data + 1 + n_ops),
+        size - 1 - n_ops);
+
+    net::WireReader reader(payload);
+    bool was_ok = true;
+    for (size_t i = 0; i < n_ops; ++i) {
+        const bool ok_before = reader.ok();
+        pf_assert(was_ok || !ok_before,
+                  "sticky failure reset: reader recovered ok()");
+        switch (ops[i] % 8) {
+          case 0:
+            (void)reader.u8();
+            break;
+          case 1:
+            (void)reader.u16();
+            break;
+          case 2:
+            (void)reader.u32();
+            break;
+          case 3:
+            (void)reader.u64();
+            break;
+          case 4:
+            (void)reader.f64();
+            break;
+          case 5: {
+            const std::string s = reader.str();
+            pf_assert(s.size() <= payload.size(),
+                      "str longer than the buffer");
+            pf_assert(reader.ok() || s.empty(),
+                      "failed str read returned bytes");
+            break;
+          }
+          case 6: {
+            const std::vector<double> v = reader.f64vec();
+            pf_assert(v.size() <= payload.size() / 8,
+                      "f64vec larger than the buffer");
+            pf_assert(reader.ok() || v.empty(),
+                      "failed f64vec read returned elements");
+            break;
+          }
+          case 7: {
+            const std::vector<uint64_t> v = reader.u64vec();
+            pf_assert(v.size() <= payload.size() / 8,
+                      "u64vec larger than the buffer");
+            pf_assert(reader.ok() || v.empty(),
+                      "failed u64vec read returned elements");
+            break;
+          }
+        }
+        if (!reader.ok()) {
+            // Once failed: every later integer read is zero.
+            pf_assert(reader.u8() == 0 && reader.u32() == 0 &&
+                          reader.u64() == 0,
+                      "failed reader returned nonzero");
+            pf_assert(!reader.atEnd(), "failed reader claims atEnd");
+        }
+        was_ok = reader.ok();
+    }
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Standalone replacement for the libFuzzer driver.
+ *
+ * Compiled into each fuzz harness when the toolchain has no
+ * -fsanitize=fuzzer (GCC, or clang without the runtime): provides a
+ * main() that replays every corpus input passed on the command line
+ * (files, or directories of files), then optionally runs a bounded
+ * number of *deterministic* mutations of those inputs — seeded from
+ * the repo Rng, so a failure reproduces exactly.
+ *
+ * Usage:
+ *   fuzz_x CORPUS_DIR [FILE|DIR]...        replay corpus
+ *   PF_FUZZ_RUNS=5000 fuzz_x CORPUS_DIR    replay + 5000 mutations
+ *
+ * libFuzzer-style dash options are ignored so CI command lines stay
+ * interchangeable between the two drivers. A crashing mutation is
+ * written to ./crash-<index> before the input runs again outside any
+ * guard — the sanitizer/abort report then points at it.
+ */
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+bool
+readFile(const std::string &path, Input *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false;
+    out->assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+    return true;
+}
+
+void
+collect(const std::string &path, std::vector<std::string> *files)
+{
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0)
+        return;
+    if (!S_ISDIR(st.st_mode)) {
+        files->push_back(path);
+        return;
+    }
+    DIR *dir = opendir(path.c_str());
+    if (dir == nullptr)
+        return;
+    std::vector<std::string> children;
+    while (dirent *entry = readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name != "." && name != "..")
+            children.push_back(path + "/" + name);
+    }
+    closedir(dir);
+    // Deterministic order regardless of directory enumeration.
+    std::sort(children.begin(), children.end());
+    for (const auto &child : children)
+        collect(child, files);
+}
+
+void
+run(const Input &input)
+{
+    (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+/** One bounded deterministic mutation of `base`. */
+Input
+mutate(const Input &base, photofourier::Rng &rng)
+{
+    Input out = base;
+    const int edits =
+        1 + static_cast<int>(rng.uniformInt(0, 7));
+    for (int e = 0; e < edits; ++e) {
+        switch (rng.uniformInt(0, 3)) {
+          case 0: // flip one bit
+            if (!out.empty()) {
+                const size_t i = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(out.size()) - 1));
+                out[i] ^= static_cast<uint8_t>(
+                    1u << rng.uniformInt(0, 7));
+            }
+            break;
+          case 1: // overwrite one byte
+            if (!out.empty()) {
+                const size_t i = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(out.size()) - 1));
+                out[i] = static_cast<uint8_t>(rng.uniformInt(0, 255));
+            }
+            break;
+          case 2: // truncate
+            if (!out.empty())
+                out.resize(static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(out.size()) - 1)));
+            break;
+          case 3: // append a few bytes (bounded overall)
+            if (out.size() < (1u << 20))
+                for (int i = rng.uniformInt(1, 8); i > 0; --i)
+                    out.push_back(
+                        static_cast<uint8_t>(rng.uniformInt(0, 255)));
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] == '-')
+            continue; // ignore libFuzzer-style options
+        collect(arg, &files);
+    }
+
+    std::vector<Input> corpus;
+    for (const auto &path : files) {
+        Input input;
+        if (!readFile(path, &input)) {
+            std::fprintf(stderr, "standalone_driver: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        run(input);
+        corpus.push_back(std::move(input));
+    }
+
+    uint64_t runs = 0;
+    if (const char *env = std::getenv("PF_FUZZ_RUNS"))
+        runs = std::strtoull(env, nullptr, 10);
+    if (runs > 0 && corpus.empty())
+        corpus.push_back({}); // mutate from the empty input
+
+    photofourier::Rng rng(0x50464647ull); // "PFFG"; fixed, reproducible
+    for (uint64_t r = 0; r < runs; ++r) {
+        const Input &base = corpus[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+        const Input mutated = mutate(base, rng);
+        // Save before running so a crash leaves the input behind.
+        if ((r % 512) == 0)
+            std::remove("crash-pending");
+        {
+            std::ofstream out("crash-pending", std::ios::binary);
+            out.write(reinterpret_cast<const char *>(mutated.data()),
+                      static_cast<std::streamsize>(mutated.size()));
+        }
+        run(mutated);
+    }
+    std::remove("crash-pending");
+
+    std::printf("standalone_driver: %zu corpus input(s), %llu "
+                "mutation(s), no failures\n",
+                corpus.size(), static_cast<unsigned long long>(runs));
+    return 0;
+}

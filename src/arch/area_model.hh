@@ -20,6 +20,8 @@
 #ifndef PHOTOFOURIER_ARCH_AREA_MODEL_HH
 #define PHOTOFOURIER_ARCH_AREA_MODEL_HH
 
+#include <cstddef>
+
 #include "arch/accel_config.hh"
 
 namespace photofourier {

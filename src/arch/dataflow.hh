@@ -17,6 +17,8 @@
 #ifndef PHOTOFOURIER_ARCH_DATAFLOW_HH
 #define PHOTOFOURIER_ARCH_DATAFLOW_HH
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "arch/accel_config.hh"

@@ -11,6 +11,7 @@
 #ifndef PHOTOFOURIER_ARCH_DESIGN_SPACE_HH
 #define PHOTOFOURIER_ARCH_DESIGN_SPACE_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "arch/accel_config.hh"

@@ -23,6 +23,7 @@
 #ifndef PHOTOFOURIER_ARCH_ENERGY_MODEL_HH
 #define PHOTOFOURIER_ARCH_ENERGY_MODEL_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #include "cluster/protocol.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -57,12 +58,46 @@ getHistogram(WireReader &r, Histogram::Data *h)
     h->max = r.f64();
     if (!r.ok())
         return false;
-    if (!(h->min_bucket > 0.0) || !(h->growth > 1.0))
+    // Geometry must be finite: +inf min_bucket/growth pass plain
+    // ordering checks yet poison every later pow()/log() query.
+    if (!std::isfinite(h->min_bucket) || !(h->min_bucket > 0.0) ||
+        !std::isfinite(h->growth) || !(h->growth > 1.0))
         return false;
+    // The recorded extrema and sum come from add(v >= 0): finite,
+    // ordered, non-negative (all zero when empty).
+    if (!std::isfinite(h->sum) || !std::isfinite(h->min) ||
+        !std::isfinite(h->max))
+        return false;
+    if (h->count == 0 &&
+        (h->min != 0.0 || h->max != 0.0 || h->sum != 0.0))
+        return false;
+    if (h->count > 0 && !(h->min >= 0.0 && h->min <= h->max))
+        return false;
+    // Overflow-checked total: buckets like {2^63, 2^63, n} wrap a
+    // naive sum back around to n and would forge a "consistent"
+    // snapshot that corrupts every merge. Found by fuzz_protocol;
+    // pinned by Protocol.HistogramBucketOverflowIsRejected.
     uint64_t total = 0;
     for (uint64_t b : h->buckets)
-        total += b;
+        if (__builtin_add_overflow(total, b, &total))
+            return false;
     return total == h->count;
+}
+
+/**
+ * Strict bool: only 0/1 are valid on the wire. `u8() != 0` would
+ * accept 0x02..0xff and re-encode as 1, breaking the canonical
+ * decode∘encode == identity property the codec promises (found by
+ * fuzz_protocol on a RegisterModel zero_pad_rows byte).
+ */
+bool
+getBool(WireReader &r, bool *out)
+{
+    const uint8_t v = r.u8();
+    if (v > 1)
+        return false;
+    *out = v != 0;
+    return r.ok();
 }
 
 void
@@ -87,11 +122,12 @@ getEngineConfig(WireReader &r, nn::PhotoFourierEngineConfig *c)
     c->dac_bits = static_cast<int>(r.u32());
     c->adc_bits = static_cast<int>(r.u32());
     c->temporal_accumulation_depth = r.u32();
-    c->zero_pad_rows = r.u8() != 0;
-    c->noise = r.u8() != 0;
+    if (!getBool(r, &c->zero_pad_rows) || !getBool(r, &c->noise))
+        return false;
     c->snr_db = r.f64();
     c->noise_seed = r.u64();
-    c->optical_backend = r.u8() != 0;
+    if (!getBool(r, &c->optical_backend))
+        return false;
     const uint8_t path = r.u8();
     if (path > static_cast<uint8_t>(nn::ConvPath::Fft))
         return false;
@@ -228,9 +264,19 @@ decodeInferRequest(std::string_view frame, InferRequestMsg *msg)
     if (!r.atEnd())
         return false;
     // The semantic invariant decode must uphold: shape and payload
-    // agree (toTensor would otherwise build a tensor from lies).
-    const uint64_t expected = uint64_t{msg->channels} * msg->height *
-                              uint64_t{msg->width};
+    // agree (toTensor would otherwise build a tensor from lies). The
+    // product must be computed overflow-checked: dims like
+    // 2^31 x 2^31 x 4 wrap a uint64 multiply back to a small value
+    // (0 here), which would match a tiny payload and hand the server
+    // a tensor whose shape lies about its storage — every later
+    // at() would read out of bounds. Found by fuzz_protocol; pinned
+    // by Protocol.OverflowingTensorShapeIsRejected.
+    uint64_t expected = 0;
+    if (__builtin_mul_overflow(uint64_t{msg->channels}, msg->height,
+                               &expected) ||
+        __builtin_mul_overflow(expected, uint64_t{msg->width},
+                               &expected))
+        return false;
     return expected == msg->data.size();
 }
 
@@ -482,7 +528,12 @@ buildModelFromSpec(const std::string &spec)
         return std::nullopt;
     char *end = nullptr;
     const unsigned long width = std::strtoul(parts[2].c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || width == 0)
+    // Specs arrive over the wire (RegisterModel), so the width is
+    // untrusted: an absurd value ("zoo:small-vgg:999999999:1", or a
+    // negative that strtoul wraps to huge) would make the builder
+    // allocate gigabytes before anything rejects it. Zoo models use
+    // widths of 8-64; 4096 is far above any legitimate spec.
+    if (end == nullptr || *end != '\0' || width == 0 || width > 4096)
         return std::nullopt;
     const unsigned long long seed =
         std::strtoull(parts[3].c_str(), &end, 10);

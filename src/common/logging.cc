@@ -3,6 +3,27 @@
 #include <cstdlib>
 #include <iostream>
 
+// Sanitizer hook for panic/assert failures: under ASan/UBSan/TSan
+// builds (the CI sanitizer matrix), a failed pf_assert prints the
+// symbolized call chain through the sanitizer runtime before
+// aborting, so CI logs show *who* violated the invariant — the
+// message alone names only the assertion site.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PF_HAVE_SANITIZER_STACKTRACE 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_UNDEFINED__)
+#define PF_HAVE_SANITIZER_STACKTRACE 1
+#endif
+#if defined(PF_HAVE_SANITIZER_STACKTRACE) && \
+    __has_include(<sanitizer/common_interface_defs.h>)
+#include <sanitizer/common_interface_defs.h>
+#else
+#undef PF_HAVE_SANITIZER_STACKTRACE
+#endif
+
 namespace photofourier {
 
 namespace {
@@ -30,6 +51,9 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::cerr << "panic: " << msg << " @ " << file << ":" << line
               << std::endl;
+#ifdef PF_HAVE_SANITIZER_STACKTRACE
+    __sanitizer_print_stack_trace();
+#endif
     std::abort();
 }
 

@@ -123,12 +123,21 @@ Histogram::Histogram(double min_bucket, double growth)
 void
 Histogram::add(double v)
 {
-    pf_assert(v >= 0.0, "histogram sample must be >= 0, got ", v);
+    pf_assert(std::isfinite(v) && v >= 0.0,
+              "histogram sample must be finite and >= 0, got ", v);
     size_t idx = 0;
-    if (v > min_bucket_)
-        idx = 1 + static_cast<size_t>(
-                      std::floor(std::log(v / min_bucket_) *
-                                 inv_log_growth_));
+    if (v > min_bucket_) {
+        const double raw =
+            std::floor(std::log(v / min_bucket_) * inv_log_growth_);
+        // Trap before the float->size_t cast goes out of range
+        // (undefined behaviour) or the resize below tries to build a
+        // pathological bucket array: with any sane geometry the
+        // largest finite double lands around bucket 1.4e4.
+        pf_assert(raw < 1e9, "histogram bucket index overflow: sample ",
+                  v, " with min_bucket ", min_bucket_, ", growth ",
+                  growth_);
+        idx = 1 + static_cast<size_t>(raw);
+    }
     if (idx >= buckets_.size())
         buckets_.resize(idx + 1, 0);
     ++buckets_[idx];
@@ -227,8 +236,11 @@ Histogram::fromData(const Data &data)
 {
     Histogram h(data.min_bucket, data.growth);
     uint64_t total = 0;
-    for (uint64_t b : data.buckets)
-        total += b;
+    for (uint64_t b : data.buckets) {
+        // Overflow-checked: a wrapped sum could forge total == count.
+        pf_assert(!__builtin_add_overflow(total, b, &total),
+                  "histogram snapshot bucket total overflows");
+    }
     pf_assert(total == data.count, "histogram snapshot bucket total ",
               total, " != count ", data.count);
     h.buckets_ = data.buckets;

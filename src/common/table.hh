@@ -10,6 +10,7 @@
 #ifndef PHOTOFOURIER_COMMON_TABLE_HH
 #define PHOTOFOURIER_COMMON_TABLE_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -21,6 +21,7 @@
 #ifndef PHOTOFOURIER_FOURIER4F_JTC2D_HH
 #define PHOTOFOURIER_FOURIER4F_JTC2D_HH
 
+#include <cstddef>
 #include <memory>
 
 #include "signal/fft2d.hh"

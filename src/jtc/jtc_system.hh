@@ -30,6 +30,7 @@
 #define PHOTOFOURIER_JTC_JTC_SYSTEM_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 

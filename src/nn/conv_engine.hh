@@ -17,7 +17,10 @@
 #ifndef PHOTOFOURIER_NN_CONV_ENGINE_HH
 #define PHOTOFOURIER_NN_CONV_ENGINE_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"

@@ -15,6 +15,8 @@
 #ifndef PHOTOFOURIER_NN_DATASETS_HH
 #define PHOTOFOURIER_NN_DATASETS_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hh"

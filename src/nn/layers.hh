@@ -12,6 +12,7 @@
 #ifndef PHOTOFOURIER_NN_LAYERS_HH
 #define PHOTOFOURIER_NN_LAYERS_HH
 
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
 #include <string>

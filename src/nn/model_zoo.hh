@@ -23,6 +23,7 @@
 #ifndef PHOTOFOURIER_NN_MODEL_ZOO_HH
 #define PHOTOFOURIER_NN_MODEL_ZOO_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -6,6 +6,7 @@
 #ifndef PHOTOFOURIER_NN_NETWORK_HH
 #define PHOTOFOURIER_NN_NETWORK_HH
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 

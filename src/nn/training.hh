@@ -6,6 +6,8 @@
 #ifndef PHOTOFOURIER_NN_TRAINING_HH
 #define PHOTOFOURIER_NN_TRAINING_HH
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "nn/datasets.hh"

@@ -20,6 +20,7 @@
 #ifndef PHOTOFOURIER_PHOTONICS_PHOTODETECTOR_HH
 #define PHOTOFOURIER_PHOTONICS_PHOTODETECTOR_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hh"

@@ -15,6 +15,8 @@
 #ifndef PHOTOFOURIER_PHOTONICS_VARIATION_HH
 #define PHOTOFOURIER_PHOTONICS_VARIATION_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hh"

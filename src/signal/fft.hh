@@ -16,6 +16,7 @@
 #define PHOTOFOURIER_SIGNAL_FFT_HH
 
 #include <complex>
+#include <cstddef>
 #include <vector>
 
 namespace photofourier {

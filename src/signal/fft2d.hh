@@ -17,6 +17,8 @@
 #ifndef PHOTOFOURIER_SIGNAL_FFT2D_HH
 #define PHOTOFOURIER_SIGNAL_FFT2D_HH
 
+#include <cstddef>
+
 #include "signal/convolution.hh"
 #include "signal/fft.hh"
 

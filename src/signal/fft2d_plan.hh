@@ -34,6 +34,7 @@
 #ifndef PHOTOFOURIER_SIGNAL_FFT2D_PLAN_HH
 #define PHOTOFOURIER_SIGNAL_FFT2D_PLAN_HH
 
+#include <cstddef>
 #include <memory>
 
 #include "signal/fft2d.hh"

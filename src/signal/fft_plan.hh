@@ -24,10 +24,13 @@
 #ifndef PHOTOFOURIER_SIGNAL_FFT_PLAN_HH
 #define PHOTOFOURIER_SIGNAL_FFT_PLAN_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "signal/fft.hh"
 

@@ -100,6 +100,8 @@ class PlaneSpectrumCache
         std::shared_ptr<const ComplexVector> spectrum;
     };
 
+    /** Lock order: leaf lock — taken with no other lock held, and no
+     *  lock may be acquired while holding it (compute runs outside). */
     mutable std::shared_mutex mutex_;
     /** hash(salt, size, payload bytes) -> entries; collisions chain. */
     std::unordered_multimap<uint64_t, Entry> entries_;

@@ -27,6 +27,7 @@
 #ifndef PHOTOFOURIER_TILING_BACKENDS_HH
 #define PHOTOFOURIER_TILING_BACKENDS_HH
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <vector>

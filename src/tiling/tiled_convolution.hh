@@ -13,6 +13,8 @@
 #define PHOTOFOURIER_TILING_TILED_CONVOLUTION_HH
 
 #include <atomic>
+#include <cstddef>
+#include <vector>
 
 #include "signal/convolution.hh"
 #include "tiling/backends.hh"

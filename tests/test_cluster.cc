@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -351,6 +352,143 @@ TEST(Protocol, TruncatedAndGarbageFramesAreRejected)
         cluster::encodeInferRequest(lying), &out));
 }
 
+namespace {
+
+/** A StatsReport frame with one model whose histogram fields are
+ *  supplied raw — for frames Histogram::data() can never produce. */
+std::string
+statsReportFrame(double min_bucket, double growth,
+                 const std::vector<uint64_t> &buckets, uint64_t count,
+                 double sum, double min, double max)
+{
+    net::WireWriter w;
+    w.u8(static_cast<uint8_t>(cluster::MsgType::StatsReport));
+    w.u64(1);      // seq
+    w.str("evil"); // server_name
+    w.f64(1.0);    // uptime_s
+    w.u64(0);      // unknown_model_failures
+    w.u32(1);      // one model entry
+    w.str("m");
+    w.u64(count); // accepted
+    w.u64(0);     // rejected
+    w.u64(count); // completed
+    w.u64(0);     // failed
+    w.u64(1);     // batches
+    w.f64(1.0);   // mean_batch
+    w.f64(min_bucket);
+    w.f64(growth);
+    w.u64vec(buckets);
+    w.u64(count);
+    w.f64(sum);
+    w.f64(min);
+    w.f64(max);
+    return w.take();
+}
+
+} // namespace
+
+// The uint64 product 2^31 * 2^31 * 4 wraps to 0 and matches an empty
+// payload; before the overflow-checked validation the decode handed
+// the server a tensor whose shape lied about its storage. Found by
+// fuzz_protocol.
+TEST(Protocol, OverflowingTensorShapeIsRejected)
+{
+    net::WireWriter w;
+    w.u8(static_cast<uint8_t>(cluster::MsgType::InferRequest));
+    w.u64(1);
+    w.str("m");
+    w.u8(0);            // Priority::Interactive
+    w.u32(0x80000000u); // channels = 2^31
+    w.u32(0x80000000u); // height   = 2^31
+    w.u32(4u);          // product == 2^64 == 0 mod 2^64
+    w.f64vec({});       // ...which "matches" an empty payload
+    cluster::InferRequestMsg out;
+    EXPECT_FALSE(cluster::decodeInferRequest(w.take(), &out));
+
+    // The same dims with a wrapped-but-nonzero product.
+    net::WireWriter w2;
+    w2.u8(static_cast<uint8_t>(cluster::MsgType::InferRequest));
+    w2.u64(1);
+    w2.str("m");
+    w2.u8(0);
+    w2.u32(0x80000001u);
+    w2.u32(0x80000000u);
+    w2.u32(4u); // product wraps to 2^33... still must be rejected
+    w2.f64vec({1.0, 2.0});
+    EXPECT_FALSE(cluster::decodeInferRequest(w2.take(), &out));
+}
+
+// Buckets {2^63, 2^63, 2} wrap a naive total back to count == 2 and
+// forge a "consistent" histogram that corrupts every merge. Found by
+// fuzz_protocol.
+TEST(Protocol, HistogramBucketOverflowIsRejected)
+{
+    const std::string wrapped = statsReportFrame(
+        1.0, 1.05, {0x8000000000000000ull, 0x8000000000000000ull, 2}, 2,
+        2.0, 1.0, 1.0);
+    cluster::StatsReportMsg out;
+    EXPECT_FALSE(cluster::decodeStatsReport(wrapped, &out));
+
+    // The honest version of the same snapshot decodes fine.
+    const std::string honest =
+        statsReportFrame(1.0, 1.05, {2}, 2, 2.0, 1.0, 1.0);
+    EXPECT_TRUE(cluster::decodeStatsReport(honest, &out));
+}
+
+// +-inf and NaN pass plain ordering comparisons (inf > 1.0 is true,
+// NaN comparisons are all false) yet poison every pow()/log()/merge
+// downstream — the decoder must demand finite geometry and moments.
+TEST(Protocol, NonFiniteHistogramFieldsAreRejected)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    cluster::StatsReportMsg out;
+    EXPECT_FALSE(cluster::decodeStatsReport(
+        statsReportFrame(inf, 1.05, {2}, 2, 2.0, 1.0, 1.0), &out));
+    EXPECT_FALSE(cluster::decodeStatsReport(
+        statsReportFrame(1.0, inf, {2}, 2, 2.0, 1.0, 1.0), &out));
+    EXPECT_FALSE(cluster::decodeStatsReport(
+        statsReportFrame(1.0, nan, {2}, 2, 2.0, 1.0, 1.0), &out));
+    EXPECT_FALSE(cluster::decodeStatsReport(
+        statsReportFrame(1.0, 1.05, {2}, 2, nan, 1.0, 1.0), &out));
+    EXPECT_FALSE(cluster::decodeStatsReport(
+        statsReportFrame(1.0, 1.05, {2}, 2, 2.0, -inf, inf), &out));
+    // Nonzero extrema with count == 0 could not have come from add().
+    EXPECT_FALSE(cluster::decodeStatsReport(
+        statsReportFrame(1.0, 1.05, {}, 0, 0.0, 0.0, 5.0), &out));
+    // min > max likewise.
+    EXPECT_FALSE(cluster::decodeStatsReport(
+        statsReportFrame(1.0, 1.05, {2}, 2, 2.0, 3.0, 1.0), &out));
+}
+
+// Wire bools are strictly 0/1: a 0x20 where a bool lives would decode
+// as `true` but re-encode as 0x01, silently changing the frame — the
+// codec promises decode∘encode is the identity on every accepted
+// frame. Found by fuzz_protocol.
+TEST(Protocol, NonCanonicalBoolByteIsRejected)
+{
+    cluster::RegisterModelMsg reg;
+    reg.seq = 1;
+    reg.name = "m";
+    reg.spec = "zoo:small-vgg:2:7";
+    reg.engine_override = nn::PhotoFourierEngineConfig{};
+    std::string frame = cluster::encodeRegisterModel(reg);
+
+    cluster::RegisterModelMsg out;
+    ASSERT_TRUE(cluster::decodeRegisterModel(frame, &out));
+
+    // zero_pad_rows is the first of the three config bool bytes:
+    // 4 u32 fields past the (tag, seq, 3 strings, presence) prefix.
+    const size_t bool_at = 1 + 8 + (4 + reg.name.size()) +
+                           (4 + reg.spec.size()) + 4 + 1 + 4 * 4;
+    ASSERT_EQ(frame[bool_at], '\0');
+    frame[bool_at] = 0x20;
+    EXPECT_FALSE(cluster::decodeRegisterModel(frame, &out));
+    frame[bool_at] = 0x01;
+    EXPECT_TRUE(cluster::decodeRegisterModel(frame, &out));
+    EXPECT_TRUE(out.engine_override->zero_pad_rows);
+}
+
 TEST(Protocol, ModelSpecBuildsZooNetworksDeterministically)
 {
     auto a = cluster::buildModelFromSpec("zoo:small-vgg:2:7");
@@ -367,6 +505,10 @@ TEST(Protocol, ModelSpecBuildsZooNetworksDeterministically)
     EXPECT_FALSE(cluster::buildModelFromSpec("zoo:small-vgg:2"));
     EXPECT_FALSE(cluster::buildModelFromSpec("notaspec"));
     EXPECT_FALSE(cluster::buildModelFromSpec("zoo:small-vgg:2:7:x"));
+    // The width cap: a hostile RegisterModel spec must not be able to
+    // commission a multi-gigabyte network build on the shard.
+    EXPECT_FALSE(cluster::buildModelFromSpec("zoo:small-vgg:4097:7"));
+    EXPECT_FALSE(cluster::buildModelFromSpec("zoo:small-vgg:99999999:7"));
 }
 
 // ---------------------------------------------------------------------------
