@@ -9,6 +9,8 @@
 #   PF_CLUSTER_PORT_BASE  first of three consecutive ports (default 47410)
 #   PF_CLUSTER_REQUESTS   throughput-phase requests        (default 96)
 #   PF_CLUSTER_WIDTH      zoo width multiplier             (default 8)
+#   PF_CLUSTER_TRACE_OUT  where trace_dump writes the metrics + trace
+#                         artifact (default /tmp/pf_cluster_trace.txt)
 set -eu
 
 build_dir=${1:?usage: bench/cluster_smoke.sh BUILD_DIR [OUT_JSON]}
@@ -16,6 +18,7 @@ out=${2:-BENCH_cluster.json}
 base=${PF_CLUSTER_PORT_BASE:-47410}
 requests=${PF_CLUSTER_REQUESTS:-96}
 width=${PF_CLUSTER_WIDTH:-8}
+trace_out=${PF_CLUSTER_TRACE_OUT:-/tmp/pf_cluster_trace.txt}
 
 models="small-vgg,small-alexnet,small-resnet"
 pids=""
@@ -41,6 +44,12 @@ pids="$pids $!"
 
 "$build_dir/serve_loadgen" --cluster "127.0.0.1:$base" \
     --requests "$requests" --clients 4 --width "$width" \
-    --out "$out"
+    --metrics --out "$out"
+
+# Pull the fleet's merged metrics + trace rings through the router and
+# gate on sanity: requests completed, cache counters well-formed. The
+# artifact survives for CI to upload when a later step fails.
+"$build_dir/trace_dump" "127.0.0.1:$base" --assert-sane \
+    --out "$trace_out"
 
 echo "Wrote $out"

@@ -12,7 +12,14 @@ unless an input is unreadable — this is a reporting tool, not a gate
 Context sanity: if either run was recorded from a debug build of the
 photofourier library (the "photofourier_build_type" custom context
 stamped by bench/micro_kernels.cc), the comparison is headed with a
-warning — debug timings are not meaningful perf evidence.
+warning — debug timings are not meaningful perf evidence. If the two
+runs disagree on machine or build provenance — core count or build
+type (the photofourier_* custom contexts, or num_cpus/build_type in a
+serve_loadgen record) — the comparison is refused with a nonzero
+exit: a different machine or build is a different experiment, not a
+regression. Pass --allow-cross-machine to compare anyway. Differing
+git shas are reported but allowed — diffing two commits is the whole
+point of the tool.
 """
 
 import argparse
@@ -59,6 +66,49 @@ def benchmarks(doc):
     return out
 
 
+def provenance(doc):
+    """{"build_type", "num_cpus", "git_sha"} from either record
+    flavor: google-benchmark custom context (micro_kernels) or
+    top-level keys (serve_loadgen). Missing facts map to None —
+    records predating the provenance stamp stay comparable."""
+    ctx = doc.get("context", {})
+    out = {
+        "build_type": ctx.get("photofourier_build_type",
+                              doc.get("build_type")),
+        "num_cpus": ctx.get("photofourier_num_cpus",
+                            doc.get("num_cpus")),
+        "git_sha": ctx.get("photofourier_git_sha", doc.get("git_sha")),
+    }
+    return {k: (str(v) if v is not None else None)
+            for k, v in out.items()}
+
+
+def check_provenance(before_doc, after_doc, allow_cross_machine):
+    before, after = provenance(before_doc), provenance(after_doc)
+    mismatched = []
+    for key in ("build_type", "num_cpus"):
+        b, a = before[key], after[key]
+        if b is not None and a is not None and b != a:
+            mismatched.append(f"{key}: BEFORE={b} AFTER={a}")
+        elif b is None or a is None:
+            print(f"WARNING: {key} missing from "
+                  f"{'BEFORE' if b is None else 'AFTER'} record — "
+                  f"cannot verify same-machine comparison")
+    if before["git_sha"] and after["git_sha"] \
+            and before["git_sha"] != after["git_sha"]:
+        print(f"comparing {before['git_sha']} -> {after['git_sha']}")
+    if not mismatched:
+        return
+    for line in mismatched:
+        print(f"PROVENANCE MISMATCH: {line}")
+    if allow_cross_machine:
+        print("continuing anyway (--allow-cross-machine)")
+        return
+    sys.exit("error: refusing to compare runs from different "
+             "machines/builds — a different experiment is not a "
+             "regression (--allow-cross-machine to override)")
+
+
 def fmt_ns(ns):
     for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
         if ns >= div:
@@ -73,10 +123,14 @@ def main():
     parser.add_argument("--threshold", type=float, default=5.0,
                         help="flag changes larger than this percent "
                              "(default 5)")
+    parser.add_argument("--allow-cross-machine", action="store_true",
+                        help="compare despite mismatched machine/"
+                             "build provenance")
     args = parser.parse_args()
 
     before_doc = load(args.before)
     after_doc = load(args.after)
+    check_provenance(before_doc, after_doc, args.allow_cross_machine)
     for label, doc in (("BEFORE", before_doc), ("AFTER", after_doc)):
         build = doc.get("context", {}).get("photofourier_build_type")
         if build and build != "release":

@@ -13,8 +13,11 @@
 #include <string>
 #include <utility>
 
+#include "common/build_info.hh"
 #include "common/rng.hh"
 #include "fourier4f/system4f.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "jtc/jtc_system.hh"
 #include "nn/conv_engine.hh"
 #include "signal/convolution.hh"
@@ -704,18 +707,76 @@ BM_JtcCorrelateCached(benchmark::State &state)
 }
 BENCHMARK(BM_JtcCorrelateCached)->Arg(64)->Arg(256)->Arg(512);
 
+// --- observability hot paths: the acceptance bar is that recording a
+// metric or span costs a vanishing fraction of a DirectEngine-class
+// workload (microseconds), so serve-path instrumentation stays on in
+// production. Compare against BM_DirectConv/BM_DirectEngine rows.
+
+static void
+BM_ObsCounterInc(benchmark::State &state)
+{
+    pf::obs::MetricsRegistry registry;
+    pf::obs::Counter &counter = registry.counter("bench_events_total");
+    for (auto _ : state) {
+        counter.inc();
+        benchmark::DoNotOptimize(&counter);
+    }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+static void
+BM_ObsHistogramRecord(benchmark::State &state)
+{
+    pf::obs::MetricsRegistry registry;
+    pf::obs::HistogramMetric &hist =
+        registry.histogram("bench_latency_us");
+    double v = 1.0;
+    for (auto _ : state) {
+        hist.record(v);
+        v = v < 1e6 ? v * 1.1 : 1.0; // walk the buckets, no allocs
+        benchmark::DoNotOptimize(&hist);
+    }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+static void
+BM_ObsSpanInactive(benchmark::State &state)
+{
+    // No TraceBinding on this thread: the untraced fast path every
+    // request without a trace id takes through instrumented code.
+    for (auto _ : state) {
+        pf::obs::ScopedSpan span("bench");
+        benchmark::DoNotOptimize(&span);
+    }
+}
+BENCHMARK(BM_ObsSpanInactive);
+
+static void
+BM_ObsSpanActive(benchmark::State &state)
+{
+    pf::obs::TraceSink sink(4096);
+    pf::obs::TraceBinding binding(0x5eed, &sink);
+    for (auto _ : state) {
+        pf::obs::ScopedSpan span("bench");
+        benchmark::DoNotOptimize(&span);
+    }
+}
+BENCHMARK(BM_ObsSpanActive);
+
 int
 main(int argc, char **argv)
 {
     // Stamp the repo's own build type into the JSON context:
     // google-benchmark's "library_build_type" describes the *system
     // benchmark library*, which says nothing about our -O level.
-    // bench/run_benches.sh refuses to record debug numbers.
-#ifdef NDEBUG
-    benchmark::AddCustomContext("photofourier_build_type", "release");
-#else
-    benchmark::AddCustomContext("photofourier_build_type", "debug");
-#endif
+    // bench/run_benches.sh refuses to record debug numbers, and
+    // bench/compare_bench.py refuses to diff runs whose provenance
+    // (build type, core count, source sha) differs.
+    benchmark::AddCustomContext("photofourier_build_type",
+                                pf::buildType());
+    benchmark::AddCustomContext("photofourier_git_sha", pf::gitSha());
+    benchmark::AddCustomContext("photofourier_num_cpus",
+                                std::to_string(pf::numCpus()));
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

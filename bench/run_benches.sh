@@ -15,7 +15,7 @@ build_dir="$repo_root/build-bench"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
     -DPHOTOFOURIER_BUILD_TESTS=OFF
 cmake --build "$build_dir" -j --target micro_kernels serve_loadgen \
-    cluster_shard cluster_router
+    cluster_shard cluster_router trace_dump
 
 # Refuse to record numbers from anything but a Release library build:
 # debug timings have repeatedly snuck into BENCH_micro.json looking

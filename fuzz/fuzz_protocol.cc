@@ -16,6 +16,7 @@
  * fuzz/standalone_driver.cc).
  */
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -23,6 +24,7 @@
 #include "cluster/protocol.hh"
 #include "common/logging.hh"
 #include "nn/tensor.hh"
+#include "obs/metrics.hh"
 
 namespace cluster = photofourier::cluster;
 
@@ -69,6 +71,22 @@ LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
     checkRoundTrip<cluster::RegisterModelMsg>(
         frame, cluster::decodeRegisterModel,
         cluster::encodeRegisterModel);
+    checkRoundTrip<cluster::MetricsQueryMsg>(
+        frame, cluster::decodeMetricsQuery,
+        cluster::encodeMetricsQuery);
+
+    cluster::MetricsReportMsg metrics_report;
+    if (cluster::decodeMetricsReport(frame, &metrics_report)) {
+        pf_assert(cluster::encodeMetricsReport(metrics_report) == frame,
+                  "metrics report round trip changed an accepted frame");
+        // The decoder's promise to Router::metricsReport: merge sums
+        // gauges by name, so a non-finite gauge from one shard would
+        // poison every fleet aggregate it touches.
+        for (const auto &m : metrics_report.metrics.metrics)
+            if (m.type == photofourier::obs::MetricType::Gauge)
+                pf_assert(std::isfinite(m.gauge_value),
+                          "accepted metrics report with non-finite gauge");
+    }
 
     cluster::PingMsg ping;
     if (cluster::decodePing(frame, &ping, cluster::MsgType::Ping))

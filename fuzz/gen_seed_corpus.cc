@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <fstream>
 #include <initializer_list>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,10 +31,13 @@
 #include "nn/model_zoo.hh"
 #include "nn/serialization.hh"
 #include "nn/tensor.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace cluster = photofourier::cluster;
 namespace net = photofourier::net;
 namespace nn = photofourier::nn;
+namespace obs = photofourier::obs;
 using photofourier::Histogram;
 using photofourier::Rng;
 
@@ -122,6 +126,42 @@ protocolCorpus(const std::string &dir)
     write(dir, "ping", cluster::encodePing(ping, cluster::MsgType::Ping));
     write(dir, "pong", cluster::encodePing(ping, cluster::MsgType::Pong));
 
+    cluster::MetricsQueryMsg metrics_query;
+    metrics_query.seq = 31;
+    metrics_query.include_traces = true;
+    write(dir, "metrics_query",
+          cluster::encodeMetricsQuery(metrics_query));
+
+    // One metric of each type plus a span, so the mutators start from
+    // every putMetricValue/putSpan branch.
+    cluster::MetricsReportMsg metrics_report;
+    metrics_report.seq = 31;
+    metrics_report.server_name = "seed-shard";
+    obs::MetricValue completed;
+    completed.name = "pf_serve_completed_total";
+    completed.type = obs::MetricType::Counter;
+    completed.counter_value = 42;
+    metrics_report.metrics.metrics.push_back(completed);
+    obs::MetricValue depth;
+    depth.name = "pf_serve_queue_depth";
+    depth.type = obs::MetricType::Gauge;
+    depth.gauge_value = 3.0;
+    metrics_report.metrics.metrics.push_back(depth);
+    obs::MetricValue stage;
+    stage.name = "pf_serve_stage_engine_us";
+    stage.type = obs::MetricType::Histogram;
+    stage.histogram = latency.data();
+    metrics_report.metrics.metrics.push_back(stage);
+    obs::Span span;
+    span.trace_id = 0x1d5a9f3c2b7e6081ull;
+    span.name = "engine";
+    span.depth = 1;
+    span.start_ns = 1000;
+    span.duration_ns = 250000;
+    metrics_report.spans.push_back(span);
+    write(dir, "metrics_report",
+          cluster::encodeMetricsReport(metrics_report));
+
     // Hostile shapes that exposed real bugs (now rejected): a tensor
     // whose u64 dim product wraps to 0 with an empty payload...
     net::WireWriter overflow;
@@ -158,6 +198,19 @@ protocolCorpus(const std::string &dir)
     wrapped.f64(1.0);
     wrapped.f64(1.0);
     write(dir, "stats_report_bucket_overflow", wrapped.take());
+
+    // ...and a metrics report whose gauge is NaN: merging sums gauges
+    // by name, so one poisoned shard would corrupt fleet aggregates.
+    net::WireWriter nan_gauge;
+    nan_gauge.u8(static_cast<uint8_t>(cluster::MsgType::MetricsReport));
+    nan_gauge.u64(31);
+    nan_gauge.str("evil");
+    nan_gauge.u32(1); // one metric
+    nan_gauge.str("pf_serve_queue_depth");
+    nan_gauge.u8(static_cast<uint8_t>(obs::MetricType::Gauge));
+    nan_gauge.f64(std::numeric_limits<double>::quiet_NaN());
+    nan_gauge.u32(0); // no spans
+    write(dir, "metrics_report_nan_gauge", nan_gauge.take());
 }
 
 void

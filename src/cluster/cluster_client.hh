@@ -73,6 +73,15 @@ class ClusterClient
     /** Remote statistics snapshot. */
     bool stats(StatsReportMsg *out) { return endpoint_.queryStats(out); }
 
+    /**
+     * Remote metrics snapshot — merged across the fleet when the
+     * endpoint is a router. include_traces ships recorded spans too.
+     */
+    bool metrics(MetricsReportMsg *out, bool include_traces = false)
+    {
+        return endpoint_.queryMetrics(out, include_traces);
+    }
+
     /** Liveness probe. */
     bool ping() { return endpoint_.ping(); }
 

@@ -16,6 +16,11 @@ RemoteEndpoint::RemoteEndpoint(std::string name, std::string host,
 {
     pf_assert(config_.data_connections >= 1,
               "endpoint needs at least one data connection");
+    obs::MetricsRegistry &registry =
+        config_.metrics != nullptr ? *config_.metrics
+                                   : obs::MetricsRegistry::global();
+    rtt_us_ = &registry.histogram("pf_client_rtt_us");
+    network_us_ = &registry.histogram("pf_client_network_us");
 }
 
 RemoteEndpoint::~RemoteEndpoint()
@@ -163,6 +168,16 @@ RemoteEndpoint::readerLoop(Channel *channel)
         }
         if (state == nullptr)
             continue; // already failed over / cancelled
+        // Client-observed round trip vs the server's own latency: the
+        // difference is what the wire (and both frame queues) cost.
+        const double rtt_us =
+            std::chrono::duration<double, std::micro>(
+                Clock::now() - state->enqueued)
+                .count();
+        rtt_us_->record(rtt_us);
+        network_us_->record(rtt_us > response.latency_us
+                                ? rtt_us - response.latency_us
+                                : 0.0);
         if (response.status == serve::RequestStatus::Done)
             state->fulfill(serve::RequestStatus::Done,
                            std::move(response.logits), {});
@@ -200,7 +215,7 @@ RemoteEndpoint::submitBound(const std::string &model,
     }
     const std::string frame = encodeInferRequest(
         InferRequestMsg::fromTensor(seq, model, options.priority,
-                                    input));
+                                    input, options.trace_id));
     bool sent;
     {
         std::lock_guard<std::mutex> lock(channel.send_mutex);
@@ -312,6 +327,24 @@ RemoteEndpoint::queryStats(StatsReportMsg *out)
     if (!controlRoundTrip(encodeStatsQuery(query), &reply))
         return false;
     if (!decodeStatsReport(reply, out) || out->seq != query.seq) {
+        markDown("control protocol error from shard " + name_);
+        return false;
+    }
+    return true;
+}
+
+bool
+RemoteEndpoint::queryMetrics(MetricsReportMsg *out,
+                             bool include_traces)
+{
+    pf_assert(out != nullptr, "queryMetrics without output");
+    MetricsQueryMsg query;
+    query.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    query.include_traces = include_traces;
+    std::string reply;
+    if (!controlRoundTrip(encodeMetricsQuery(query), &reply))
+        return false;
+    if (!decodeMetricsReport(reply, out) || out->seq != query.seq) {
         markDown("control protocol error from shard " + name_);
         return false;
     }

@@ -40,6 +40,7 @@
 #include "cluster/protocol.hh"
 #include "net/socket.hh"
 #include "nn/tensor.hh"
+#include "obs/metrics.hh"
 #include "serve/batch_queue.hh"
 #include "serve/completion.hh"
 
@@ -57,6 +58,10 @@ struct EndpointConfig
 
     /** How long connect() retries a not-yet-listening server. */
     std::chrono::milliseconds connect_retry{3000};
+
+    /** Registry for client-side observations (pf_client_rtt_us,
+     *  pf_client_network_us). Null: the process-wide global. */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** A remote serving process reachable at host:port. */
@@ -123,6 +128,9 @@ class RemoteEndpoint
     /** Control-plane stats pull. */
     bool queryStats(StatsReportMsg *out);
 
+    /** Control-plane metrics pull (spans too when include_traces). */
+    bool queryMetrics(MetricsReportMsg *out, bool include_traces);
+
     /** Control-plane liveness probe. */
     bool ping();
 
@@ -162,6 +170,10 @@ class RemoteEndpoint
     std::atomic<bool> up_{false};
     std::atomic<uint64_t> next_seq_{1};
     std::atomic<size_t> next_channel_{0};
+
+    /** Bound once in the constructor; recorded by reader threads. */
+    obs::HistogramMetric *rtt_us_ = nullptr;
+    obs::HistogramMetric *network_us_ = nullptr;
 
     /** Guards connect()/close() transitions, not the data path. */
     std::mutex lifecycle_mutex_;

@@ -135,6 +135,77 @@ getEngineConfig(WireReader &r, nn::PhotoFourierEngineConfig *c)
     return r.ok();
 }
 
+void
+putMetricValue(WireWriter &w, const obs::MetricValue &m)
+{
+    w.str(m.name);
+    w.u8(static_cast<uint8_t>(m.type));
+    // Only the active variant travels, so every accepted frame has
+    // exactly one canonical encoding (decode∘encode == identity).
+    switch (m.type) {
+      case obs::MetricType::Counter:
+        w.u64(m.counter_value);
+        break;
+      case obs::MetricType::Gauge:
+        w.f64(m.gauge_value);
+        break;
+      case obs::MetricType::Histogram:
+        putHistogram(w, m.histogram);
+        break;
+    }
+}
+
+bool
+getMetricValue(WireReader &r, obs::MetricValue *m)
+{
+    m->name = r.str();
+    const uint8_t type = r.u8();
+    if (type > static_cast<uint8_t>(obs::MetricType::Histogram))
+        return false;
+    m->type = static_cast<obs::MetricType>(type);
+    m->counter_value = 0;
+    m->gauge_value = 0.0;
+    m->histogram = Histogram::Data{};
+    switch (m->type) {
+      case obs::MetricType::Counter:
+        m->counter_value = r.u64();
+        break;
+      case obs::MetricType::Gauge:
+        m->gauge_value = r.f64();
+        // Merging sums gauges by name; a NaN/inf from a peer would
+        // poison every aggregate it touches.
+        if (r.ok() && !std::isfinite(m->gauge_value))
+            return false;
+        break;
+      case obs::MetricType::Histogram:
+        if (!getHistogram(r, &m->histogram))
+            return false;
+        break;
+    }
+    return r.ok();
+}
+
+void
+putSpan(WireWriter &w, const obs::Span &s)
+{
+    w.u64(s.trace_id);
+    w.str(s.name);
+    w.u32(s.depth);
+    w.u64(s.start_ns);
+    w.u64(s.duration_ns);
+}
+
+bool
+getSpan(WireReader &r, obs::Span *s)
+{
+    s->trace_id = r.u64();
+    s->name = r.str();
+    s->depth = r.u32();
+    s->start_ns = r.u64();
+    s->duration_ns = r.u64();
+    return r.ok();
+}
+
 } // namespace
 
 bool
@@ -145,7 +216,7 @@ peekType(std::string_view frame, MsgType *type)
         return false;
     const auto tag = static_cast<uint8_t>(frame[0]);
     if (tag < static_cast<uint8_t>(MsgType::Hello) ||
-        tag > static_cast<uint8_t>(MsgType::Pong))
+        tag > static_cast<uint8_t>(MsgType::MetricsReport))
         return false;
     *type = static_cast<MsgType>(tag);
     return true;
@@ -208,12 +279,13 @@ decodeHelloAck(std::string_view frame, HelloAckMsg *msg)
 InferRequestMsg
 InferRequestMsg::fromTensor(uint64_t seq, const std::string &model,
                             serve::Priority priority,
-                            const nn::Tensor &input)
+                            const nn::Tensor &input, uint64_t trace_id)
 {
     InferRequestMsg msg;
     msg.seq = seq;
     msg.model = model;
     msg.priority = priority;
+    msg.trace_id = trace_id;
     msg.channels = static_cast<uint32_t>(input.channels());
     msg.height = static_cast<uint32_t>(input.height());
     msg.width = static_cast<uint32_t>(input.width());
@@ -238,6 +310,7 @@ encodeInferRequest(const InferRequestMsg &msg)
     w.u64(msg.seq);
     w.str(msg.model);
     w.u8(static_cast<uint8_t>(msg.priority));
+    w.u64(msg.trace_id);
     w.u32(msg.channels);
     w.u32(msg.height);
     w.u32(msg.width);
@@ -257,6 +330,7 @@ decodeInferRequest(std::string_view frame, InferRequestMsg *msg)
     if (priority > static_cast<uint8_t>(serve::Priority::Batch))
         return false;
     msg->priority = static_cast<serve::Priority>(priority);
+    msg->trace_id = r.u64();
     msg->channels = r.u32();
     msg->height = r.u32();
     msg->width = r.u32();
@@ -464,6 +538,69 @@ decodePing(std::string_view frame, PingMsg *msg, MsgType type)
     return r.atEnd();
 }
 
+std::string
+encodeMetricsQuery(const MetricsQueryMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::MetricsQuery);
+    w.u64(msg.seq);
+    w.u8(msg.include_traces ? 1 : 0);
+    return w.take();
+}
+
+bool
+decodeMetricsQuery(std::string_view frame, MetricsQueryMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::MetricsQuery))
+        return false;
+    msg->seq = r.u64();
+    if (!getBool(r, &msg->include_traces))
+        return false;
+    return r.atEnd();
+}
+
+std::string
+encodeMetricsReport(const MetricsReportMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::MetricsReport);
+    w.u64(msg.seq);
+    w.str(msg.server_name);
+    w.u32(static_cast<uint32_t>(msg.metrics.metrics.size()));
+    for (const auto &m : msg.metrics.metrics)
+        putMetricValue(w, m);
+    w.u32(static_cast<uint32_t>(msg.spans.size()));
+    for (const auto &s : msg.spans)
+        putSpan(w, s);
+    return w.take();
+}
+
+bool
+decodeMetricsReport(std::string_view frame, MetricsReportMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::MetricsReport))
+        return false;
+    msg->seq = r.u64();
+    msg->server_name = r.str();
+    const uint32_t metric_count = r.u32();
+    msg->metrics.metrics.clear();
+    for (uint32_t i = 0; i < metric_count && r.ok(); ++i) {
+        obs::MetricValue m;
+        if (!getMetricValue(r, &m))
+            return false;
+        msg->metrics.metrics.push_back(std::move(m));
+    }
+    const uint32_t span_count = r.u32();
+    msg->spans.clear();
+    for (uint32_t i = 0; i < span_count && r.ok(); ++i) {
+        obs::Span s;
+        if (!getSpan(r, &s))
+            return false;
+        msg->spans.push_back(std::move(s));
+    }
+    return r.atEnd();
+}
+
 namespace {
 
 /** FNV-1a 64-bit over the bytes of a name. */
@@ -511,6 +648,15 @@ rendezvousRank(const std::vector<std::string> &shards,
                   return sa != sb ? sa > sb : a < b;
               });
     return ranked;
+}
+
+MetricsReportMsg
+ServingBackend::metricsReport(bool include_traces)
+{
+    (void)include_traces;
+    MetricsReportMsg msg;
+    msg.server_name = backendName();
+    return msg;
 }
 
 std::optional<nn::Network>

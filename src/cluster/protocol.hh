@@ -34,6 +34,8 @@
 
 #include "common/stats.hh"
 #include "nn/conv_engine.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "nn/network.hh"
 #include "nn/tensor.hh"
 #include "serve/batch_queue.hh"
@@ -47,7 +49,8 @@ namespace cluster {
 constexpr uint32_t kMagic = 0x31434650;
 
 /** Protocol version; bumped on any layout change. */
-constexpr uint16_t kProtocolVersion = 2; ///< v2: engine conv_path field
+constexpr uint16_t kProtocolVersion =
+    3; ///< v3: Infer trace_id + Metrics messages
 
 /** Message tags (u8 on the wire). */
 enum class MsgType : uint8_t
@@ -62,6 +65,8 @@ enum class MsgType : uint8_t
     StatsReport = 8,   ///< server → client
     Ping = 9,          ///< liveness probe
     Pong = 10,         ///< probe reply
+    MetricsQuery = 11, ///< client → server (control): GetMetrics
+    MetricsReport = 12,///< server → client: snapshot (+ traces)
 };
 
 /** Connection opening: pins magic + version. */
@@ -86,6 +91,7 @@ struct InferRequestMsg
     uint64_t seq = 0;
     std::string model;
     serve::Priority priority = serve::Priority::Interactive;
+    uint64_t trace_id = 0; ///< nonzero: record per-stage spans (v3)
     uint32_t channels = 0;
     uint32_t height = 0;
     uint32_t width = 0;
@@ -95,7 +101,8 @@ struct InferRequestMsg
     static InferRequestMsg fromTensor(uint64_t seq,
                                       const std::string &model,
                                       serve::Priority priority,
-                                      const nn::Tensor &input);
+                                      const nn::Tensor &input,
+                                      uint64_t trace_id = 0);
 
     /** Reassemble the tensor (shape already validated by decode). */
     nn::Tensor toTensor() const;
@@ -170,6 +177,28 @@ struct PingMsg
     uint64_t seq = 0;
 };
 
+/** Metrics pull (the protocol's GetMetrics). */
+struct MetricsQueryMsg
+{
+    uint64_t seq = 0;
+
+    /** Also ship the server's trace-sink spans (bounded ring). */
+    bool include_traces = false;
+};
+
+/**
+ * A server's metrics snapshot — and, when asked, its recorded trace
+ * spans. The router answers with shard snapshots merged through
+ * obs::MetricsSnapshot::merge, exactly as it merges stats histograms.
+ */
+struct MetricsReportMsg
+{
+    uint64_t seq = 0;
+    std::string server_name;
+    obs::MetricsSnapshot metrics;
+    std::vector<obs::Span> spans;
+};
+
 /** Read a frame's message tag without consuming the payload. */
 bool peekType(std::string_view frame, MsgType *type);
 
@@ -182,6 +211,8 @@ std::string encodeRegisterAck(const RegisterAckMsg &msg);
 std::string encodeStatsQuery(const StatsQueryMsg &msg);
 std::string encodeStatsReport(const StatsReportMsg &msg);
 std::string encodePing(const PingMsg &msg, MsgType type = MsgType::Ping);
+std::string encodeMetricsQuery(const MetricsQueryMsg &msg);
+std::string encodeMetricsReport(const MetricsReportMsg &msg);
 
 /**
  * decode*(): false on a wrong tag, truncated layout, trailing bytes,
@@ -198,6 +229,8 @@ bool decodeStatsQuery(std::string_view frame, StatsQueryMsg *msg);
 bool decodeStatsReport(std::string_view frame, StatsReportMsg *msg);
 bool decodePing(std::string_view frame, PingMsg *msg,
                 MsgType type = MsgType::Ping);
+bool decodeMetricsQuery(std::string_view frame, MetricsQueryMsg *msg);
+bool decodeMetricsReport(std::string_view frame, MetricsReportMsg *msg);
 
 /**
  * Rendezvous score of (shard, model): deterministic across processes
@@ -255,6 +288,15 @@ class ServingBackend
 
     /** Current statistics (seq filled by the caller). */
     virtual StatsReportMsg stats() const = 0;
+
+    /**
+     * Current metrics snapshot (seq filled by the caller). The base
+     * implementation reports a name-only empty snapshot so backends
+     * without a registry keep working; ShardServer snapshots its
+     * registry (+ trace sink), Router merges the live shards' reports
+     * with its own.
+     */
+    virtual MetricsReportMsg metricsReport(bool include_traces);
 };
 
 } // namespace cluster

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iterator>
 #include <map>
 
 #include "common/logging.hh"
@@ -42,10 +43,18 @@ Router::Router(RouterConfig config)
 {
     pf_assert(!config_.shards.empty(), "router with no shards");
     pf_assert(config_.replicas >= 1, "replicas must be >= 1");
+    metrics_registry_ = config_.metrics != nullptr
+                            ? config_.metrics
+                            : &obs::MetricsRegistry::global();
+    failover_total_ =
+        &metrics_registry_->counter("pf_router_failover_total");
+    no_live_shard_total_ =
+        &metrics_registry_->counter("pf_router_no_live_shard_total");
     EndpointConfig endpoint_config;
     endpoint_config.data_connections = config_.data_connections;
     endpoint_config.client_name = config_.client_name;
     endpoint_config.connect_retry = config_.connect_retry;
+    endpoint_config.metrics = metrics_registry_;
     for (const auto &shard : config_.shards) {
         for (const auto &other : config_.shards)
             pf_assert(&shard == &other || shard.name != other.name,
@@ -126,6 +135,7 @@ Router::submit(const std::string &model, nn::Tensor input,
         if (ep->submitBound(model, input, options, &handle))
             return handle;
         // Transport failure: the shard died under us; keep walking.
+        failover_total_->inc();
     }
 
     // No live shard advertises the model. Ask the preferred live
@@ -138,8 +148,10 @@ Router::submit(const std::string &model, nn::Tensor input,
         serve::Completion handle;
         if (ep->submitBound(model, input, options, &handle))
             return handle;
+        failover_total_->inc();
     }
 
+    no_live_shard_total_->inc();
     auto state = std::make_shared<serve::detail::CompletionState>();
     state->enqueued = std::chrono::steady_clock::now();
     state->fulfill(serve::RequestStatus::Failed, {},
@@ -291,6 +303,30 @@ Router::stats() const
         w.latency = m.latency_hist.data();
         msg.models.push_back(std::move(w));
     }
+    return msg;
+}
+
+MetricsReportMsg
+Router::metricsReport(bool include_traces)
+{
+    MetricsReportMsg msg;
+    msg.server_name = config_.client_name;
+    // Shards first, merged exactly; the router's own registry
+    // (failover counters, net transport totals when global) joins the
+    // same snapshot. Down or unresponsive shards are simply absent —
+    // a metrics pull never blocks routing.
+    for (const auto &endpoint : endpoints_) {
+        if (!endpoint->up())
+            continue;
+        MetricsReportMsg shard;
+        if (!endpoint->queryMetrics(&shard, include_traces))
+            continue;
+        msg.metrics.merge(shard.metrics);
+        msg.spans.insert(msg.spans.end(),
+                         std::make_move_iterator(shard.spans.begin()),
+                         std::make_move_iterator(shard.spans.end()));
+    }
+    msg.metrics.merge(metrics_registry_->snapshot());
     return msg;
 }
 

@@ -73,6 +73,12 @@ struct RouterConfig
 
     /** Per-shard connect retry budget (startup races). */
     std::chrono::milliseconds connect_retry{3000};
+
+    /** Registry for the router's own metrics (failover counters and
+     *  the merged fleet snapshot). Null: the process-wide
+     *  obs::MetricsRegistry::global(). Tests inject private registries
+     *  so several routers can coexist in one process. */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /** One shard's row in a cluster report. */
@@ -163,6 +169,23 @@ class Router : public ServingBackend
     /** report() in wire form. */
     StatsReportMsg stats() const override;
 
+    /**
+     * Fleet-wide metrics: every live shard's snapshot pulled over the
+     * wire and folded with obs::MetricsSnapshot::merge (counters and
+     * histograms merge exactly, the same way report() merges latency
+     * histograms), plus the router's own registry. With include_traces
+     * the shards' spans ride along too — on one host they share the
+     * steady clock, so a request's router + shard spans line up in a
+     * single waterfall.
+     */
+    MetricsReportMsg metricsReport(bool include_traces) override;
+
+    /** The registry the router records into (config or global). */
+    obs::MetricsRegistry &metricsRegistry() const
+    {
+        return *metrics_registry_;
+    }
+
     /** Disconnect every endpoint (in-flight requests fail cleanly). */
     void close();
 
@@ -176,6 +199,10 @@ class Router : public ServingBackend
     RouterConfig config_;
     std::vector<std::unique_ptr<RemoteEndpoint>> endpoints_;
     std::chrono::steady_clock::time_point started_at_;
+
+    obs::MetricsRegistry *metrics_registry_ = nullptr;
+    obs::Counter *failover_total_ = nullptr;
+    obs::Counter *no_live_shard_total_ = nullptr;
 };
 
 } // namespace cluster

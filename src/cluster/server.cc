@@ -132,7 +132,8 @@ ProtocolServer::readerLoop(Connection *connection)
             // join the same micro-batch.
             serve::Completion completion = backend_.submit(
                 request.model, request.toTensor(),
-                serve::SubmitOptions{request.priority});
+                serve::SubmitOptions{request.priority,
+                                     request.trace_id});
             {
                 std::lock_guard<std::mutex> lock(
                     connection->queue_mutex);
@@ -159,6 +160,17 @@ ProtocolServer::readerLoop(Connection *connection)
                                             &ack.error);
             std::lock_guard<std::mutex> lock(connection->send_mutex);
             if (!connection->conn.sendFrame(encodeRegisterAck(ack)))
+                break;
+        } else if (type == MsgType::MetricsQuery) {
+            MetricsQueryMsg query;
+            if (!decodeMetricsQuery(frame, &query))
+                break;
+            MetricsReportMsg report =
+                backend_.metricsReport(query.include_traces);
+            report.seq = query.seq;
+            std::lock_guard<std::mutex> lock(connection->send_mutex);
+            if (!connection->conn.sendFrame(
+                    encodeMetricsReport(report)))
                 break;
         } else if (type == MsgType::Ping) {
             PingMsg ping;
@@ -365,6 +377,17 @@ StatsReportMsg
 ShardServer::stats() const
 {
     return toWireStats(server_.report(), config_.name);
+}
+
+MetricsReportMsg
+ShardServer::metricsReport(bool include_traces)
+{
+    MetricsReportMsg msg;
+    msg.server_name = config_.name;
+    msg.metrics = server_.metricsRegistry().snapshot();
+    if (include_traces)
+        msg.spans = server_.traceSink().snapshot();
+    return msg;
 }
 
 StatsReportMsg

@@ -187,6 +187,7 @@ class ShardServer : public ServingBackend
     bool registerModel(const RegisterModelMsg &msg, uint64_t *version,
                        std::string *error) override;
     StatsReportMsg stats() const override;
+    MetricsReportMsg metricsReport(bool include_traces) override;
 
   private:
     ShardServerConfig config_;

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Build provenance. PHOTOFOURIER_GIT_SHA is injected for this one TU
+ * by CMake (set_source_files_properties) so a new commit rebuilds one
+ * object file.
+ */
+
+#include "common/build_info.hh"
+
+#include <thread>
+
+#ifndef PHOTOFOURIER_GIT_SHA
+#define PHOTOFOURIER_GIT_SHA "unknown"
+#endif
+
+namespace photofourier {
+
+const char *
+gitSha()
+{
+    return PHOTOFOURIER_GIT_SHA;
+}
+
+const char *
+buildType()
+{
+#ifdef NDEBUG
+    return "release";
+#else
+    return "debug";
+#endif
+}
+
+unsigned
+numCpus()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+} // namespace photofourier

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Build provenance for benchmark records.
+ *
+ * Every BENCH_*.json writer stamps these three facts so
+ * bench/compare_bench.py can refuse comparisons across machines or
+ * build types — a debug number or a different core count is not a
+ * regression, it is a different experiment.
+ */
+
+#ifndef PHOTOFOURIER_COMMON_BUILD_INFO_HH
+#define PHOTOFOURIER_COMMON_BUILD_INFO_HH
+
+namespace photofourier {
+
+/** Short git sha the binary was configured from ("unknown" outside git). */
+const char *gitSha();
+
+/** "release" when compiled with NDEBUG, else "debug". */
+const char *buildType();
+
+/** Hardware thread count (std::thread::hardware_concurrency, min 1). */
+unsigned numCpus();
+
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_COMMON_BUILD_INFO_HH

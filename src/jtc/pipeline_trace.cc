@@ -1,8 +1,11 @@
 #include "jtc/pipeline_trace.hh"
 
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace photofourier {
 namespace jtc {
@@ -38,20 +41,59 @@ PipelineTrace::latencyOfJob(size_t job) const
 std::string
 PipelineTrace::render() const
 {
-    std::ostringstream oss;
-    oss << "cycle | stage A | stage B | done\n";
+    // Rendered through the shared obs waterfall (timestamps are cycle
+    // numbers, not nanoseconds), so a PFCU occupancy trace reads the
+    // same way as a serving request trace.
+    struct JobExtent
+    {
+        long issue = -1;
+        long finish = -1;
+    };
+    std::map<long, JobExtent> jobs;
     for (const auto &c : cycles) {
-        auto cell = [](long job) {
-            return job < 0 ? std::string("  .  ")
-                           : " c" + std::to_string(job) + "  ";
-        };
-        oss << "  " << c.cycle << "   |  " << cell(c.stage_a_job)
-            << " |  " << cell(c.stage_b_job) << " | "
-            << (c.completed_job < 0
-                    ? std::string("-")
-                    : "c" + std::to_string(c.completed_job))
-            << "\n";
+        if (c.stage_a_job >= 0) {
+            JobExtent &e = jobs[c.stage_a_job];
+            if (e.issue < 0)
+                e.issue = static_cast<long>(c.cycle);
+        }
+        if (c.completed_job >= 0)
+            jobs[c.completed_job].finish =
+                static_cast<long>(c.cycle);
     }
+
+    std::vector<obs::Span> spans;
+    spans.reserve(jobs.size() + 1);
+    obs::Span burst;
+    burst.trace_id = 1;
+    burst.name = "pfcu burst";
+    burst.depth = 1;
+    burst.start_ns = 0;
+    burst.duration_ns = total_cycles;
+    spans.push_back(std::move(burst));
+    for (const auto &[job, extent] : jobs) {
+        if (extent.issue < 0 || extent.finish < 0)
+            continue; // truncated trace: job never completed
+        obs::Span span;
+        span.trace_id = 1;
+        span.name = "c" + std::to_string(job);
+        span.depth = 2;
+        span.start_ns = static_cast<uint64_t>(extent.issue);
+        span.duration_ns =
+            static_cast<uint64_t>(extent.finish - extent.issue + 1);
+        spans.push_back(std::move(span));
+    }
+
+    obs::WaterfallOptions options;
+    options.top_n = 1;
+    options.unit = "cycles";
+    options.scale = 1.0;
+
+    std::ostringstream oss;
+    oss << "pfcu pipeline: " << completed << " convolutions in "
+        << total_cycles << " cycles ("
+        << (cycles.empty() ? 0.0 : utilization() * 100.0)
+        << "% stage utilization)\n"
+        << obs::renderWaterfall(spans, options);
     return oss.str();
 }
 

@@ -14,9 +14,44 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace photofourier {
 namespace net {
+
+namespace {
+
+/**
+ * Process-wide transport counters. The net layer has no config object
+ * to inject a registry through, and its traffic is genuinely
+ * per-process (one NIC), so it records into the global registry via
+ * handles resolved once.
+ */
+struct NetMetrics
+{
+    obs::Counter &bytes_sent;
+    obs::Counter &bytes_recv;
+    obs::Counter &frames_sent;
+    obs::Counter &frames_recv;
+    obs::Counter &connections_total;
+    obs::Gauge &connections_open;
+};
+
+NetMetrics &
+netMetrics()
+{
+    static NetMetrics m{
+        obs::MetricsRegistry::global().counter("pf_net_bytes_sent_total"),
+        obs::MetricsRegistry::global().counter("pf_net_bytes_recv_total"),
+        obs::MetricsRegistry::global().counter("pf_net_frames_sent_total"),
+        obs::MetricsRegistry::global().counter("pf_net_frames_recv_total"),
+        obs::MetricsRegistry::global().counter("pf_net_connections_total"),
+        obs::MetricsRegistry::global().gauge("pf_net_connections_open"),
+    };
+    return m;
+}
+
+} // namespace
 
 namespace {
 
@@ -98,6 +133,8 @@ TcpConnection::connectTo(const std::string &host, uint16_t port,
         ::freeaddrinfo(res);
         if (fd >= 0 && rc == 0) {
             setNoDelay(fd);
+            netMetrics().connections_total.inc();
+            netMetrics().connections_open.add(1.0);
             return TcpConnection(fd);
         }
         if (fd >= 0)
@@ -168,6 +205,8 @@ TcpConnection::sendFrame(std::string_view payload)
         broken_ = true;
         return false;
     }
+    netMetrics().frames_sent.inc();
+    netMetrics().bytes_sent.inc(sizeof header + payload.size());
     return true;
 }
 
@@ -194,6 +233,8 @@ TcpConnection::recvFrame(std::string *payload)
         broken_ = true;
         return false;
     }
+    netMetrics().frames_recv.inc();
+    netMetrics().bytes_recv.inc(sizeof header + length);
     return true;
 }
 
@@ -209,8 +250,10 @@ void
 TcpConnection::close()
 {
     const int fd = fd_.exchange(-1);
-    if (fd >= 0)
+    if (fd >= 0) {
         ::close(fd);
+        netMetrics().connections_open.add(-1.0);
+    }
     broken_.store(false);
 }
 
@@ -285,6 +328,8 @@ TcpListener::accept(const std::atomic<bool> &stop)
             return TcpConnection();
         }
         setNoDelay(fd);
+        netMetrics().connections_total.inc();
+        netMetrics().connections_open.add(1.0);
         return TcpConnection(fd);
     }
     return TcpConnection();

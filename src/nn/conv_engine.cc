@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "photonics/converters.hh"
 #include "signal/fft.hh"
 #include "signal/fft_plan.hh"
@@ -237,6 +238,8 @@ DirectEngine::convolve(const Tensor &input,
                        const std::vector<double> &bias, size_t stride,
                        signal::ConvMode mode) const
 {
+    // One thread_local read when the request is untraced.
+    obs::ScopedSpan span("direct_conv");
     checkConvShapes(input, weights, bias);
     const size_t k = weights[0].height();
     // Catch the degenerate shape before outputDim's size_t arithmetic
@@ -308,6 +311,7 @@ PhotoFourierEngine::convolve(const Tensor &input,
                              size_t stride,
                              signal::ConvMode mode) const
 {
+    obs::ScopedSpan span("photonic_conv");
     checkConvShapes(input, weights, bias);
     pf_assert(input.height() == input.width(),
               "PhotoFourier engine expects square feature maps");

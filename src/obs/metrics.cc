@@ -1,0 +1,288 @@
+/**
+ * @file
+ * MetricsRegistry implementation. See metrics.hh for the contract.
+ */
+
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace photofourier {
+namespace obs {
+
+void
+Gauge::add(double delta)
+{
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+HistogramMetric::HistogramMetric(double min_bucket, double growth)
+    : min_bucket_(min_bucket), growth_(growth)
+{
+    stripes_.reserve(kStripes);
+    for (size_t i = 0; i < kStripes; ++i)
+        stripes_.push_back(std::make_unique<Stripe>(min_bucket, growth));
+}
+
+void
+HistogramMetric::record(double v)
+{
+    // Stripe choice only needs to spread threads, not be stable across
+    // calls from different threads: the address of a thread_local is a
+    // cheap per-thread token with no syscall or hash of thread::id.
+    static thread_local const char tls_anchor = 0;
+    auto token = reinterpret_cast<uintptr_t>(&tls_anchor);
+    size_t idx = (token >> 6) % kStripes;
+    Stripe &s = *stripes_[idx];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.histogram.add(v);
+}
+
+Histogram
+HistogramMetric::merged() const
+{
+    Histogram out(min_bucket_, growth_);
+    for (const auto &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe->mutex);
+        out.merge(stripe->histogram);
+    }
+    return out;
+}
+
+namespace {
+
+/** True when two snapshots' histograms share bucket geometry. */
+bool
+geometryMatches(const Histogram::Data &a, const Histogram::Data &b)
+{
+    return a.min_bucket == b.min_bucket && a.growth == b.growth;
+}
+
+/**
+ * Fold `other` into `acc` without going through Histogram::merge —
+ * merge() panics on geometry mismatch, which is the right response to
+ * an in-process bug but not to a snapshot decoded from a peer.
+ */
+void
+mergeHistogramData(Histogram::Data &acc, const Histogram::Data &other)
+{
+    if (other.count == 0)
+        return;
+    if (acc.count == 0) {
+        acc = other;
+        return;
+    }
+    if (acc.buckets.size() < other.buckets.size())
+        acc.buckets.resize(other.buckets.size(), 0);
+    for (size_t i = 0; i < other.buckets.size(); ++i)
+        acc.buckets[i] += other.buckets[i];
+    acc.count += other.count;
+    acc.sum += other.sum;
+    acc.min = std::min(acc.min, other.min);
+    acc.max = std::max(acc.max, other.max);
+}
+
+} // namespace
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const MetricValue &theirs : other.metrics) {
+        MetricValue *mine = nullptr;
+        for (MetricValue &m : metrics) {
+            if (m.name == theirs.name) {
+                mine = &m;
+                break;
+            }
+        }
+        if (mine == nullptr) {
+            metrics.push_back(theirs);
+            continue;
+        }
+        if (mine->type != theirs.type) {
+            pf_warn("metrics merge: type mismatch for '", theirs.name,
+                    "'; keeping local value");
+            continue;
+        }
+        switch (mine->type) {
+          case MetricType::Counter:
+            mine->counter_value += theirs.counter_value;
+            break;
+          case MetricType::Gauge:
+            mine->gauge_value += theirs.gauge_value;
+            break;
+          case MetricType::Histogram:
+            if (!geometryMatches(mine->histogram, theirs.histogram)) {
+                pf_warn("metrics merge: bucket geometry mismatch for '",
+                        theirs.name, "'; skipping peer histogram");
+                continue;
+            }
+            mergeHistogramData(mine->histogram, theirs.histogram);
+            break;
+        }
+    }
+}
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const MetricValue &m : metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    const MetricValue *m = find(name);
+    return (m != nullptr && m->type == MetricType::Counter)
+        ? m->counter_value : 0;
+}
+
+double
+MetricsSnapshot::gaugeValue(const std::string &name) const
+{
+    const MetricValue *m = find(name);
+    return (m != nullptr && m->type == MetricType::Gauge)
+        ? m->gauge_value : 0.0;
+}
+
+std::string
+MetricsSnapshot::renderPrometheus() const
+{
+    std::ostringstream out;
+    for (const MetricValue &m : metrics) {
+        switch (m.type) {
+          case MetricType::Counter:
+            out << "# TYPE " << m.name << " counter\n";
+            out << m.name << " " << m.counter_value << "\n";
+            break;
+          case MetricType::Gauge:
+            out << "# TYPE " << m.name << " gauge\n";
+            out << m.name << " " << m.gauge_value << "\n";
+            break;
+          case MetricType::Histogram: {
+            out << "# TYPE " << m.name << " histogram\n";
+            const Histogram::Data &d = m.histogram;
+            uint64_t cumulative = 0;
+            double edge = d.min_bucket;
+            for (size_t i = 0; i < d.buckets.size(); ++i) {
+                cumulative += d.buckets[i];
+                out << m.name << "_bucket{le=\"" << edge << "\"} "
+                    << cumulative << "\n";
+                edge *= d.growth;
+            }
+            out << m.name << "_bucket{le=\"+Inf\"} " << d.count << "\n";
+            out << m.name << "_sum " << d.sum << "\n";
+            out << m.name << "_count " << d.count << "\n";
+            break;
+          }
+        }
+    }
+    return out.str();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[name];
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name, double min_bucket,
+                           double growth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple(min_bucket, growth))
+                 .first;
+    }
+    return it->second;
+}
+
+uint64_t
+MetricsRegistry::addCollector(Collector fn)
+{
+    std::lock_guard<std::mutex> lock(collector_mutex_);
+    uint64_t id = next_collector_id_++;
+    collectors_.emplace(id, std::move(fn));
+    return id;
+}
+
+void
+MetricsRegistry::removeCollector(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(collector_mutex_);
+    collectors_.erase(id);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot()
+{
+    {
+        // Collectors call back into counter()/gauge(), which take
+        // mutex_ — hold only collector_mutex_ here (see lock order in
+        // the header).
+        std::lock_guard<std::mutex> lock(collector_mutex_);
+        for (auto &entry : collectors_)
+            entry.second(*this);
+    }
+
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.metrics.reserve(counters_.size() + gauges_.size() +
+                         histograms_.size());
+    for (const auto &entry : counters_) {
+        MetricValue m;
+        m.name = entry.first;
+        m.type = MetricType::Counter;
+        m.counter_value = entry.second.value();
+        snap.metrics.push_back(std::move(m));
+    }
+    for (const auto &entry : gauges_) {
+        MetricValue m;
+        m.name = entry.first;
+        m.type = MetricType::Gauge;
+        m.gauge_value = entry.second.value();
+        snap.metrics.push_back(std::move(m));
+    }
+    for (const auto &entry : histograms_) {
+        MetricValue m;
+        m.name = entry.first;
+        m.type = MetricType::Histogram;
+        m.histogram = entry.second.merged().data();
+        snap.metrics.push_back(std::move(m));
+    }
+    return snap;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace obs
+} // namespace photofourier

@@ -59,6 +59,13 @@ std::string priorityName(Priority priority);
 struct SubmitOptions
 {
     Priority priority = Priority::Interactive;
+
+    /**
+     * Nonzero opts this request into detailed tracing: the server
+     * records per-stage spans tagged with this id into its trace sink
+     * (obs/trace.hh). 0 (the default) keeps the request untraced.
+     */
+    uint64_t trace_id = 0;
 };
 
 /** Scheduler parameters: batch formation and admission control. */
@@ -90,6 +97,7 @@ struct QueuedRequest
     nn::Tensor input;
     std::shared_ptr<detail::CompletionState> completion;
     Priority priority = Priority::Interactive;
+    uint64_t trace_id = 0; ///< nonzero = record per-stage spans
 };
 
 /** The shared queue between submitters and worker threads. */

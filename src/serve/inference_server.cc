@@ -4,12 +4,33 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "signal/fft2d_plan.hh"
 #include "signal/fft_plan.hh"
 
 namespace photofourier {
 namespace serve {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/** Steady-clock time_point as the obs-layer span timestamp. */
+uint64_t
+toNs(Clock::time_point tp)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
+}
+
+uint64_t
+spanNs(Clock::time_point from, Clock::time_point to)
+{
+    return to > from ? toNs(to) - toNs(from) : 0;
+}
+
+} // namespace
 
 std::string
 ServerReport::table() const
@@ -38,13 +59,78 @@ InferenceServer::InferenceServer(ServerConfig config)
                          : signal::defaultFftThreads()),
       started_at_(Clock::now())
 {
+    bindMetrics();
     if (config_.start_workers)
         start();
 }
 
 InferenceServer::~InferenceServer()
 {
+    // The cache collector captures `this`; unhook it before any member
+    // it reads goes away.
+    metrics_registry_->removeCollector(cache_collector_id_);
     shutdown();
+}
+
+void
+InferenceServer::bindMetrics()
+{
+    metrics_registry_ = config_.metrics != nullptr
+                            ? config_.metrics
+                            : &obs::MetricsRegistry::global();
+    trace_sink_ = config_.trace_sink != nullptr ? config_.trace_sink
+                                                : &obs::TraceSink::global();
+
+    obs::MetricsRegistry &r = *metrics_registry_;
+    metric_.accepted = &r.counter("pf_serve_accepted_total");
+    metric_.rejected = &r.counter("pf_serve_rejected_total");
+    metric_.completed = &r.counter("pf_serve_completed_total");
+    metric_.unknown_model = &r.counter("pf_serve_unknown_model_total");
+    metric_.batches = &r.counter("pf_serve_batches_total");
+    metric_.queue_depth = &r.gauge("pf_serve_queue_depth");
+    metric_.stage_queue_us = &r.histogram("pf_serve_stage_queue_us");
+    metric_.stage_batch_us = &r.histogram("pf_serve_stage_batch_us");
+    metric_.stage_engine_us = &r.histogram("pf_serve_stage_engine_us");
+    metric_.stage_complete_us =
+        &r.histogram("pf_serve_stage_complete_us");
+    metric_.latency_us = &r.histogram("pf_serve_latency_us");
+    metric_.batch_size = &r.histogram("pf_serve_batch_size");
+
+    // Cache traffic is pulled at snapshot time instead of instrumented
+    // per lookup: the spectrum caches already count hits/misses, so a
+    // collector folding them into gauges costs the hot path nothing.
+    cache_collector_id_ = r.addCollector([this](obs::MetricsRegistry &reg) {
+        tiling::KernelSpectrumCache::Stats kernel;
+        signal::PlaneSpectrumCache::Stats optical;
+        for (const std::string &name : registry_.names()) {
+            auto cache = registry_.spectrumCache(name);
+            if (!cache)
+                continue;
+            const auto k = cache->stats();
+            kernel.hits += k.hits;
+            kernel.misses += k.misses;
+            kernel.entries += k.entries;
+            kernel.bytes += k.bytes;
+            const auto o = cache->opticalPlaneCache()->stats();
+            optical.hits += o.hits;
+            optical.misses += o.misses;
+            optical.entries += o.entries;
+            optical.bytes += o.bytes;
+        }
+        reg.gauge("pf_cache_kernel_hits").set(double(kernel.hits));
+        reg.gauge("pf_cache_kernel_misses").set(double(kernel.misses));
+        reg.gauge("pf_cache_kernel_entries").set(double(kernel.entries));
+        reg.gauge("pf_cache_kernel_bytes").set(double(kernel.bytes));
+        reg.gauge("pf_cache_optical_hits").set(double(optical.hits));
+        reg.gauge("pf_cache_optical_misses").set(double(optical.misses));
+        reg.gauge("pf_cache_optical_entries")
+            .set(double(optical.entries));
+        reg.gauge("pf_cache_optical_bytes").set(double(optical.bytes));
+        reg.gauge("pf_signal_fft_plans")
+            .set(double(signal::fftPlanCacheSize()));
+        reg.gauge("pf_signal_fft2d_plans")
+            .set(double(signal::fft2dPlanCacheSize()));
+    });
 }
 
 void
@@ -76,6 +162,7 @@ InferenceServer::submit(const std::string &model, nn::Tensor input,
         // arbitrary unregistered names would grow without bound and
         // fill report() with phantom models.
         unknown_model_failures_.fetch_add(1, std::memory_order_relaxed);
+        metric_.unknown_model->inc();
         return handle;
     }
 
@@ -87,14 +174,18 @@ InferenceServer::submit(const std::string &model, nn::Tensor input,
         ++stats_[model].accepted;
     }
     if (!queue_.push(QueuedRequest{model, std::move(input), state,
-                                   options.priority})) {
+                                   options.priority,
+                                   options.trace_id})) {
         state->fulfill(RequestStatus::Rejected, {},
                        "queue full or server draining");
+        metric_.rejected->inc();
         std::lock_guard<std::mutex> lock(stats_mutex_);
         --stats_[model].accepted;
         ++stats_[model].rejected;
         return handle;
     }
+    metric_.accepted->inc();
+    metric_.queue_depth->add(1.0);
     return handle;
 }
 
@@ -114,6 +205,10 @@ InferenceServer::workerLoop(size_t id)
         std::vector<QueuedRequest> batch = queue_.popBatch();
         if (batch.empty())
             return;
+        const auto t_pop = Clock::now();
+        metric_.queue_depth->add(-static_cast<double>(batch.size()));
+        metric_.batches->inc();
+        metric_.batch_size->record(static_cast<double>(batch.size()));
 
         const std::string &model = batch.front().model;
         // Re-clone when the registry moved past the version this
@@ -148,12 +243,22 @@ InferenceServer::workerLoop(size_t id)
             s.batched_requests += batch.size();
         }
         for (auto &request : batch) {
-            std::vector<double> logits = net.logits(request.input);
+            const auto t_engine_start = Clock::now();
+            std::vector<double> logits;
+            {
+                // Traced requests (trace_id != 0) bind the id to this
+                // thread so ScopedSpans inside the conv engines record
+                // into the server's sink; for untraced requests the
+                // binding makes every ScopedSpan a no-op.
+                obs::TraceBinding bind(request.trace_id, trace_sink_);
+                logits = net.logits(request.input);
+            }
+            const auto t_engine_end = Clock::now();
             // Stats before fulfill: a client that has observed Done
             // must find its request counted by any later report().
             const double latency_us =
                 std::chrono::duration<double, std::micro>(
-                    Clock::now() - request.completion->enqueued)
+                    t_engine_end - request.completion->enqueued)
                     .count();
             {
                 std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -161,8 +266,47 @@ InferenceServer::workerLoop(size_t id)
                 ++s.completed;
                 s.latency_us.add(latency_us);
             }
+            const auto enqueued = request.completion->enqueued;
+            metric_.completed->inc();
+            metric_.latency_us->record(latency_us);
+            metric_.stage_queue_us->record(
+                std::chrono::duration<double, std::micro>(t_pop -
+                                                          enqueued)
+                    .count());
+            metric_.stage_batch_us->record(
+                std::chrono::duration<double, std::micro>(
+                    t_engine_start - t_pop)
+                    .count());
+            metric_.stage_engine_us->record(
+                std::chrono::duration<double, std::micro>(
+                    t_engine_end - t_engine_start)
+                    .count());
             request.completion->fulfill(RequestStatus::Done,
                                         std::move(logits), {});
+            const auto t_done = Clock::now();
+            metric_.stage_complete_us->record(
+                std::chrono::duration<double, std::micro>(t_done -
+                                                          t_engine_end)
+                    .count());
+            if (request.trace_id != 0) {
+                obs::recordSpan(request.trace_id, "request", 0,
+                                toNs(enqueued), spanNs(enqueued, t_done),
+                                trace_sink_);
+                obs::recordSpan(request.trace_id, "queue", 1,
+                                toNs(enqueued), spanNs(enqueued, t_pop),
+                                trace_sink_);
+                obs::recordSpan(request.trace_id, "batch", 1,
+                                toNs(t_pop), spanNs(t_pop, t_engine_start),
+                                trace_sink_);
+                obs::recordSpan(request.trace_id, "engine", 1,
+                                toNs(t_engine_start),
+                                spanNs(t_engine_start, t_engine_end),
+                                trace_sink_);
+                obs::recordSpan(request.trace_id, "complete", 1,
+                                toNs(t_engine_end),
+                                spanNs(t_engine_end, t_done),
+                                trace_sink_);
+            }
         }
         queue_.markDone(batch.size());
     }

@@ -49,6 +49,8 @@
 
 #include "common/stats.hh"
 #include "nn/conv_engine.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/batch_queue.hh"
 #include "serve/completion.hh"
 #include "serve/model_registry.hh"
@@ -77,6 +79,21 @@ struct ServerConfig
 
     /** Per-worker conv-engine factory (may be null). */
     EngineFactory engine_factory;
+
+    /**
+     * Metrics registry the server records into (pf_serve_* counters,
+     * per-stage histograms, cache gauges via a snapshot-time
+     * collector). Null = obs::MetricsRegistry::global(). Tests inject
+     * private registries to run several servers in one process with
+     * isolated metrics.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Sink for per-request spans of traced submissions
+     * (SubmitOptions::trace_id != 0). Null = obs::TraceSink::global().
+     */
+    obs::TraceSink *trace_sink = nullptr;
 };
 
 /** Point-in-time serving statistics for one model. */
@@ -159,6 +176,12 @@ class InferenceServer
     /** Worker threads the server runs (resolved from the config). */
     size_t workerCount() const { return worker_target_; }
 
+    /** The registry this server records metrics into. */
+    obs::MetricsRegistry &metricsRegistry() const { return *metrics_registry_; }
+
+    /** The sink traced requests record spans into. */
+    obs::TraceSink &traceSink() const { return *trace_sink_; }
+
   private:
     struct ModelStats
     {
@@ -171,12 +194,40 @@ class InferenceServer
         Histogram latency_us{1.0, 1.05};
     };
 
+    /**
+     * Handles into the metrics registry, resolved once at
+     * construction so the serving hot path records through plain
+     * references (atomic inc / striped histogram add) without name
+     * lookups or allocation.
+     */
+    struct MetricHandles
+    {
+        obs::Counter *accepted = nullptr;
+        obs::Counter *rejected = nullptr;
+        obs::Counter *completed = nullptr;
+        obs::Counter *unknown_model = nullptr;
+        obs::Counter *batches = nullptr;
+        obs::Gauge *queue_depth = nullptr;
+        obs::HistogramMetric *stage_queue_us = nullptr;
+        obs::HistogramMetric *stage_batch_us = nullptr;
+        obs::HistogramMetric *stage_engine_us = nullptr;
+        obs::HistogramMetric *stage_complete_us = nullptr;
+        obs::HistogramMetric *latency_us = nullptr;
+        obs::HistogramMetric *batch_size = nullptr;
+    };
+
     void workerLoop(size_t id);
+    void bindMetrics();
 
     ServerConfig config_;
     ModelRegistry registry_;
     BatchQueue queue_;
     size_t worker_target_;
+
+    obs::MetricsRegistry *metrics_registry_ = nullptr;
+    obs::TraceSink *trace_sink_ = nullptr;
+    MetricHandles metric_;
+    uint64_t cache_collector_id_ = 0;
 
     mutable std::mutex stats_mutex_;
     std::map<std::string, ModelStats> stats_;

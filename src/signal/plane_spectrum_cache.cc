@@ -94,6 +94,11 @@ PlaneSpectrumCache::stats() const
     s.misses = misses_.load(std::memory_order_relaxed);
     std::shared_lock<std::shared_mutex> lock(mutex_);
     s.entries = entries_.size();
+    for (const auto &kv : entries_) {
+        s.bytes += kv.second.payload.size() * sizeof(double);
+        if (kv.second.spectrum)
+            s.bytes += kv.second.spectrum->size() * sizeof(Complex);
+    }
     return s;
 }
 

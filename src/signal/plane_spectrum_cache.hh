@@ -63,6 +63,7 @@ class PlaneSpectrumCache
         uint64_t hits = 0;
         uint64_t misses = 0;
         size_t entries = 0;
+        size_t bytes = 0; ///< payload + spectrum storage held
     };
 
     /**

@@ -58,6 +58,7 @@ KernelSpectrumCache::stats() const
     s.hits = inner.hits;
     s.misses = inner.misses;
     s.entries = inner.entries;
+    s.bytes = inner.bytes;
     return s;
 }
 

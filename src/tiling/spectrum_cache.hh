@@ -57,6 +57,7 @@ class KernelSpectrumCache
         uint64_t hits = 0;
         uint64_t misses = 0;
         size_t entries = 0;
+        size_t bytes = 0; ///< payload + spectrum storage held
     };
 
     /**

@@ -22,6 +22,9 @@
  *   --rate R         open-loop arrivals per sec  (default 500)
  *   --photonic       serve on PhotoFourier numerics (default digital)
  *   --noise          photonic with sensing noise
+ *   --metrics        print the per-stage breakdown (queue / batch /
+ *                    engine / complete, network in cluster mode) and
+ *                    cache hit rates from the obs metrics registry
  *   --out PATH       output file (default BENCH_serving.json)
  *
  * Cluster mode (--cluster HOST:PORT) drives a remote protocol
@@ -47,8 +50,10 @@
 
 #include "cluster/cluster_client.hh"
 #include "cluster/router.hh"
+#include "common/build_info.hh"
 #include "common/logging.hh"
 #include "core/photofourier.hh"
+#include "obs/metrics.hh"
 
 using namespace photofourier;
 
@@ -70,6 +75,7 @@ struct Options
     double rate = 500.0;
     bool photonic = false;
     bool noise = false;
+    bool metrics = false;
     std::string out = "BENCH_serving.json";
 };
 
@@ -133,6 +139,8 @@ parseArgs(int argc, char **argv)
             opt.photonic = true;
         else if (arg == "--noise")
             opt.photonic = opt.noise = true;
+        else if (arg == "--metrics")
+            opt.metrics = true;
         else if (arg == "--out")
             opt.out = value();
         else
@@ -158,6 +166,81 @@ buildModel(const std::string &name)
         return nn::buildSmallResNet(8, rng);
     pf_fatal("unknown model ", name,
              " (small-vgg | small-alexnet | small-resnet)");
+}
+
+/**
+ * Deterministic nonzero trace ids from the request index (splitmix64
+ * finalizer — reproducible across runs, unlike an RNG draw).
+ */
+uint64_t
+traceIdFor(uint64_t i)
+{
+    uint64_t z = (i + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return (z ^ (z >> 31)) | 1ull;
+}
+
+void
+printStageRow(const obs::MetricsSnapshot &snap, const char *name,
+              const char *label)
+{
+    const obs::MetricValue *v = snap.find(name);
+    if (v == nullptr || v->type != obs::MetricType::Histogram)
+        return;
+    const Histogram h = Histogram::fromData(v->histogram);
+    if (h.count() == 0)
+        return;
+    std::printf("  %-9s count %8llu  mean %9.1f us  p50 %9.1f  "
+                "p95 %9.1f  p99 %9.1f\n",
+                label, static_cast<unsigned long long>(h.count()),
+                h.mean(), h.percentile(50.0), h.percentile(95.0),
+                h.percentile(99.0));
+}
+
+void
+printCacheRow(const obs::MetricsSnapshot &snap, const char *label,
+              const std::string &prefix)
+{
+    const double hits = snap.gaugeValue(prefix + "_hits");
+    const double misses = snap.gaugeValue(prefix + "_misses");
+    const double lookups = hits + misses;
+    std::printf("  %-9s hit rate %5.1f%%  (%.0f/%.0f)  entries %.0f"
+                "  bytes %.0f\n",
+                label, lookups > 0.0 ? 100.0 * hits / lookups : 0.0,
+                hits, lookups, snap.gaugeValue(prefix + "_entries"),
+                snap.gaugeValue(prefix + "_bytes"));
+}
+
+/** The --metrics report: per-stage latency + cache effectiveness. */
+void
+printMetricsBreakdown(const obs::MetricsSnapshot &snap,
+                      const char *heading)
+{
+    std::printf("%s\n", heading);
+    std::printf(" stages\n");
+    printStageRow(snap, "pf_serve_stage_queue_us", "queue");
+    printStageRow(snap, "pf_serve_stage_batch_us", "batch");
+    printStageRow(snap, "pf_serve_stage_engine_us", "engine");
+    printStageRow(snap, "pf_serve_stage_complete_us", "complete");
+    printStageRow(snap, "pf_serve_latency_us", "latency");
+    printStageRow(snap, "pf_client_network_us", "network");
+    printStageRow(snap, "pf_client_rtt_us", "rtt");
+    std::printf(" caches\n");
+    printCacheRow(snap, "kernel", "pf_cache_kernel");
+    printCacheRow(snap, "optical", "pf_cache_optical");
+    std::printf(" counters: completed %llu  rejected %llu  "
+                "batches %llu  net tx %llu B  rx %llu B\n",
+                static_cast<unsigned long long>(
+                    snap.counterValue("pf_serve_completed_total")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("pf_serve_rejected_total")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("pf_serve_batches_total")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("pf_net_bytes_sent_total")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("pf_net_bytes_recv_total")));
 }
 
 struct RunResult
@@ -189,6 +272,11 @@ runOnce(const Options &opt, size_t max_batch,
         cfg.batching = batching;
     }
     cfg.workers = opt.workers;
+    // A per-run private registry keeps each batch size's breakdown
+    // clean instead of accumulating across the sweep.
+    obs::MetricsRegistry run_metrics;
+    if (opt.metrics)
+        cfg.metrics = &run_metrics;
     serve::InferenceServer server(cfg);
     server.registry().add(opt.model, buildModel(opt.model));
 
@@ -241,6 +329,11 @@ runOnce(const Options &opt, size_t max_batch,
             std::chrono::steady_clock::now() - started)
             .count();
     server.drain();
+    if (opt.metrics)
+        printMetricsBreakdown(
+            run_metrics.snapshot(),
+            ("metrics (max_batch=" + std::to_string(max_batch) + ")")
+                .c_str());
 
     RunResult result;
     result.max_batch = max_batch;
@@ -337,9 +430,15 @@ runCluster(const Options &opt, const std::vector<nn::Sample> &samples)
                 const size_t i = next.fetch_add(1);
                 if (i >= opt.requests)
                     return;
+                // With --metrics, every 8th request opts into
+                // tracing so the shards' span rings fill without
+                // taxing the hot path for the rest.
+                serve::SubmitOptions options;
+                if (opt.metrics && i % 8 == 0)
+                    options.trace_id = traceIdFor(i);
                 auto handle = client.submit(
                     models[i % models.size()],
-                    samples[i % samples.size()].image);
+                    samples[i % samples.size()].image, options);
                 switch (handle.wait()) {
                 case serve::RequestStatus::Done:
                     done.fetch_add(1);
@@ -374,6 +473,20 @@ runCluster(const Options &opt, const std::vector<nn::Sample> &samples)
     cluster::StatsReportMsg remote;
     const bool have_remote = client.stats(&remote);
 
+    if (opt.metrics) {
+        // Fleet view over the wire (a router answers with its shards'
+        // registries merged), then this process's own client-side
+        // observations — separate on purpose: merging would stack the
+        // loadgen→endpoint hop onto the router→shard hop.
+        cluster::MetricsReportMsg fleet;
+        if (client.metrics(&fleet, /*include_traces=*/false))
+            printMetricsBreakdown(fleet.metrics,
+                                  "metrics (fleet, merged)");
+        printMetricsBreakdown(
+            obs::MetricsRegistry::global().snapshot(),
+            "metrics (loadgen client side)");
+    }
+
     FILE *out = std::fopen(opt.out.c_str(), "w");
     if (out == nullptr)
         pf_fatal("cannot open ", opt.out, " for writing");
@@ -384,6 +497,9 @@ runCluster(const Options &opt, const std::vector<nn::Sample> &samples)
     std::fprintf(out, "  \"requests\": %zu,\n", opt.requests);
     std::fprintf(out, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"num_cpus\": %u,\n", numCpus());
+    std::fprintf(out, "  \"build_type\": \"%s\",\n", buildType());
+    std::fprintf(out, "  \"git_sha\": \"%s\",\n", gitSha());
     std::fprintf(out, "  \"verify\": [\n");
     for (size_t i = 0; i < verify.size(); ++i) {
         const auto &v = verify[i];
@@ -482,6 +598,9 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"window_us\": %ld,\n", opt.window_us);
     std::fprintf(out, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"num_cpus\": %u,\n", numCpus());
+    std::fprintf(out, "  \"build_type\": \"%s\",\n", buildType());
+    std::fprintf(out, "  \"git_sha\": \"%s\",\n", gitSha());
     std::fprintf(out, "  \"runs\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Pull a serving endpoint's metrics + recorded trace spans over the
+ * wire and render them: a Prometheus-style metrics dump followed by
+ * waterfalls of the slowest traces.
+ *
+ * Usage: trace_dump HOST:PORT [options]
+ *   --top N        waterfalls for the N slowest traces (default 5)
+ *   --no-metrics   skip the Prometheus dump, waterfalls only
+ *   --assert-sane  exit nonzero unless the snapshot is sane: some
+ *                  requests completed and cache counters are
+ *                  well-formed. What CI's cluster smoke runs after
+ *                  the load phase.
+ *   --out PATH     also write the rendered report to PATH
+ *
+ * Works against a cluster_shard (its own registry) or a
+ * cluster_router (every live shard's registry, merged; span rings
+ * concatenated — on one host all processes share the steady clock, so
+ * a request's router- and shard-side spans land in one waterfall).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/cluster_client.hh"
+#include "cluster/router.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+using namespace photofourier;
+
+namespace {
+
+struct Options
+{
+    std::string endpoint;
+    size_t top = 5;
+    bool metrics = true;
+    bool assert_sane = false;
+    std::string out;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                pf_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--top")
+            opt.top = static_cast<size_t>(std::atol(value().c_str()));
+        else if (arg == "--no-metrics")
+            opt.metrics = false;
+        else if (arg == "--assert-sane")
+            opt.assert_sane = true;
+        else if (arg == "--out")
+            opt.out = value();
+        else if (!arg.empty() && arg[0] != '-' && opt.endpoint.empty())
+            opt.endpoint = arg;
+        else
+            pf_fatal("unknown argument ", arg);
+    }
+    if (opt.endpoint.empty())
+        pf_fatal("usage: trace_dump HOST:PORT [--top N] "
+                 "[--no-metrics] [--assert-sane] [--out PATH]");
+    return opt;
+}
+
+/**
+ * The smoke-level sanity gate: the fleet served something, and the
+ * cache gauges make sense. Returns the number of violations, printing
+ * one line per finding.
+ */
+int
+checkSane(const obs::MetricsSnapshot &snap)
+{
+    int violations = 0;
+    const uint64_t completed =
+        snap.counterValue("pf_serve_completed_total");
+    if (completed == 0) {
+        std::printf("SANITY: pf_serve_completed_total == 0 "
+                    "(no request completed)\n");
+        ++violations;
+    }
+    for (const std::string prefix :
+         {"pf_cache_kernel", "pf_cache_optical"}) {
+        const double hits = snap.gaugeValue(prefix + "_hits");
+        const double misses = snap.gaugeValue(prefix + "_misses");
+        if (hits < 0.0 || misses < 0.0) {
+            std::printf("SANITY: %s hit/miss gauges negative "
+                        "(%.0f/%.0f)\n",
+                        prefix.c_str(), hits, misses);
+            ++violations;
+        }
+    }
+    return violations;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    const auto addr = cluster::parseShardAddress(opt.endpoint);
+    if (!addr)
+        pf_fatal("bad endpoint '", opt.endpoint,
+                 "' (want host:port)");
+    cluster::EndpointConfig cfg;
+    cfg.client_name = "trace_dump";
+    cfg.data_connections = 1;
+    cluster::ClusterClient client(addr->host, addr->port, cfg);
+    if (!client.connect())
+        pf_fatal("cannot connect to ", opt.endpoint);
+
+    cluster::MetricsReportMsg report;
+    if (!client.metrics(&report, /*include_traces=*/true))
+        pf_fatal("metrics query to ", opt.endpoint, " failed");
+    client.close();
+
+    std::string rendered;
+    if (opt.metrics)
+        rendered += report.metrics.renderPrometheus();
+    obs::WaterfallOptions wf;
+    wf.top_n = opt.top;
+    rendered += "\n";
+    if (report.spans.empty())
+        rendered += "(no trace spans recorded — submit with a "
+                    "nonzero trace id)\n";
+    else
+        rendered += obs::renderWaterfall(report.spans, wf);
+
+    std::fputs(rendered.c_str(), stdout);
+    if (!opt.out.empty()) {
+        FILE *out = std::fopen(opt.out.c_str(), "w");
+        if (out == nullptr)
+            pf_fatal("cannot open ", opt.out, " for writing");
+        std::fputs(rendered.c_str(), out);
+        std::fclose(out);
+        std::printf("Wrote %s\n", opt.out.c_str());
+    }
+
+    if (opt.assert_sane) {
+        const int violations = checkSane(report.metrics);
+        if (violations > 0) {
+            std::printf("%d sanity violation(s) in metrics from %s\n",
+                        violations, report.server_name.c_str());
+            return 1;
+        }
+        std::printf("metrics from %s look sane\n",
+                    report.server_name.c_str());
+    }
+    return 0;
+}
