@@ -5,12 +5,21 @@
 # logits through the cluster (nonzero exit on any mismatch — this is
 # the CI cluster smoke), then measures closed-loop throughput.
 #
+# The smoke also exercises the health plane end to end: shard s1 runs
+# with an absurdly tight queue-latency SLO, so after traffic it must
+# report `degraded` through `trace_dump --health` (which still passes
+# --assert-sane — degraded is what spillover routing is for). Both
+# shards run with the crash flight recorder armed; s1 is terminated at
+# the end and its shutdown dump is checked for parseability.
+#
 # Usage: bench/cluster_smoke.sh BUILD_DIR [OUT_JSON]
 #   PF_CLUSTER_PORT_BASE  first of three consecutive ports (default 47410)
 #   PF_CLUSTER_REQUESTS   throughput-phase requests        (default 96)
 #   PF_CLUSTER_WIDTH      zoo width multiplier             (default 8)
 #   PF_CLUSTER_TRACE_OUT  where trace_dump writes the metrics + trace
 #                         artifact (default /tmp/pf_cluster_trace.txt)
+#   PF_CLUSTER_FLIGHT_DIR directory for per-shard flight-recorder
+#                         dumps (default /tmp)
 set -eu
 
 build_dir=${1:?usage: bench/cluster_smoke.sh BUILD_DIR [OUT_JSON]}
@@ -19,9 +28,11 @@ base=${PF_CLUSTER_PORT_BASE:-47410}
 requests=${PF_CLUSTER_REQUESTS:-96}
 width=${PF_CLUSTER_WIDTH:-8}
 trace_out=${PF_CLUSTER_TRACE_OUT:-/tmp/pf_cluster_trace.txt}
+flight_dir=${PF_CLUSTER_FLIGHT_DIR:-/tmp}
 
 models="small-vgg,small-alexnet,small-resnet"
 pids=""
+s1_pid=""
 cleanup() {
     # shellcheck disable=SC2086
     [ -n "$pids" ] && kill $pids 2>/dev/null || true
@@ -29,12 +40,20 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-"$build_dir/cluster_shard" --name s0 --port $((base + 1)) \
+rm -f "$flight_dir/pf_flight_s0.log" "$flight_dir/pf_flight_s1.log"
+
+PF_FLIGHT_RECORDER="$flight_dir/pf_flight_s0.log" \
+    "$build_dir/cluster_shard" --name s0 --port $((base + 1)) \
     --models "$models" --width "$width" --workers 1 &
 pids="$pids $!"
-"$build_dir/cluster_shard" --name s1 --port $((base + 2)) \
-    --models "$models" --width "$width" --workers 1 &
-pids="$pids $!"
+# s1 carries a 1µs queue-p99 SLO: any real traffic trips it, which is
+# exactly what the degraded-over-the-wire gate below wants to see.
+PF_FLIGHT_RECORDER="$flight_dir/pf_flight_s1.log" \
+    "$build_dir/cluster_shard" --name s1 --port $((base + 2)) \
+    --models "$models" --width "$width" --workers 1 \
+    --slo-queue-p99-us 0.001 &
+s1_pid=$!
+pids="$pids $s1_pid"
 
 # The router retries shard connections internally, so no ready-poll
 # is needed; same for the loadgen connecting to the router.
@@ -46,10 +65,38 @@ pids="$pids $!"
     --requests "$requests" --clients 4 --width "$width" \
     --metrics --out "$out"
 
-# Pull the fleet's merged metrics + trace rings through the router and
-# gate on sanity: requests completed, cache counters well-formed. The
-# artifact survives for CI to upload when a later step fails.
-"$build_dir/trace_dump" "127.0.0.1:$base" --assert-sane \
+# Pull the fleet's merged metrics + trace rings + health through the
+# router and gate on sanity: requests completed, cache counters
+# well-formed, no shard unhealthy. The artifact survives for CI to
+# upload when a later step fails.
+"$build_dir/trace_dump" "127.0.0.1:$base" --assert-sane --health \
     --out "$trace_out"
+
+# The tight SLO on s1 must have tripped: the fleet health section has
+# to report a degraded state with s1's queue_p99_us violation.
+grep -q "state=degraded" "$trace_out" || {
+    echo "FAIL: no degraded shard in $trace_out despite 1µs SLO" >&2
+    exit 1
+}
+grep -q "violation s1:queue_p99_us" "$trace_out" || {
+    echo "FAIL: s1 queue_p99_us violation missing from $trace_out" >&2
+    exit 1
+}
+
+# Kill s1 the way an orchestrator would and check that its graceful
+# shutdown left a parseable flight-recorder artifact behind.
+kill -TERM "$s1_pid"
+wait "$s1_pid" 2>/dev/null || true
+pids=$(echo "$pids" | sed "s/ $s1_pid//")
+[ -s "$flight_dir/pf_flight_s1.log" ] || {
+    echo "FAIL: s1 left no flight-recorder dump" >&2
+    exit 1
+}
+grep -q "^pf_flight_recorder version=1 reason=shutdown" \
+    "$flight_dir/pf_flight_s1.log" || {
+    echo "FAIL: unparseable flight-recorder header in" \
+        "$flight_dir/pf_flight_s1.log" >&2
+    exit 1
+}
 
 echo "Wrote $out"

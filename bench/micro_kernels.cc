@@ -16,6 +16,7 @@
 #include "common/build_info.hh"
 #include "common/rng.hh"
 #include "fourier4f/system4f.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "jtc/jtc_system.hh"
@@ -762,6 +763,25 @@ BM_ObsSpanActive(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ObsSpanActive);
+
+static void
+BM_ObsLogEvent(benchmark::State &state)
+{
+    // The per-request record path: message interned once at the call
+    // site, each iteration pushes a fixed-size record into the striped
+    // ring. This is the cost every pf_log_* macro pays when the sink
+    // is warm.
+    pf::obs::LogSink sink(4096);
+    const uint32_t msg =
+        pf::obs::LogSink::internMessage("bench", "benchmark log event");
+    uint64_t i = 0;
+    for (auto _ : state) {
+        pf::obs::logEvent(pf::obs::LogSeverity::Info, msg, i++, 0,
+                          &sink);
+        benchmark::DoNotOptimize(&sink);
+    }
+}
+BENCHMARK(BM_ObsLogEvent);
 
 int
 main(int argc, char **argv)

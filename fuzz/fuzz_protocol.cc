@@ -88,6 +88,28 @@ LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
                           "accepted metrics report with non-finite gauge");
     }
 
+    checkRoundTrip<cluster::HealthQueryMsg>(
+        frame, cluster::decodeHealthQuery,
+        cluster::encodeHealthQuery);
+
+    cluster::HealthReportMsg health_report;
+    if (cluster::decodeHealthReport(frame, &health_report)) {
+        pf_assert(cluster::encodeHealthReport(health_report) == frame,
+                  "health report round trip changed an accepted frame");
+        // v4 decoder invariants: the state byte is a real HealthState
+        // (the router folds fleet state with max(), so a forged 255
+        // would pin the fleet unhealthy forever), and SLO values are
+        // finite (NaN poisons every threshold comparison).
+        pf_assert(health_report.state <=
+                      photofourier::obs::HealthState::Unhealthy,
+                  "accepted health report with non-canonical state");
+        for (const auto &v : health_report.violations)
+            pf_assert(std::isfinite(v.value) &&
+                          std::isfinite(v.threshold),
+                      "accepted health report with non-finite SLO "
+                      "values");
+    }
+
     cluster::PingMsg ping;
     if (cluster::decodePing(frame, &ping, cluster::MsgType::Ping))
         pf_assert(cluster::encodePing(ping, cluster::MsgType::Ping) ==

@@ -162,6 +162,21 @@ protocolCorpus(const std::string &dir)
     write(dir, "metrics_report",
           cluster::encodeMetricsReport(metrics_report));
 
+    cluster::HealthQueryMsg health_query;
+    health_query.seq = 41;
+    write(dir, "health_query",
+          cluster::encodeHealthQuery(health_query));
+
+    cluster::HealthReportMsg health_report;
+    health_report.seq = 41;
+    health_report.server_name = "seed-shard";
+    health_report.state = obs::HealthState::Degraded;
+    health_report.violations.push_back(
+        {"queue_p99_us", 750000.0, 500000.0});
+    health_report.violations.push_back({"snr_floor_db", 6.5, 10.0});
+    write(dir, "health_report",
+          cluster::encodeHealthReport(health_report));
+
     // Hostile shapes that exposed real bugs (now rejected): a tensor
     // whose u64 dim product wraps to 0 with an empty payload...
     net::WireWriter overflow;
@@ -211,6 +226,31 @@ protocolCorpus(const std::string &dir)
     nan_gauge.f64(std::numeric_limits<double>::quiet_NaN());
     nan_gauge.u32(0); // no spans
     write(dir, "metrics_report_nan_gauge", nan_gauge.take());
+
+    // ...and a health report with a forged state byte: the router
+    // folds fleet state with max(), so an out-of-enum 255 would pin
+    // the fleet unhealthy forever.
+    net::WireWriter bad_state;
+    bad_state.u8(static_cast<uint8_t>(cluster::MsgType::HealthReport));
+    bad_state.u64(41);
+    bad_state.str("evil");
+    bad_state.u8(255); // not a HealthState
+    bad_state.u32(0);  // no violations
+    write(dir, "health_report_bad_state", bad_state.take());
+
+    // ...and a health report whose violation value is NaN: every
+    // threshold comparison downstream would silently go false.
+    net::WireWriter nan_violation;
+    nan_violation.u8(
+        static_cast<uint8_t>(cluster::MsgType::HealthReport));
+    nan_violation.u64(41);
+    nan_violation.str("evil");
+    nan_violation.u8(1); // degraded
+    nan_violation.u32(1);
+    nan_violation.str("queue_p99_us");
+    nan_violation.f64(std::numeric_limits<double>::quiet_NaN());
+    nan_violation.f64(500000.0);
+    write(dir, "health_report_nan_violation", nan_violation.take());
 }
 
 void

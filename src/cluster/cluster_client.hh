@@ -82,6 +82,15 @@ class ClusterClient
         return endpoint_.queryMetrics(out, include_traces);
     }
 
+    /**
+     * Remote health snapshot — the fleet's worst shard state (with
+     * "shard:"-prefixed violations) when the endpoint is a router.
+     */
+    bool health(HealthReportMsg *out)
+    {
+        return endpoint_.queryHealth(out);
+    }
+
     /** Liveness probe. */
     bool ping() { return endpoint_.ping(); }
 

@@ -352,6 +352,22 @@ RemoteEndpoint::queryMetrics(MetricsReportMsg *out,
 }
 
 bool
+RemoteEndpoint::queryHealth(HealthReportMsg *out)
+{
+    pf_assert(out != nullptr, "queryHealth without output");
+    HealthQueryMsg query;
+    query.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::string reply;
+    if (!controlRoundTrip(encodeHealthQuery(query), &reply))
+        return false;
+    if (!decodeHealthReport(reply, out) || out->seq != query.seq) {
+        markDown("control protocol error from shard " + name_);
+        return false;
+    }
+    return true;
+}
+
+bool
 RemoteEndpoint::ping()
 {
     PingMsg ping;

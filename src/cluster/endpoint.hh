@@ -131,6 +131,9 @@ class RemoteEndpoint
     /** Control-plane metrics pull (spans too when include_traces). */
     bool queryMetrics(MetricsReportMsg *out, bool include_traces);
 
+    /** Control-plane health pull (v4 GetHealth). */
+    bool queryHealth(HealthReportMsg *out);
+
     /** Control-plane liveness probe. */
     bool ping();
 

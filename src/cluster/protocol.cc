@@ -216,7 +216,7 @@ peekType(std::string_view frame, MsgType *type)
         return false;
     const auto tag = static_cast<uint8_t>(frame[0]);
     if (tag < static_cast<uint8_t>(MsgType::Hello) ||
-        tag > static_cast<uint8_t>(MsgType::MetricsReport))
+        tag > static_cast<uint8_t>(MsgType::HealthReport))
         return false;
     *type = static_cast<MsgType>(tag);
     return true;
@@ -601,6 +601,71 @@ decodeMetricsReport(std::string_view frame, MetricsReportMsg *msg)
     return r.atEnd();
 }
 
+std::string
+encodeHealthQuery(const HealthQueryMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::HealthQuery);
+    w.u64(msg.seq);
+    return w.take();
+}
+
+bool
+decodeHealthQuery(std::string_view frame, HealthQueryMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::HealthQuery))
+        return false;
+    msg->seq = r.u64();
+    return r.atEnd();
+}
+
+std::string
+encodeHealthReport(const HealthReportMsg &msg)
+{
+    WireWriter w = beginMessage(MsgType::HealthReport);
+    w.u64(msg.seq);
+    w.str(msg.server_name);
+    w.u8(static_cast<uint8_t>(msg.state));
+    w.u32(static_cast<uint32_t>(msg.violations.size()));
+    for (const auto &v : msg.violations) {
+        w.str(v.rule);
+        w.f64(v.value);
+        w.f64(v.threshold);
+    }
+    return w.take();
+}
+
+bool
+decodeHealthReport(std::string_view frame, HealthReportMsg *msg)
+{
+    WireReader r(frame);
+    if (!expectType(r, MsgType::HealthReport))
+        return false;
+    msg->seq = r.u64();
+    msg->server_name = r.str();
+    const uint8_t state = r.u8();
+    // Only the three canonical states travel; anything else would
+    // break the decode∘encode identity (and routers order states by
+    // value, so a forged 255 would dominate every fleet fold).
+    if (state > static_cast<uint8_t>(obs::HealthState::Unhealthy))
+        return false;
+    msg->state = static_cast<obs::HealthState>(state);
+    const uint32_t count = r.u32();
+    msg->violations.clear();
+    for (uint32_t i = 0; i < count && r.ok(); ++i) {
+        obs::SloViolation v;
+        v.rule = r.str();
+        v.value = r.f64();
+        v.threshold = r.f64();
+        // SLO values feed dashboards and gates as numbers; a NaN or
+        // inf from one poisoned shard must not be representable.
+        if (!std::isfinite(v.value) || !std::isfinite(v.threshold))
+            return false;
+        msg->violations.push_back(std::move(v));
+    }
+    return r.atEnd();
+}
+
 namespace {
 
 /** FNV-1a 64-bit over the bytes of a name. */
@@ -655,6 +720,14 @@ ServingBackend::metricsReport(bool include_traces)
 {
     (void)include_traces;
     MetricsReportMsg msg;
+    msg.server_name = backendName();
+    return msg;
+}
+
+HealthReportMsg
+ServingBackend::healthReport()
+{
+    HealthReportMsg msg;
     msg.server_name = backendName();
     return msg;
 }

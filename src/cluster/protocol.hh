@@ -34,6 +34,7 @@
 
 #include "common/stats.hh"
 #include "nn/conv_engine.hh"
+#include "obs/health.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "nn/network.hh"
@@ -50,7 +51,7 @@ constexpr uint32_t kMagic = 0x31434650;
 
 /** Protocol version; bumped on any layout change. */
 constexpr uint16_t kProtocolVersion =
-    3; ///< v3: Infer trace_id + Metrics messages
+    4; ///< v4: Health messages (v3: Infer trace_id + Metrics)
 
 /** Message tags (u8 on the wire). */
 enum class MsgType : uint8_t
@@ -67,6 +68,8 @@ enum class MsgType : uint8_t
     Pong = 10,         ///< probe reply
     MetricsQuery = 11, ///< client → server (control): GetMetrics
     MetricsReport = 12,///< server → client: snapshot (+ traces)
+    HealthQuery = 13,  ///< client → server (control): GetHealth (v4)
+    HealthReport = 14, ///< server → client: SLO state + violations
 };
 
 /** Connection opening: pins magic + version. */
@@ -199,6 +202,26 @@ struct MetricsReportMsg
     std::vector<obs::Span> spans;
 };
 
+/** Health pull (the protocol's GetHealth, v4). */
+struct HealthQueryMsg
+{
+    uint64_t seq = 0;
+};
+
+/**
+ * A server's health: the monitor's folded state plus the SLO rules
+ * currently violated. A router answers with the fleet's worst shard
+ * state and the union of shard violations, each rule name prefixed
+ * "shard:" so one report localizes the problem.
+ */
+struct HealthReportMsg
+{
+    uint64_t seq = 0;
+    std::string server_name;
+    obs::HealthState state = obs::HealthState::Healthy;
+    std::vector<obs::SloViolation> violations;
+};
+
 /** Read a frame's message tag without consuming the payload. */
 bool peekType(std::string_view frame, MsgType *type);
 
@@ -213,6 +236,8 @@ std::string encodeStatsReport(const StatsReportMsg &msg);
 std::string encodePing(const PingMsg &msg, MsgType type = MsgType::Ping);
 std::string encodeMetricsQuery(const MetricsQueryMsg &msg);
 std::string encodeMetricsReport(const MetricsReportMsg &msg);
+std::string encodeHealthQuery(const HealthQueryMsg &msg);
+std::string encodeHealthReport(const HealthReportMsg &msg);
 
 /**
  * decode*(): false on a wrong tag, truncated layout, trailing bytes,
@@ -231,6 +256,8 @@ bool decodePing(std::string_view frame, PingMsg *msg,
                 MsgType type = MsgType::Ping);
 bool decodeMetricsQuery(std::string_view frame, MetricsQueryMsg *msg);
 bool decodeMetricsReport(std::string_view frame, MetricsReportMsg *msg);
+bool decodeHealthQuery(std::string_view frame, HealthQueryMsg *msg);
+bool decodeHealthReport(std::string_view frame, HealthReportMsg *msg);
 
 /**
  * Rendezvous score of (shard, model): deterministic across processes
@@ -297,6 +324,15 @@ class ServingBackend
      * with its own.
      */
     virtual MetricsReportMsg metricsReport(bool include_traces);
+
+    /**
+     * Current health (seq filled by the caller). The base
+     * implementation reports healthy with no violations so backends
+     * without a monitor keep working; ShardServer evaluates its SLO
+     * rules against its registry, Router folds the fleet's worst
+     * shard state.
+     */
+    virtual HealthReportMsg healthReport();
 };
 
 } // namespace cluster

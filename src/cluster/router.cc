@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iterator>
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -50,6 +51,8 @@ Router::Router(RouterConfig config)
         &metrics_registry_->counter("pf_router_failover_total");
     no_live_shard_total_ =
         &metrics_registry_->counter("pf_router_no_live_shard_total");
+    health_demoted_total_ =
+        &metrics_registry_->counter("pf_router_health_demoted_total");
     EndpointConfig endpoint_config;
     endpoint_config.data_connections = config_.data_connections;
     endpoint_config.client_name = config_.client_name;
@@ -119,6 +122,33 @@ Router::endpoint(const std::string &shard)
     return nullptr;
 }
 
+std::vector<std::string>
+Router::healthOrdered(const std::vector<std::string> &ranked) const
+{
+    std::map<std::string, obs::HealthState> health;
+    {
+        std::lock_guard<std::mutex> lock(health_mutex_);
+        health = health_;
+    }
+    std::vector<std::string> ordered;
+    ordered.reserve(ranked.size());
+    for (int cls = 0; cls <= int(obs::HealthState::Unhealthy); ++cls) {
+        for (const auto &name : ranked) {
+            const auto it = health.find(name);
+            const obs::HealthState state =
+                it == health.end() ? obs::HealthState::Healthy
+                                   : it->second;
+            if (int(state) == cls)
+                ordered.push_back(name);
+        }
+    }
+    // Count requests whose routing actually changed: SLO state
+    // pushed some shard behind its rendezvous rank.
+    if (ordered != ranked)
+        health_demoted_total_->inc();
+    return ordered;
+}
+
 serve::Completion
 Router::submit(const std::string &model, nn::Tensor input,
                serve::SubmitOptions options)
@@ -127,7 +157,12 @@ Router::submit(const std::string &model, nn::Tensor input,
 
     // First choice: live shards that advertise the model, in
     // preference order — the primary unless it died, then spillover.
-    for (const auto &name : ranked) {
+    // With health_aware the walk visits known-Healthy shards first
+    // (rendezvous order within a class), so a degraded primary only
+    // serves when no healthier replica has the model.
+    const std::vector<std::string> preferred =
+        config_.health_aware ? healthOrdered(ranked) : ranked;
+    for (const auto &name : preferred) {
         RemoteEndpoint *ep = endpoint(name);
         if (ep == nullptr || !ep->up() || !ep->hasModel(model))
             continue;
@@ -328,6 +363,47 @@ Router::metricsReport(bool include_traces)
     }
     msg.metrics.merge(metrics_registry_->snapshot());
     return msg;
+}
+
+HealthReportMsg
+Router::healthReport()
+{
+    HealthReportMsg msg;
+    msg.server_name = config_.client_name;
+    for (const auto &endpoint : endpoints_) {
+        if (!endpoint->up())
+            continue;
+        HealthReportMsg shard;
+        if (!endpoint->queryHealth(&shard))
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(health_mutex_);
+            health_[endpoint->name()] = shard.state;
+        }
+        if (shard.state > msg.state)
+            msg.state = shard.state;
+        for (auto &violation : shard.violations) {
+            violation.rule =
+                endpoint->name() + ":" + violation.rule;
+            msg.violations.push_back(std::move(violation));
+        }
+    }
+    return msg;
+}
+
+obs::HealthState
+Router::refreshHealth()
+{
+    return healthReport().state;
+}
+
+obs::HealthState
+Router::shardHealth(const std::string &shard) const
+{
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    const auto it = health_.find(shard);
+    return it == health_.end() ? obs::HealthState::Healthy
+                               : it->second;
 }
 
 void

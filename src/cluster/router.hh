@@ -79,6 +79,11 @@ struct RouterConfig
      *  obs::MetricsRegistry::global(). Tests inject private registries
      *  so several routers can coexist in one process. */
     obs::MetricsRegistry *metrics = nullptr;
+
+    /** Prefer healthier shards when routing: submit() walks the
+     *  rendezvous list best-known-health-class first (see
+     *  refreshHealth). Placement itself is unchanged. */
+    bool health_aware = true;
 };
 
 /** One shard's row in a cluster report. */
@@ -180,6 +185,25 @@ class Router : public ServingBackend
      */
     MetricsReportMsg metricsReport(bool include_traces) override;
 
+    /**
+     * Fleet health: every live shard's HealthReport pulled over the
+     * wire, folded to the worst shard state, with each violation's
+     * rule prefixed "shard:" so one report localizes the problem.
+     * Also refreshes the health cache submit() consults.
+     */
+    HealthReportMsg healthReport() override;
+
+    /**
+     * Pull every live shard's health and refresh the preference
+     * cache (daemons call this periodically — the poor man's
+     * heartbeat until ROADMAP item 4's push-based one). Returns the
+     * fleet's worst state.
+     */
+    obs::HealthState refreshHealth();
+
+    /** Last pulled health of `shard` (Healthy when never pulled). */
+    obs::HealthState shardHealth(const std::string &shard) const;
+
     /** The registry the router records into (config or global). */
     obs::MetricsRegistry &metricsRegistry() const
     {
@@ -196,6 +220,11 @@ class Router : public ServingBackend
     RemoteEndpoint *endpoint(const std::string &shard);
 
   private:
+    /** `ranked` reordered best-known-health-class first (stable
+     *  within a class, so rendezvous order still breaks ties). */
+    std::vector<std::string> healthOrdered(
+        const std::vector<std::string> &ranked) const;
+
     RouterConfig config_;
     std::vector<std::unique_ptr<RemoteEndpoint>> endpoints_;
     std::chrono::steady_clock::time_point started_at_;
@@ -203,6 +232,12 @@ class Router : public ServingBackend
     obs::MetricsRegistry *metrics_registry_ = nullptr;
     obs::Counter *failover_total_ = nullptr;
     obs::Counter *no_live_shard_total_ = nullptr;
+    obs::Counter *health_demoted_total_ = nullptr;
+
+    // Lock order: health_mutex_ is a leaf lock — readers copy the
+    // state out before touching endpoints.
+    mutable std::mutex health_mutex_;
+    std::map<std::string, obs::HealthState> health_;
 };
 
 } // namespace cluster

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "nn/serialization.hh"
+#include "obs/log.hh"
 
 namespace photofourier {
 namespace cluster {
@@ -172,6 +173,16 @@ ProtocolServer::readerLoop(Connection *connection)
             if (!connection->conn.sendFrame(
                     encodeMetricsReport(report)))
                 break;
+        } else if (type == MsgType::HealthQuery) {
+            HealthQueryMsg query;
+            if (!decodeHealthQuery(frame, &query))
+                break;
+            HealthReportMsg report = backend_.healthReport();
+            report.seq = query.seq;
+            std::lock_guard<std::mutex> lock(connection->send_mutex);
+            if (!connection->conn.sendFrame(
+                    encodeHealthReport(report)))
+                break;
         } else if (type == MsgType::Ping) {
             PingMsg ping;
             if (!decodePing(frame, &ping))
@@ -277,7 +288,9 @@ ProtocolServer::stop()
 
 ShardServer::ShardServer(ShardServerConfig config)
     : config_(std::move(config)), server_(config_.serving),
-      protocol_(*this, config_.listen)
+      protocol_(*this, config_.listen),
+      health_(obs::HealthMonitor::Config{
+          config_.slo_rules, config_.health_recover_after})
 {
 }
 
@@ -387,6 +400,22 @@ ShardServer::metricsReport(bool include_traces)
     msg.metrics = server_.metricsRegistry().snapshot();
     if (include_traces)
         msg.spans = server_.traceSink().snapshot();
+    return msg;
+}
+
+HealthReportMsg
+ShardServer::healthReport()
+{
+    const obs::HealthStatus status =
+        health_.evaluate(server_.metricsRegistry().snapshot());
+    HealthReportMsg msg;
+    msg.server_name = config_.name;
+    msg.state = status.state;
+    msg.violations = status.violations;
+    if (status.state != obs::HealthState::Healthy)
+        pf_log_warn("cluster", "shard health not healthy",
+                    static_cast<uint64_t>(status.state),
+                    status.violations.size());
     return msg;
 }
 

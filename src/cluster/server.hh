@@ -36,6 +36,7 @@
 
 #include "cluster/protocol.hh"
 #include "net/socket.hh"
+#include "obs/health.hh"
 #include "serve/inference_server.hh"
 
 namespace photofourier {
@@ -139,6 +140,12 @@ struct ShardServerConfig
 
     /** The wrapped InferenceServer's configuration. */
     serve::ServerConfig serving;
+
+    /** SLO rules the shard's HealthMonitor evaluates on HealthQuery. */
+    std::vector<obs::SloRule> slo_rules = obs::defaultSloRules();
+
+    /** Clean evaluations before health may recover (hysteresis). */
+    uint32_t health_recover_after = 2;
 };
 
 /**
@@ -188,11 +195,16 @@ class ShardServer : public ServingBackend
                        std::string *error) override;
     StatsReportMsg stats() const override;
     MetricsReportMsg metricsReport(bool include_traces) override;
+    HealthReportMsg healthReport() override;
+
+    /** The shard's health monitor (tests tighten rules through it). */
+    obs::HealthMonitor &health() { return health_; }
 
   private:
     ShardServerConfig config_;
     serve::InferenceServer server_;
     ProtocolServer protocol_;
+    obs::HealthMonitor health_;
     std::mutex lifecycle_mutex_;
     bool stopped_ = false;
 };

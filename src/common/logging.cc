@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -30,6 +31,8 @@ namespace {
 
 LogLevel global_level = LogLevel::Info;
 
+std::atomic<PanicHook> global_panic_hook{nullptr};
+
 } // namespace
 
 void
@@ -44,6 +47,12 @@ logLevel()
     return global_level;
 }
 
+PanicHook
+setPanicHook(PanicHook hook)
+{
+    return global_panic_hook.exchange(hook);
+}
+
 namespace detail {
 
 void
@@ -51,6 +60,10 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::cerr << "panic: " << msg << " @ " << file << ":" << line
               << std::endl;
+    // Flight-recorder hook first: once the sanitizer trace or abort
+    // runs there is no further chance to persist the last log events.
+    if (PanicHook hook = global_panic_hook.load())
+        hook();
 #ifdef PF_HAVE_SANITIZER_STACKTRACE
     __sanitizer_print_stack_trace();
 #endif

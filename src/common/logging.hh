@@ -26,6 +26,18 @@ void setLogLevel(LogLevel level);
 /** Current global log verbosity. */
 LogLevel logLevel();
 
+/**
+ * Hook run on the panic path (failed pf_assert / pf_panic) after the
+ * message prints but before the stack trace and abort. The obs layer
+ * installs its flight-recorder dump here — common/ sits below obs/ in
+ * the layering, so the dependency is inverted through this pointer.
+ * The hook runs on the crashing thread and must not panic.
+ */
+using PanicHook = void (*)();
+
+/** Install `hook` (nullptr to clear); returns the previous hook. */
+PanicHook setPanicHook(PanicHook hook);
+
 namespace detail {
 
 [[noreturn]] void panicImpl(const char *file, int line,

@@ -302,6 +302,9 @@ PhotoFourierEngine::PhotoFourierEngine(
 {
     pf_assert(config_.temporal_accumulation_depth >= 1,
               "temporal accumulation depth must be >= 1");
+    obs::MetricsRegistry &registry = obs::MetricsRegistry::global();
+    snr_gauge_ = &registry.gauge("pf_photonic_snr_db");
+    saturation_gauge_ = &registry.gauge("pf_photonic_saturation");
 }
 
 Tensor
@@ -464,6 +467,14 @@ PhotoFourierEngine::convolve(const Tensor &input,
     double adc_calib = 0.0; // max accumulated charge per polarity
     for (double calib : oc_calib)
         adc_calib = std::max(adc_calib, calib);
+
+    // Health-facing gauges (two relaxed stores, nothing else): the
+    // detector SNR this engine models (ideal 120 dB with noise off,
+    // so the snr_floor_db SLO rule only fires on a genuinely noisy
+    // configuration) and the ADC calibration range — the peak
+    // photodetector charge the readout grid was scaled to this call.
+    snr_gauge_->set(config_.noise ? config_.snr_db : 120.0);
+    saturation_gauge_->set(adc_calib);
 
     // Second pass: one ADC readout per group per polarity on the
     // layer-scale grid; digital subtraction and accumulation.

@@ -25,6 +25,7 @@
 
 #include "common/rng.hh"
 #include "nn/tensor.hh"
+#include "obs/metrics.hh"
 #include "signal/convolution.hh"
 #include "tiling/spectrum_cache.hh"
 
@@ -214,6 +215,14 @@ class PhotoFourierEngine : public ConvEngine
   private:
     PhotoFourierEngineConfig config_;
     std::shared_ptr<tiling::KernelSpectrumCache> spectra_;
+
+    /** Health-facing gauges (pf_photonic_snr_db, pf_photonic_
+     *  saturation), resolved once from the global registry so
+     *  convolve() records with two relaxed stores — no lookups, no
+     *  allocation on the hot path. The SLO rule snr_floor_db
+     *  (obs/health) reads the first one. */
+    obs::Gauge *snr_gauge_ = nullptr;
+    obs::Gauge *saturation_gauge_ = nullptr;
 };
 
 } // namespace nn

@@ -248,7 +248,11 @@ renderWaterfall(const std::vector<Span> &spans,
             for (size_t i = 0; i < len; ++i)
                 bar[begin + i] = '#';
             out << "  [" << bar << "] ";
-            for (uint32_t d = 1; d < span->depth; ++d)
+            // Depth comes off the wire untrusted: clamp the indent so
+            // a forged 2^32-1 depth can't balloon the rendering.
+            const uint32_t indent =
+                std::min(span->depth, uint32_t(options.max_indent));
+            for (uint32_t d = 1; d < indent; ++d)
                 out << "  ";
             out << span->name << "  "
                 << static_cast<double>(span->start_ns - t->begin_ns) *

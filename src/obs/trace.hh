@@ -153,6 +153,7 @@ struct WaterfallOptions
     const char *unit = "us";  ///< label for the time column
     double scale = 1e-3;      ///< multiply raw span times by this
     size_t bar_width = 40;    ///< columns in the bar area
+    uint32_t max_indent = 16; ///< indent clamp (wire depth is untrusted)
 };
 
 /**

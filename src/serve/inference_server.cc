@@ -130,6 +130,10 @@ InferenceServer::bindMetrics()
             .set(double(signal::fftPlanCacheSize()));
         reg.gauge("pf_signal_fft2d_plans")
             .set(double(signal::fft2dPlanCacheSize()));
+        // Span-ring overflow rides the same pull: a nonzero value in
+        // a Prometheus dump says waterfalls may be missing spans.
+        reg.gauge("pf_trace_spans_dropped")
+            .set(double(trace_sink_->dropped()));
     });
 }
 

@@ -44,6 +44,32 @@ void operator delete(void *p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void *p) noexcept { std::free(p); }
 void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
 
+// Nothrow forms count too — libstdc++'s temporary buffers
+// (std::stable_sort, std::inplace_merge) allocate via
+// ::operator new(n, nothrow) but release via plain ::operator delete,
+// so without these the pair straddles two allocators (ASan flags the
+// new/free mismatch) and the allocation escapes the pins.
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    pf_test_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n ? n : 1);
+}
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    pf_test_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n ? n : 1);
+}
+void operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
 // Over-aligned forms count too — without these, an alignas(>16) hot-
 // path buffer would allocate through the default aligned new and be
 // invisible to the zero-allocation pins.

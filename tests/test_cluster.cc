@@ -33,10 +33,13 @@
 #include "net/wire.hh"
 #include "nn/layers.hh"
 #include "nn/serialization.hh"
+#include "obs/health.hh"
+#include "obs/metrics.hh"
 
 namespace pf = photofourier;
 namespace nn = photofourier::nn;
 namespace net = photofourier::net;
+namespace obs = photofourier::obs;
 namespace sig = photofourier::signal;
 namespace serve = photofourier::serve;
 namespace cluster = photofourier::cluster;
@@ -1008,4 +1011,228 @@ TEST(ClusterEquivalence, RouterMatchesSingleServerForEveryZooModel)
     s0->stop();
     s1->stop();
     single.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// v4 health messages: wire discipline and end-to-end routing
+// ---------------------------------------------------------------------------
+
+TEST(HealthWire, QueryAndReportRoundTrip)
+{
+    cluster::HealthQueryMsg query;
+    query.seq = 31;
+    cluster::HealthQueryMsg query2;
+    ASSERT_TRUE(cluster::decodeHealthQuery(
+        cluster::encodeHealthQuery(query), &query2));
+    EXPECT_EQ(query2.seq, 31u);
+
+    cluster::HealthReportMsg report;
+    report.seq = 31;
+    report.server_name = "shard-a";
+    report.state = pf::obs::HealthState::Degraded;
+    report.violations.push_back({"queue_p99_us", 750000.0, 500000.0});
+    report.violations.push_back({"snr_floor_db", 6.5, 10.0});
+
+    cluster::HealthReportMsg decoded;
+    ASSERT_TRUE(cluster::decodeHealthReport(
+        cluster::encodeHealthReport(report), &decoded));
+    EXPECT_EQ(decoded.seq, 31u);
+    EXPECT_EQ(decoded.server_name, "shard-a");
+    EXPECT_EQ(decoded.state, pf::obs::HealthState::Degraded);
+    ASSERT_EQ(decoded.violations.size(), 2u);
+    EXPECT_EQ(decoded.violations[0].rule, "queue_p99_us");
+    EXPECT_DOUBLE_EQ(decoded.violations[0].value, 750000.0);
+    EXPECT_DOUBLE_EQ(decoded.violations[1].threshold, 10.0);
+
+    // Canonical codec: decode∘encode is byte-identical.
+    EXPECT_EQ(cluster::encodeHealthReport(decoded),
+              cluster::encodeHealthReport(report));
+}
+
+TEST(HealthWire, DecodersRejectTruncationAndHostileValues)
+{
+    cluster::HealthReportMsg report;
+    report.seq = 1;
+    report.server_name = "s";
+    report.state = pf::obs::HealthState::Unhealthy;
+    report.violations.push_back({"r", 2.0, 1.0});
+    const std::string frame = cluster::encodeHealthReport(report);
+
+    cluster::HealthReportMsg sink;
+    for (size_t cut = 0; cut < frame.size(); ++cut)
+        EXPECT_FALSE(cluster::decodeHealthReport(frame.substr(0, cut),
+                                                 &sink))
+            << "accepted truncation at " << cut;
+    EXPECT_FALSE(cluster::decodeHealthReport(frame + "z", &sink));
+
+    cluster::HealthQueryMsg q;
+    EXPECT_FALSE(cluster::decodeHealthQuery("", &q));
+
+    // A state byte outside the enum is a forgery, not a new state.
+    {
+        net::WireWriter w;
+        w.u8(static_cast<uint8_t>(cluster::MsgType::HealthReport));
+        w.u64(1);
+        w.str("s");
+        w.u8(7); // not a HealthState
+        w.u32(0);
+        EXPECT_FALSE(cluster::decodeHealthReport(w.take(), &sink));
+    }
+
+    // Non-finite SLO values never cross the wire: a NaN threshold
+    // would poison every comparison downstream.
+    for (const double bad :
+         {std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::infinity()}) {
+        net::WireWriter w;
+        w.u8(static_cast<uint8_t>(cluster::MsgType::HealthReport));
+        w.u64(1);
+        w.str("s");
+        w.u8(1);
+        w.u32(1);
+        w.str("rule");
+        w.f64(bad);
+        w.f64(1.0);
+        EXPECT_FALSE(cluster::decodeHealthReport(w.take(), &sink));
+    }
+}
+
+TEST(ShardServer, ReportsDegradedOverTheWire)
+{
+    // A deliberately unmeetable SLO: any completed request pushes the
+    // queue-stage p99 over a 1 ns threshold, so real traffic flips
+    // the shard to degraded — deterministically, no load timing.
+    obs::MetricsRegistry registry;
+    cluster::ShardServerConfig config;
+    config.name = "tight";
+    config.serving.workers = 1;
+    config.serving.metrics = &registry;
+    obs::SloRule tight;
+    tight.name = "queue_p99_us";
+    tight.predicate = obs::SloPredicate::HistogramP99Above;
+    tight.metric = "pf_serve_stage_queue_us";
+    tight.threshold = 0.001;
+    config.slo_rules = {tight};
+    cluster::ShardServer shard(config);
+    shard.registry().add("tiny", tinyNet());
+    ASSERT_TRUE(shard.start());
+
+    cluster::ClusterClient client("127.0.0.1", shard.port());
+    ASSERT_TRUE(client.connect());
+
+    // Before any traffic: the histogram is empty, the rule skips.
+    cluster::HealthReportMsg before;
+    ASSERT_TRUE(client.health(&before));
+    EXPECT_EQ(before.server_name, "tight");
+    EXPECT_EQ(before.state, pf::obs::HealthState::Healthy);
+
+    const auto inputs = tinyInputs(4);
+    for (const auto &input : inputs)
+        ASSERT_EQ(client.submit("tiny", input).wait(),
+                  serve::RequestStatus::Done);
+    shard.server().drain();
+
+    cluster::HealthReportMsg after;
+    ASSERT_TRUE(client.health(&after));
+    EXPECT_EQ(after.state, pf::obs::HealthState::Degraded);
+    ASSERT_EQ(after.violations.size(), 1u);
+    EXPECT_EQ(after.violations[0].rule, "queue_p99_us");
+    EXPECT_GT(after.violations[0].value, 0.001);
+
+    client.close();
+    shard.stop();
+}
+
+TEST(Router, HealthAwareFailoverPrefersHealthyShard)
+{
+    // Both shards hold the model; a gauge-triggered SLO rule lets the
+    // test degrade the rendezvous primary on demand and watch the
+    // router's preference walk route around it.
+    obs::SloRule knob;
+    knob.name = "test_degrade";
+    knob.predicate = obs::SloPredicate::GaugeAbove;
+    knob.metric = "pf_test_degrade";
+    knob.threshold = 0.5;
+
+    obs::MetricsRegistry regs[2];
+    std::unique_ptr<cluster::ShardServer> shards[2];
+    const char *names[2] = {"s0", "s1"};
+    for (int i = 0; i < 2; ++i) {
+        cluster::ShardServerConfig config;
+        config.name = names[i];
+        config.serving.workers = 1;
+        config.serving.metrics = &regs[i];
+        config.slo_rules = {knob};
+        config.health_recover_after = 2;
+        shards[i] =
+            std::make_unique<cluster::ShardServer>(std::move(config));
+        shards[i]->registry().add("tiny", tinyNet());
+        ASSERT_TRUE(shards[i]->start());
+    }
+
+    obs::MetricsRegistry router_reg;
+    cluster::RouterConfig router_cfg;
+    router_cfg.shards = {{"s0", "127.0.0.1", shards[0]->port()},
+                         {"s1", "127.0.0.1", shards[1]->port()}};
+    router_cfg.replicas = 2;
+    router_cfg.metrics = &router_reg;
+    cluster::Router router(router_cfg);
+    ASSERT_EQ(router.connect(), 2u);
+
+    const std::vector<std::string> ranked = router.placement("tiny");
+    ASSERT_EQ(ranked.size(), 2u);
+    const int primary = ranked[0] == "s0" ? 0 : 1;
+    const int secondary = 1 - primary;
+
+    auto accepted = [&](int shard) {
+        return regs[shard].snapshot().counterValue(
+            "pf_serve_accepted_total");
+    };
+    const auto inputs = tinyInputs(4);
+
+    // Baseline: a healthy fleet routes to the rendezvous primary.
+    ASSERT_EQ(router.refreshHealth(), pf::obs::HealthState::Healthy);
+    for (const auto &input : inputs)
+        ASSERT_EQ(router.submit("tiny", input).wait(),
+                  serve::RequestStatus::Done);
+    EXPECT_EQ(accepted(primary), 4u);
+    EXPECT_EQ(accepted(secondary), 0u);
+
+    // Degrade the primary; the next health pull reorders routing.
+    regs[primary].gauge("pf_test_degrade").set(1.0);
+    EXPECT_EQ(router.refreshHealth(), pf::obs::HealthState::Degraded);
+    EXPECT_EQ(router.shardHealth(ranked[0]),
+              pf::obs::HealthState::Degraded);
+    EXPECT_EQ(router.shardHealth(ranked[1]),
+              pf::obs::HealthState::Healthy);
+    for (const auto &input : inputs)
+        ASSERT_EQ(router.submit("tiny", input).wait(),
+                  serve::RequestStatus::Done);
+    EXPECT_EQ(accepted(primary), 4u); // unchanged
+    EXPECT_EQ(accepted(secondary), 4u);
+    EXPECT_GE(router_reg.snapshot().counterValue(
+                  "pf_router_health_demoted_total"),
+              4u);
+
+    // The fleet report localizes the violation to the shard.
+    const cluster::HealthReportMsg fleet = router.healthReport();
+    EXPECT_EQ(fleet.state, pf::obs::HealthState::Degraded);
+    ASSERT_EQ(fleet.violations.size(), 1u);
+    EXPECT_EQ(fleet.violations[0].rule,
+              ranked[0] + ":test_degrade");
+
+    // Recovery takes recover_after consecutive clean evaluations,
+    // then traffic returns to rendezvous order.
+    regs[primary].gauge("pf_test_degrade").set(0.0);
+    EXPECT_EQ(router.refreshHealth(), pf::obs::HealthState::Degraded);
+    EXPECT_EQ(router.refreshHealth(), pf::obs::HealthState::Healthy);
+    for (const auto &input : inputs)
+        ASSERT_EQ(router.submit("tiny", input).wait(),
+                  serve::RequestStatus::Done);
+    EXPECT_EQ(accepted(primary), 8u);
+    EXPECT_EQ(accepted(secondary), 4u);
+
+    router.close();
+    shards[0]->stop();
+    shards[1]->stop();
 }

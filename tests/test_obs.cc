@@ -12,6 +12,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +26,8 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "nn/layers.hh"
+#include "obs/health.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "serve/inference_server.hh"
@@ -277,6 +281,370 @@ TEST(Trace, WaterfallRendersSlowestTracesWithIndentedSpans)
     EXPECT_EQ(text.find("trace 0000000000000001"), std::string::npos);
     EXPECT_NE(text.find("request"), std::string::npos);
     EXPECT_NE(text.find("engine"), std::string::npos);
+}
+
+TEST(Trace, WaterfallEdgeCases)
+{
+    obs::WaterfallOptions options;
+
+    // Empty sink: nothing recorded renders nothing, not a crash.
+    obs::TraceSink empty_sink(16);
+    EXPECT_EQ(obs::renderWaterfall(empty_sink.snapshot(), options),
+              "");
+
+    // A ring whose every original record was overwritten still
+    // renders the survivors; dropped() accounts for the rest.
+    obs::TraceSink tiny(2);
+    for (uint64_t i = 1; i <= 10; ++i) {
+        obs::SpanRecord rec;
+        rec.trace_id = i;
+        rec.name = "s";
+        rec.start_ns = i;
+        rec.duration_ns = 1;
+        tiny.record(rec);
+    }
+    EXPECT_GE(tiny.dropped(), 8u);
+    const std::string survivors =
+        obs::renderWaterfall(tiny.snapshot(), options);
+    EXPECT_NE(survivors.find("trace"), std::string::npos);
+
+    // A single orphan span (child depth, no root) gets its own trace
+    // block rather than being silently dropped.
+    obs::Span orphan;
+    orphan.trace_id = 0x42;
+    orphan.name = "engine";
+    orphan.depth = 3;
+    orphan.start_ns = 100;
+    orphan.duration_ns = 50;
+    const std::string text = obs::renderWaterfall({orphan}, options);
+    EXPECT_NE(text.find("trace 0000000000000042"), std::string::npos);
+    EXPECT_NE(text.find("engine"), std::string::npos);
+
+    // Depth arrives over the wire, so a forged huge value must be
+    // clamped (max_indent), not turned into gigabytes of padding.
+    obs::Span forged = orphan;
+    forged.depth = 0xffffffffu;
+    const std::string clamped =
+        obs::renderWaterfall({forged}, options);
+    EXPECT_LT(clamped.size(), 4096u);
+    EXPECT_NE(clamped.find("engine"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Structured log sink
+// ---------------------------------------------------------------------------
+
+TEST(Log, SinkIsABoundedStripedRing)
+{
+    obs::LogSink sink(16); // 2 slots per stripe
+    EXPECT_EQ(sink.capacity(), 16u);
+    EXPECT_EQ(sink.size(), 0u);
+
+    const uint32_t mid = obs::LogSink::internMessage("test", "event");
+    // All records land on this thread's stripe (2 slots), so 10
+    // records overwrite 8.
+    for (uint64_t i = 1; i <= 10; ++i) {
+        obs::LogRecord rec;
+        rec.timestamp_ns = i;
+        rec.message_id = mid;
+        rec.arg0 = i;
+        sink.record(rec);
+    }
+    EXPECT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink.dropped(), 8u);
+    const std::vector<obs::LogEvent> events = sink.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    // Oldest first; the newest two survive.
+    EXPECT_EQ(events[0].arg0, 9u);
+    EXPECT_EQ(events[1].arg0, 10u);
+    EXPECT_EQ(events[0].component, "test");
+    EXPECT_EQ(events[0].message, "event");
+
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(Log, MessageTableInternsEachSiteOnce)
+{
+    const uint32_t a = obs::LogSink::internMessage("comp", "msg one");
+    const uint32_t b = obs::LogSink::internMessage("comp", "msg one");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, 0u); // 0 is the overflow entry
+    const uint32_t c = obs::LogSink::internMessage("comp", "msg two");
+    EXPECT_NE(a, c);
+    const obs::LogMessage m = obs::LogSink::message(a);
+    EXPECT_STREQ(m.component, "comp");
+    EXPECT_STREQ(m.text, "msg one");
+    // Unknown ids resolve to the overflow entry, never crash.
+    const obs::LogMessage overflow = obs::LogSink::message(0xffffffff);
+    EXPECT_STREQ(overflow.component, "log");
+}
+
+TEST(Log, EventsStampTimeTraceAndSeverityCounters)
+{
+    obs::LogSink sink(64);
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
+    const uint32_t mid =
+        obs::LogSink::internMessage("serve", "queue high");
+    {
+        obs::TraceBinding binding(0xbeef, nullptr);
+        obs::logEvent(obs::LogSeverity::Warn, mid, 17, 3, &sink);
+    }
+    obs::logEvent(obs::LogSeverity::Info, mid, 1, 2, &sink);
+
+    const std::vector<obs::LogEvent> events = sink.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].trace_id, 0xbeefu);
+    EXPECT_EQ(events[0].severity, obs::LogSeverity::Warn);
+    EXPECT_EQ(events[0].arg0, 17u);
+    EXPECT_EQ(events[0].arg1, 3u);
+    EXPECT_GT(events[0].timestamp_ns, 0u);
+    EXPECT_EQ(events[1].trace_id, 0u); // no binding, no trace
+    EXPECT_LE(events[0].timestamp_ns, events[1].timestamp_ns);
+
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(after.counterValue("pf_log_warn_total"),
+              before.counterValue("pf_log_warn_total") + 1);
+    EXPECT_EQ(after.counterValue("pf_log_info_total"),
+              before.counterValue("pf_log_info_total") + 1);
+}
+
+TEST(Log, MacrosRecordIntoTheGlobalSink)
+{
+    obs::LogSink::global().clear();
+    pf_log_error("test", "macro event", 7, 9);
+    const std::vector<obs::LogEvent> events =
+        obs::LogSink::global().snapshot();
+    bool found = false;
+    for (const auto &e : events) {
+        if (e.message == "macro event") {
+            found = true;
+            EXPECT_EQ(e.component, "test");
+            EXPECT_EQ(e.severity, obs::LogSeverity::Error);
+            EXPECT_EQ(e.arg0, 7u);
+            EXPECT_EQ(e.arg1, 9u);
+        }
+    }
+    EXPECT_TRUE(found);
+    obs::LogSink::global().clear();
+}
+
+TEST(Log, RenderingLogfmtAndJson)
+{
+    obs::LogEvent e;
+    e.timestamp_ns = 12345;
+    e.trace_id = 0xabc;
+    e.arg0 = 1;
+    e.arg1 = 2;
+    e.component = "serve";
+    e.message = "said \"hi\"";
+    e.severity = obs::LogSeverity::Info;
+
+    const std::string fmt = obs::renderLogfmt({e});
+    EXPECT_NE(fmt.find("level=info"), std::string::npos);
+    EXPECT_NE(fmt.find("component=serve"), std::string::npos);
+    EXPECT_NE(fmt.find("ts=12345"), std::string::npos);
+    EXPECT_NE(fmt.find("\\\"hi\\\""), std::string::npos); // escaped
+
+    const std::string json = obs::renderJson({e});
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"component\":\"serve\""), std::string::npos);
+    EXPECT_NE(json.find("\"level\":\"info\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Health monitor: SLO predicates, hysteresis
+// ---------------------------------------------------------------------------
+
+TEST(Health, GaugePredicatesFireAndSkipAbsentMetrics)
+{
+    obs::SloRule above;
+    above.name = "queue_depth";
+    above.predicate = obs::SloPredicate::GaugeAbove;
+    above.metric = "depth";
+    above.threshold = 10.0;
+    obs::SloRule below;
+    below.name = "snr_floor";
+    below.predicate = obs::SloPredicate::GaugeBelow;
+    below.metric = "snr_db";
+    below.threshold = 10.0;
+    obs::HealthMonitor monitor({{above, below}, 1});
+
+    // Neither metric exists yet: both rules skip, state healthy.
+    obs::MetricsRegistry registry;
+    obs::HealthStatus status = monitor.evaluate(registry.snapshot());
+    EXPECT_EQ(status.state, obs::HealthState::Healthy);
+    EXPECT_TRUE(status.violations.empty());
+
+    registry.gauge("depth").set(11.0);
+    registry.gauge("snr_db").set(5.0);
+    status = monitor.evaluate(registry.snapshot());
+    EXPECT_EQ(status.state, obs::HealthState::Degraded);
+    ASSERT_EQ(status.violations.size(), 2u);
+    EXPECT_EQ(status.violations[0].rule, "queue_depth");
+    EXPECT_DOUBLE_EQ(status.violations[0].value, 11.0);
+    EXPECT_EQ(status.violations[1].rule, "snr_floor");
+}
+
+TEST(Health, CounterRateUsesDeltasNotLifetimeTotals)
+{
+    obs::SloRule rate;
+    rate.name = "reject_rate";
+    rate.predicate = obs::SloPredicate::CounterRateAbove;
+    rate.metric = "rejected";
+    rate.denominator = "accepted";
+    rate.threshold = 0.5;
+    rate.severity = obs::HealthState::Unhealthy;
+    obs::HealthMonitor monitor({{rate}, 1});
+
+    obs::MetricsRegistry registry;
+    obs::Counter &rejected = registry.counter("rejected");
+    obs::Counter &accepted = registry.counter("accepted");
+
+    // Burst: 10 rejects over 10 accepts — violated.
+    rejected.inc(10);
+    accepted.inc(10);
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Unhealthy);
+
+    // Next window: clean traffic. Lifetime ratio is still 10/110,
+    // but the *delta* ratio is 0/100, so the monitor recovers.
+    accepted.inc(100);
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Healthy);
+}
+
+TEST(Health, HistogramP99PredicateReadsQuantiles)
+{
+    obs::SloRule p99;
+    p99.name = "queue_p99_us";
+    p99.predicate = obs::SloPredicate::HistogramP99Above;
+    p99.metric = "queue_us";
+    p99.threshold = 500.0;
+    obs::HealthMonitor monitor({{p99}, 1});
+
+    obs::MetricsRegistry registry;
+    obs::HistogramMetric &h = registry.histogram("queue_us");
+    for (int i = 0; i < 100; ++i)
+        h.record(10.0);
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Healthy);
+    for (int i = 0; i < 100; ++i)
+        h.record(100000.0);
+    const obs::HealthStatus status =
+        monitor.evaluate(registry.snapshot());
+    EXPECT_EQ(status.state, obs::HealthState::Degraded);
+    ASSERT_EQ(status.violations.size(), 1u);
+    EXPECT_GT(status.violations[0].value, 500.0);
+}
+
+TEST(Health, RecoveryNeedsConsecutiveCleanEvaluations)
+{
+    obs::SloRule above;
+    above.name = "depth";
+    above.predicate = obs::SloPredicate::GaugeAbove;
+    above.metric = "depth";
+    above.threshold = 1.0;
+    obs::HealthMonitor monitor({{above}, 2}); // recover_after = 2
+
+    obs::MetricsRegistry registry;
+    obs::Gauge &depth = registry.gauge("depth");
+
+    depth.set(5.0); // violate: degraded immediately
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Degraded);
+
+    depth.set(0.0); // first clean evaluation: still degraded
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Degraded);
+    // ...but the stale violation list is gone.
+    EXPECT_TRUE(monitor.status().violations.empty());
+
+    // Second consecutive clean evaluation: recovered.
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Healthy);
+
+    // A violation mid-recovery resets the streak.
+    depth.set(5.0);
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Degraded);
+    depth.set(0.0);
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Degraded);
+    depth.set(5.0); // re-violate: streak resets
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Degraded);
+    depth.set(0.0);
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Degraded);
+    EXPECT_EQ(monitor.evaluate(registry.snapshot()).state,
+              obs::HealthState::Healthy);
+}
+
+TEST(Health, DefaultRulesMatchTheDocumentedTable)
+{
+    const std::vector<obs::SloRule> rules = obs::defaultSloRules();
+    ASSERT_EQ(rules.size(), 5u);
+    EXPECT_EQ(rules[0].name, "queue_depth");
+    EXPECT_EQ(rules[0].metric, "pf_serve_queue_depth");
+    EXPECT_EQ(rules[2].name, "reject_storm");
+    EXPECT_EQ(rules[2].severity, obs::HealthState::Unhealthy);
+    EXPECT_EQ(rules[4].name, "snr_floor_db");
+    EXPECT_EQ(rules[4].predicate, obs::SloPredicate::GaugeBelow);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, DumpWritesParseableHeaderEventsAndSpans)
+{
+    const std::string path =
+        testing::TempDir() + "pf_flight_test.log";
+    std::remove(path.c_str());
+
+    obs::FlightRecorderConfig config;
+    config.path = path;
+    config.max_events = 4;
+    obs::installFlightRecorder(config);
+    EXPECT_EQ(obs::flightRecorderPath(), path);
+
+    obs::LogSink::global().clear();
+    for (uint64_t i = 1; i <= 8; ++i)
+        pf_log_info("flight", "tick", i, 0);
+    {
+        obs::TraceBinding binding(0x77, &obs::TraceSink::global());
+        obs::ScopedSpan span("flight_span");
+        (void)span;
+    }
+
+    ASSERT_TRUE(obs::dumpFlightRecorder("test"));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header.rfind("pf_flight_recorder version=1 "
+                           "reason=test",
+                           0),
+              0u)
+        << header;
+    size_t event_lines = 0, span_lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("event ", 0) == 0)
+            ++event_lines;
+        if (line.rfind("span ", 0) == 0)
+            ++span_lines;
+    }
+    // Truncated to the newest max_events.
+    EXPECT_EQ(event_lines, 4u);
+    EXPECT_GE(span_lines, 1u);
+
+    obs::LogSink::global().clear();
+    std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -617,4 +985,32 @@ TEST(ObsAlloc, HotPathRecordingIsAllocationFree)
         pf_test_allocations.load(std::memory_order_relaxed);
     EXPECT_EQ(after - before, 0u)
         << "metrics/trace hot path allocated";
+}
+
+TEST(ObsAlloc, LogEventRecordingIsAllocationFree)
+{
+    obs::LogSink sink(512);
+
+    // Warm: interning registers the literals (allocates, once per
+    // site) and the first logEvent resolves the per-severity counters
+    // in the global registry; the stripe rings are preallocated.
+    const uint32_t msg =
+        obs::LogSink::internMessage("test", "alloc pin event");
+    obs::logEvent(obs::LogSeverity::Info, msg, 0, 0, &sink);
+    obs::logEvent(obs::LogSeverity::Warn, msg, 0, 0, &sink);
+
+    const uint64_t before =
+        pf_test_allocations.load(std::memory_order_relaxed);
+    for (uint64_t i = 0; i < 1000; ++i)
+        obs::logEvent(obs::LogSeverity::Info, msg, i, i * 2, &sink);
+    {
+        // Traced events must also be free: stamping the active trace
+        // id reads a thread-local, nothing more.
+        obs::TraceBinding binding(0x10c, nullptr);
+        for (uint64_t i = 0; i < 1000; ++i)
+            obs::logEvent(obs::LogSeverity::Warn, msg, i, 0, &sink);
+    }
+    const uint64_t after =
+        pf_test_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u) << "logEvent hot path allocated";
 }

@@ -112,8 +112,14 @@ main(int argc, char **argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
-    while (!g_stop.load())
+    // Poll fleet health about once a second so submit()'s preference
+    // cache tracks shard SLO state while the daemon serves.
+    int ticks = 0;
+    while (!g_stop.load()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (++ticks % 10 == 0)
+            router.refreshHealth();
+    }
 
     daemon.stop();
     std::printf("%s\n", router.report().table().c_str());

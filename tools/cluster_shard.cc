@@ -23,6 +23,14 @@
  *   --capacity Q     admission queue capacity        (default 4096)
  *   --photonic       serve on PhotoFourier numerics  (default digital)
  *   --noise          photonic with sensing noise
+ *   --slo-queue-p99-us X  override the queue_p99_us SLO threshold
+ *                    (smoke tests set it tiny to force `degraded`)
+ *
+ * With PF_FLIGHT_RECORDER=<path> in the environment the shard arms
+ * the crash flight recorder: a panic, fatal signal, or sanitizer
+ * death dumps the last log events + trace spans to <path>, and the
+ * graceful shutdown path writes one too (reason=shutdown) so a shard
+ * killed externally still leaves a parseable artifact.
  */
 
 #include <atomic>
@@ -36,6 +44,7 @@
 #include "cluster/server.hh"
 #include "common/logging.hh"
 #include "core/photofourier.hh"
+#include "obs/log.hh"
 
 using namespace photofourier;
 
@@ -62,6 +71,7 @@ struct Options
     size_t capacity = 4096;
     bool photonic = false;
     bool noise = false;
+    double slo_queue_p99_us = 0.0; ///< 0 = keep the default rule
 };
 
 std::vector<std::string>
@@ -117,6 +127,8 @@ parseArgs(int argc, char **argv)
             opt.photonic = true;
         else if (arg == "--noise")
             opt.photonic = opt.noise = true;
+        else if (arg == "--slo-queue-p99-us")
+            opt.slo_queue_p99_us = std::atof(value().c_str());
         else
             pf_fatal("unknown argument ", arg);
     }
@@ -129,6 +141,14 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
+
+    // Arm the crash flight recorder before anything can fail.
+    const char *recorder_path = std::getenv("PF_FLIGHT_RECORDER");
+    if (recorder_path != nullptr && recorder_path[0] != '\0') {
+        obs::FlightRecorderConfig recorder;
+        recorder.path = recorder_path;
+        obs::installFlightRecorder(recorder);
+    }
 
     cluster::ShardServerConfig config;
     config.listen.port = opt.port;
@@ -150,6 +170,11 @@ main(int argc, char **argv)
     config.name = !opt.name.empty()
                       ? opt.name
                       : "shard-" + std::to_string(opt.port);
+    if (opt.slo_queue_p99_us > 0.0) {
+        for (auto &rule : config.slo_rules)
+            if (rule.name == "queue_p99_us")
+                rule.threshold = opt.slo_queue_p99_us;
+    }
 
     cluster::ShardServer shard(std::move(config));
 
@@ -181,6 +206,10 @@ main(int argc, char **argv)
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
     shard.stop();
+    // Graceful exits leave an artifact too: an externally SIGTERM'd
+    // shard should be debuggable from the same file a crash writes.
+    if (recorder_path != nullptr && recorder_path[0] != '\0')
+        obs::dumpFlightRecorder("shutdown");
     std::printf("%s\n", shard.server().report().table().c_str());
     return 0;
 }

@@ -25,6 +25,8 @@
  *   --metrics        print the per-stage breakdown (queue / batch /
  *                    engine / complete, network in cluster mode) and
  *                    cache hit rates from the obs metrics registry
+ *   --trace-sample N with --metrics, every Nth request opts into
+ *                    tracing (0 = tracing off; default 8)
  *   --out PATH       output file (default BENCH_serving.json)
  *
  * Cluster mode (--cluster HOST:PORT) drives a remote protocol
@@ -53,6 +55,7 @@
 #include "common/build_info.hh"
 #include "common/logging.hh"
 #include "core/photofourier.hh"
+#include "obs/health.hh"
 #include "obs/metrics.hh"
 
 using namespace photofourier;
@@ -76,6 +79,7 @@ struct Options
     bool photonic = false;
     bool noise = false;
     bool metrics = false;
+    size_t trace_sample = 8; ///< every Nth request traced; 0 = off
     std::string out = "BENCH_serving.json";
 };
 
@@ -141,6 +145,9 @@ parseArgs(int argc, char **argv)
             opt.photonic = opt.noise = true;
         else if (arg == "--metrics")
             opt.metrics = true;
+        else if (arg == "--trace-sample")
+            opt.trace_sample =
+                static_cast<size_t>(std::atol(value().c_str()));
         else if (arg == "--out")
             opt.out = value();
         else
@@ -430,11 +437,12 @@ runCluster(const Options &opt, const std::vector<nn::Sample> &samples)
                 const size_t i = next.fetch_add(1);
                 if (i >= opt.requests)
                     return;
-                // With --metrics, every 8th request opts into
-                // tracing so the shards' span rings fill without
-                // taxing the hot path for the rest.
+                // With --metrics, every --trace-sample'th request
+                // opts into tracing so the shards' span rings fill
+                // without taxing the hot path for the rest.
                 serve::SubmitOptions options;
-                if (opt.metrics && i % 8 == 0)
+                if (opt.metrics && opt.trace_sample != 0 &&
+                    i % opt.trace_sample == 0)
                     options.trace_id = traceIdFor(i);
                 auto handle = client.submit(
                     models[i % models.size()],
@@ -474,6 +482,14 @@ runCluster(const Options &opt, const std::vector<nn::Sample> &samples)
     const bool have_remote = client.stats(&remote);
 
     if (opt.metrics) {
+        if (opt.trace_sample != 0)
+            std::printf("trace sampling: every %zuth request "
+                        "(%.1f%% of %zu)\n",
+                        opt.trace_sample,
+                        100.0 / double(opt.trace_sample),
+                        opt.requests);
+        else
+            std::printf("trace sampling: off\n");
         // Fleet view over the wire (a router answers with its shards'
         // registries merged), then this process's own client-side
         // observations — separate on purpose: merging would stack the
@@ -485,6 +501,11 @@ runCluster(const Options &opt, const std::vector<nn::Sample> &samples)
         printMetricsBreakdown(
             obs::MetricsRegistry::global().snapshot(),
             "metrics (loadgen client side)");
+        cluster::HealthReportMsg health;
+        if (client.health(&health))
+            std::printf("fleet health: %s (%zu violation(s))\n",
+                        obs::healthStateName(health.state),
+                        health.violations.size());
     }
 
     FILE *out = std::fopen(opt.out.c_str(), "w");

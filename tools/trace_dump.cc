@@ -7,10 +7,14 @@
  * Usage: trace_dump HOST:PORT [options]
  *   --top N        waterfalls for the N slowest traces (default 5)
  *   --no-metrics   skip the Prometheus dump, waterfalls only
+ *   --health       also pull fleet health (v4 HealthQuery) and print
+ *                  the state plus any SLO violations
  *   --assert-sane  exit nonzero unless the snapshot is sane: some
  *                  requests completed and cache counters are
- *                  well-formed. What CI's cluster smoke runs after
- *                  the load phase.
+ *                  well-formed. With --health an Unhealthy fleet also
+ *                  fails the gate (degraded passes — that is what
+ *                  spillover is for). What CI's cluster smoke runs
+ *                  after the load phase.
  *   --out PATH     also write the rendered report to PATH
  *
  * Works against a cluster_shard (its own registry) or a
@@ -26,6 +30,7 @@
 #include "cluster/cluster_client.hh"
 #include "cluster/router.hh"
 #include "common/logging.hh"
+#include "obs/health.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -38,6 +43,7 @@ struct Options
     std::string endpoint;
     size_t top = 5;
     bool metrics = true;
+    bool health = false;
     bool assert_sane = false;
     std::string out;
 };
@@ -57,6 +63,8 @@ parseArgs(int argc, char **argv)
             opt.top = static_cast<size_t>(std::atol(value().c_str()));
         else if (arg == "--no-metrics")
             opt.metrics = false;
+        else if (arg == "--health")
+            opt.health = true;
         else if (arg == "--assert-sane")
             opt.assert_sane = true;
         else if (arg == "--out")
@@ -68,7 +76,8 @@ parseArgs(int argc, char **argv)
     }
     if (opt.endpoint.empty())
         pf_fatal("usage: trace_dump HOST:PORT [--top N] "
-                 "[--no-metrics] [--assert-sane] [--out PATH]");
+                 "[--no-metrics] [--health] [--assert-sane] "
+                 "[--out PATH]");
     return opt;
 }
 
@@ -123,6 +132,9 @@ main(int argc, char **argv)
     cluster::MetricsReportMsg report;
     if (!client.metrics(&report, /*include_traces=*/true))
         pf_fatal("metrics query to ", opt.endpoint, " failed");
+    cluster::HealthReportMsg health;
+    if (opt.health && !client.health(&health))
+        pf_fatal("health query to ", opt.endpoint, " failed");
     client.close();
 
     std::string rendered;
@@ -136,6 +148,18 @@ main(int argc, char **argv)
                     "nonzero trace id)\n";
     else
         rendered += obs::renderWaterfall(report.spans, wf);
+    if (opt.health) {
+        rendered += "\nhealth " + std::string(health.server_name) +
+                    " state=" + obs::healthStateName(health.state) +
+                    "\n";
+        for (const auto &v : health.violations) {
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "  violation %s value=%.6g threshold=%.6g\n",
+                          v.rule.c_str(), v.value, v.threshold);
+            rendered += line;
+        }
+    }
 
     std::fputs(rendered.c_str(), stdout);
     if (!opt.out.empty()) {
@@ -148,7 +172,14 @@ main(int argc, char **argv)
     }
 
     if (opt.assert_sane) {
-        const int violations = checkSane(report.metrics);
+        int violations = checkSane(report.metrics);
+        // Degraded is a tolerated state (spillover handles it);
+        // Unhealthy means the fleet cannot meet its SLOs at all.
+        if (opt.health &&
+            health.state == obs::HealthState::Unhealthy) {
+            std::printf("SANITY: fleet health is unhealthy\n");
+            ++violations;
+        }
         if (violations > 0) {
             std::printf("%d sanity violation(s) in metrics from %s\n",
                         violations, report.server_name.c_str());
