@@ -13,10 +13,11 @@ Context sanity: if either run was recorded from a debug build of the
 photofourier library (the "photofourier_build_type" custom context
 stamped by bench/micro_kernels.cc), the comparison is headed with a
 warning — debug timings are not meaningful perf evidence. If the two
-runs disagree on machine or build provenance — core count or build
-type (the photofourier_* custom contexts, or num_cpus/build_type in a
-serve_loadgen record) — the comparison is refused with a nonzero
-exit: a different machine or build is a different experiment, not a
+runs disagree on machine or build provenance — core count, build
+type, or SIMD dispatch level (the photofourier_* custom contexts, or
+num_cpus/build_type/simd_level in a serve_loadgen record) — the
+comparison is refused with a nonzero exit: a different machine,
+build, or instruction set is a different experiment, not a
 regression. Pass --allow-cross-machine to compare anyway. Differing
 git shas are reported but allowed — diffing two commits is the whole
 point of the tool.
@@ -67,10 +68,11 @@ def benchmarks(doc):
 
 
 def provenance(doc):
-    """{"build_type", "num_cpus", "git_sha"} from either record
-    flavor: google-benchmark custom context (micro_kernels) or
-    top-level keys (serve_loadgen). Missing facts map to None —
-    records predating the provenance stamp stay comparable."""
+    """{"build_type", "num_cpus", "git_sha", "simd_level"} from
+    either record flavor: google-benchmark custom context
+    (micro_kernels) or top-level keys (serve_loadgen). Missing facts
+    map to None — records predating the provenance stamp stay
+    comparable."""
     ctx = doc.get("context", {})
     out = {
         "build_type": ctx.get("photofourier_build_type",
@@ -78,6 +80,8 @@ def provenance(doc):
         "num_cpus": ctx.get("photofourier_num_cpus",
                             doc.get("num_cpus")),
         "git_sha": ctx.get("photofourier_git_sha", doc.get("git_sha")),
+        "simd_level": ctx.get("photofourier_simd_level",
+                              doc.get("simd_level")),
     }
     return {k: (str(v) if v is not None else None)
             for k, v in out.items()}
@@ -86,7 +90,7 @@ def provenance(doc):
 def check_provenance(before_doc, after_doc, allow_cross_machine):
     before, after = provenance(before_doc), provenance(after_doc)
     mismatched = []
-    for key in ("build_type", "num_cpus"):
+    for key in ("build_type", "num_cpus", "simd_level"):
         b, a = before[key], after[key]
         if b is not None and a is not None and b != a:
             mismatched.append(f"{key}: BEFORE={b} AFTER={a}")

@@ -9,10 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "arch/simd.hh"
 #include "common/build_info.hh"
 #include "common/rng.hh"
 #include "fourier4f/system4f.hh"
@@ -783,6 +787,204 @@ BM_ObsLogEvent(benchmark::State &state)
 }
 BENCHMARK(BM_ObsLogEvent);
 
+// --- SIMD kernel families, scalar vs best-supported dispatch level.
+// --- Each pair times the same dispatched kernel table entry with the
+// --- level forced, so the ratio BM_XScalar / BM_XVector is the pure
+// --- vectorization speedup for that family on this machine (on a
+// --- host with no vector ISA both legs resolve to the scalar table
+// --- and the ratio is ~1). The recorded simd_level context says
+// --- which case a JSON file captured.
+
+namespace {
+
+/** Forces a dispatch level for the lifetime of one benchmark body and
+ *  restores the previous level on exit, so row order cannot leak one
+ *  row's level into another's. */
+class ScopedSimdLevel {
+  public:
+    explicit ScopedSimdLevel(pf::simd::Level lvl)
+        : prev_(pf::simd::activeLevel())
+    {
+        pf::simd::forceLevel(lvl);
+    }
+    ~ScopedSimdLevel() { pf::simd::forceLevel(prev_); }
+    ScopedSimdLevel(const ScopedSimdLevel &) = delete;
+    ScopedSimdLevel &operator=(const ScopedSimdLevel &) = delete;
+
+  private:
+    pf::simd::Level prev_;
+};
+
+pf::simd::Level
+benchLevel(bool scalar)
+{
+    return scalar ? pf::simd::Level::Scalar
+                  : pf::simd::bestSupportedLevel();
+}
+
+void
+butterflyBench(benchmark::State &state, bool scalar)
+{
+    // Full radix-2 stage sweep over split-complex (SoA) buffers: the
+    // exact sequence executeRadix2's vector path issues, minus the
+    // bit-reversal and (de)interleave bookends. Twiddles use the
+    // plan's pre-splatted layout (stage with half-length h starts at
+    // offset h-1).
+    const size_t n = static_cast<size_t>(state.range(0));
+    pf::Rng rng(n);
+    const std::vector<double> re0 = rng.uniformVector(n, -1.0, 1.0);
+    const std::vector<double> im0 = rng.uniformVector(n, -1.0, 1.0);
+    std::vector<double> re(n), im(n);
+    std::vector<double> twre(n - 1), twim(n - 1);
+    for (size_t h = 1; h * 2 <= n; h *= 2)
+        for (size_t k = 0; k < h; ++k) {
+            const double ang = -M_PI * static_cast<double>(k)
+                               / static_cast<double>(h);
+            twre[h - 1 + k] = std::cos(ang);
+            twim[h - 1 + k] = std::sin(ang);
+        }
+    ScopedSimdLevel forced(benchLevel(scalar));
+    const pf::simd::Kernels &kern = pf::simd::kernels();
+    for (auto _ : state) {
+        std::copy(re0.begin(), re0.end(), re.begin());
+        std::copy(im0.begin(), im0.end(), im.begin());
+        for (size_t half = 1; half * 2 <= n; half *= 2)
+            kern.butterflyStage(re.data(), im.data(), n, half,
+                                twre.data() + (half - 1),
+                                twim.data() + (half - 1));
+        benchmark::DoNotOptimize(re.data());
+        benchmark::DoNotOptimize(im.data());
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+realPackBench(benchmark::State &state, bool scalar)
+{
+    // One forward + one inverse Hermitian untangle at half-length h:
+    // the r2c/c2r pack cost of a real transform of size n = 2h.
+    // Values are random — the untangle's arithmetic cost does not
+    // depend on the data being a real spectrum.
+    const size_t h = static_cast<size_t>(state.range(0));
+    pf::Rng rng(h);
+    const std::vector<double> z = rng.uniformVector(2 * h, -1.0, 1.0);
+    const std::vector<double> tw = rng.uniformVector(2 * h, -1.0, 1.0);
+    std::vector<double> spec(2 * (h + 1), 0.0);
+    std::vector<double> zout(2 * h, 0.0);
+    ScopedSimdLevel forced(benchLevel(scalar));
+    const pf::simd::Kernels &kern = pf::simd::kernels();
+    for (auto _ : state) {
+        kern.realUntangleForward(z.data(), tw.data(), spec.data(), h);
+        kern.realUntangleInverse(spec.data(), tw.data(), zout.data(),
+                                 h);
+        benchmark::DoNotOptimize(spec.data());
+        benchmark::DoNotOptimize(zout.data());
+    }
+}
+
+void
+slidingDotBench(benchmark::State &state, bool scalar)
+{
+    // Dense 13-tap sliding dot product over the full signal — the
+    // DirectEngine row shape (13 is its largest benchmarked kernel
+    // width). start=0, count=n covers both edge handling and the
+    // vectorized interior.
+    const size_t n = static_cast<size_t>(state.range(0));
+    const size_t n_taps = 13;
+    pf::Rng rng(n);
+    const std::vector<double> s = rng.uniformVector(n, -1.0, 1.0);
+    const std::vector<double> tap_val =
+        rng.uniformVector(n_taps, -1.0, 1.0);
+    std::vector<size_t> tap_idx(n_taps);
+    for (size_t t = 0; t < n_taps; ++t)
+        tap_idx[t] = t;
+    std::vector<double> out(n, 0.0);
+    ScopedSimdLevel forced(benchLevel(scalar));
+    const pf::simd::Kernels &kern = pf::simd::kernels();
+    for (auto _ : state) {
+        kern.slidingDot(s.data(), n, tap_idx.data(), tap_val.data(),
+                        n_taps, 0, n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+transposeIntoBench(benchmark::State &state, bool scalar)
+{
+    // Cache-blocked complex matrix transpose, the fft2d_plan
+    // column-pass primitive. n x n square, the plan's common case.
+    const size_t n = static_cast<size_t>(state.range(0));
+    const auto in = randomComplex(n * n);
+    sig::ComplexVector out(n * n);
+    ScopedSimdLevel forced(benchLevel(scalar));
+    const pf::simd::Kernels &kern = pf::simd::kernels();
+    for (auto _ : state) {
+        kern.transposeComplex(
+            reinterpret_cast<const double *>(in.data()), n, n,
+            reinterpret_cast<double *>(out.data()));
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+
+} // namespace
+
+static void
+BM_ButterflyScalar(benchmark::State &state)
+{
+    butterflyBench(state, true);
+}
+BENCHMARK(BM_ButterflyScalar)->Arg(1024)->Arg(4096);
+
+static void
+BM_ButterflyVector(benchmark::State &state)
+{
+    butterflyBench(state, false);
+}
+BENCHMARK(BM_ButterflyVector)->Arg(1024)->Arg(4096);
+
+static void
+BM_FftRealPackScalar(benchmark::State &state)
+{
+    realPackBench(state, true);
+}
+BENCHMARK(BM_FftRealPackScalar)->Arg(512)->Arg(2048);
+
+static void
+BM_FftRealPackVector(benchmark::State &state)
+{
+    realPackBench(state, false);
+}
+BENCHMARK(BM_FftRealPackVector)->Arg(512)->Arg(2048);
+
+static void
+BM_SlidingDotScalar(benchmark::State &state)
+{
+    slidingDotBench(state, true);
+}
+BENCHMARK(BM_SlidingDotScalar)->Arg(4096)->Arg(16384);
+
+static void
+BM_SlidingDotVector(benchmark::State &state)
+{
+    slidingDotBench(state, false);
+}
+BENCHMARK(BM_SlidingDotVector)->Arg(4096)->Arg(16384);
+
+static void
+BM_TransposeIntoScalar(benchmark::State &state)
+{
+    transposeIntoBench(state, true);
+}
+BENCHMARK(BM_TransposeIntoScalar)->Arg(64)->Arg(256);
+
+static void
+BM_TransposeIntoVector(benchmark::State &state)
+{
+    transposeIntoBench(state, false);
+}
+BENCHMARK(BM_TransposeIntoVector)->Arg(64)->Arg(256);
+
 int
 main(int argc, char **argv)
 {
@@ -797,6 +999,8 @@ main(int argc, char **argv)
     benchmark::AddCustomContext("photofourier_git_sha", pf::gitSha());
     benchmark::AddCustomContext("photofourier_num_cpus",
                                 std::to_string(pf::numCpus()));
+    benchmark::AddCustomContext("photofourier_simd_level",
+                                pf::simdLevel());
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

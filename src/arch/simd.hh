@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Portable SIMD kernels with runtime CPU-feature dispatch.
+ *
+ * Every digital and optical path in the simulator funnels through a
+ * handful of inner loops — the radix-2 butterfly passes, the r2c/c2r
+ * Hermitian untangle, the sliding dot product, the cache-blocked
+ * complex transpose, and the pointwise spectral multiplies. This
+ * module provides those loops in three flavors behind one function-
+ * pointer table:
+ *
+ *  - scalar:  plain C++, the reference semantics every other flavor
+ *             is tested against (and the fallback on unknown ISAs),
+ *  - avx2:    AVX2 + FMA double-precision kernels (x86-64), compiled
+ *             with per-function target attributes so the rest of the
+ *             tree needs no special flags,
+ *  - neon:    AArch64 Advanced SIMD (float64x2) kernels.
+ *
+ * Dispatch is resolved once per process on first use: the PF_SIMD
+ * environment variable ("auto" | "avx2" | "neon" | "scalar", default
+ * auto) is clamped to what the CPU actually supports, and the chosen
+ * table is published through an atomic pointer. Tests and benches can
+ * re-force the level at runtime with forceLevel(); swaps are atomic,
+ * so kernels running concurrently on other threads simply complete on
+ * whichever (correct) table they loaded.
+ *
+ * Layering note: this file and simd.cc are a *leaf* — they depend
+ * only on <cstddef> and the C intrinsic headers, sitting below
+ * signal/ in the layer order even though they live under src/arch/
+ * (the ISA of the host CPU is architecture, not signal processing).
+ *
+ * Numerical contract: vector kernels compute the same formulas as the
+ * scalar ones but may contract multiply-adds into FMAs and re-
+ * associate the independent lanes of a loop, so results are NOT
+ * guaranteed bit-identical across levels. The guaranteed bound,
+ * pinned by tests/test_simd.cc at every dispatch level, is
+ *
+ *     |vector - scalar| <= 8 * eps * (1 + log2(n)) * max|input|
+ *
+ * per element for the transform-shaped kernels (butterfly stages,
+ * untangle, spectral multiplies) and 8 * eps * n_taps * max|s|*max|k|
+ * for the sliding dot product. Exact zeros (untouched taps, padding)
+ * stay exact zeros at every level.
+ */
+
+#ifndef PHOTOFOURIER_ARCH_SIMD_HH
+#define PHOTOFOURIER_ARCH_SIMD_HH
+
+#include <cstddef>
+
+namespace photofourier {
+namespace simd {
+
+/** Instruction-set levels the dispatcher can select. */
+enum class Level {
+    Scalar = 0, ///< plain C++ loops — always available
+    Avx2 = 1,   ///< x86-64 AVX2 + FMA, 4 doubles per vector
+    Neon = 2,   ///< AArch64 Advanced SIMD, 2 doubles per vector
+};
+
+/** Lower-case name for a level ("scalar", "avx2", "neon"). */
+const char *levelName(Level level);
+
+/** True when this host can execute kernels at `level`. */
+bool levelSupported(Level level);
+
+/** The highest level this host supports (Scalar when nothing else). */
+Level bestSupportedLevel();
+
+/**
+ * The level the kernel table currently dispatches to. Resolved on
+ * first use from PF_SIMD (unsupported or unknown values fall back to
+ * auto-detection with a one-line stderr warning).
+ */
+Level activeLevel();
+
+/** levelName(activeLevel()) — stamped into BENCH provenance. */
+const char *activeLevelName();
+
+/**
+ * Parse a PF_SIMD-style string. Returns true and sets `out` for
+ * "scalar" | "avx2" | "neon"; returns false for anything else
+ * (including "auto" — auto is not a level, it is the absence of an
+ * override).
+ */
+bool parseLevel(const char *name, Level &out);
+
+/**
+ * Force the dispatch level for this process (tests, benches, the
+ * PF_SIMD plumbing). Returns false — leaving the level unchanged —
+ * when the host does not support `level`. Thread-safe: the table swap
+ * is atomic, and in-flight kernels finish on the table they loaded.
+ */
+bool forceLevel(Level level);
+
+/**
+ * The kernel table. All pointers are non-null at every level; complex
+ * data is interleaved (re, im) pairs of doubles — the layout
+ * std::complex<double> guarantees — and no pointer may alias its
+ * output unless the kernel is documented in-place.
+ */
+struct Kernels
+{
+    /**
+     * One radix-2 butterfly stage over split (SoA) arrays: for each
+     * block of len = 2*half elements and each k in [0, half),
+     *
+     *   v = (re1[k], im1[k]) * (twre[k], twim[k])
+     *   (re0[k], im0[k]), (re1[k], im1[k]) = u + v, u - v
+     *
+     * where re0 = re + block, re1 = re0 + half. n must be a multiple
+     * of 2*half; twre/twim hold the stage's `half` twiddles,
+     * contiguous (pre-splatted by FftPlan).
+     */
+    void (*butterflyStage)(double *re, double *im, size_t n,
+                           size_t half, const double *twre,
+                           const double *twim);
+
+    /** Split n interleaved complexes (2n doubles at z) into re/im. */
+    void (*deinterleave)(const double *z, size_t n, double *re,
+                         double *im);
+
+    /** Merge re/im (n each) back into n interleaved complexes at z. */
+    void (*interleave)(const double *re, const double *im, size_t n,
+                       double *z);
+
+    /** x[i] *= s for i in [0, n). In-place by definition. */
+    void (*scaleInPlace)(double *x, size_t n, double s);
+
+    /**
+     * Forward r2c Hermitian untangle, bins k in [1, h) (the caller
+     * handles the purely real k = 0 and k = h endpoints):
+     *
+     *   a = z[k]; b = conj(z[h-k])
+     *   out[k] = (a + b)/2 + tw[k] * (-i/2) * (a - b)
+     *
+     * z: h interleaved complexes; tw, out: h+1 interleaved complexes.
+     * out may not alias z.
+     */
+    void (*realUntangleForward)(const double *z, const double *tw,
+                                double *out, size_t h);
+
+    /**
+     * Inverse untangle, bins k in [0, h): rebuild the packed
+     * half-size spectrum from an h+1-bin Hermitian half-spectrum:
+     *
+     *   a = in[k]; b = conj(in[h-k])
+     *   z[k] = (a + b)/2 + i * ((a - b)/2 * conj(tw[k]))
+     *
+     * in, tw: h+1 interleaved complexes; z: h. z may not alias in.
+     */
+    void (*realUntangleInverse)(const double *in, const double *tw,
+                                double *z, size_t h);
+
+    /** Pointwise complex product a[i] *= b[i], n complexes, in-place
+     *  in a. a and b must not partially overlap. */
+    void (*complexMulInPlace)(double *a, const double *b, size_t n);
+
+    /** Pointwise complex multiply-accumulate acc[i] += a[i] * b[i],
+     *  n complexes. acc must not alias a or b. */
+    void (*complexMacInto)(double *acc, const double *a,
+                           const double *b, size_t n);
+
+    /**
+     * Sliding dot product with zero extension outside [0, n_s):
+     *
+     *   out[i] = sum_t s[start + i + tap_idx[t]] * tap_val[t]
+     *
+     * for i in [0, count), terms whose index falls outside the signal
+     * contributing exactly 0. tap_idx must be sorted ascending (the
+     * natural order of a kernel's nonzero taps). out aliases nothing.
+     */
+    void (*slidingDot)(const double *s, size_t n_s,
+                       const size_t *tap_idx, const double *tap_val,
+                       size_t n_taps, long start, size_t count,
+                       double *out);
+
+    /**
+     * Cache-blocked out-of-place complex transpose: in is rows x cols
+     * interleaved complexes, out becomes cols x rows. in and out must
+     * not overlap.
+     */
+    void (*transposeComplex)(const double *in, size_t rows,
+                             size_t cols, double *out);
+};
+
+/**
+ * The active kernel table (one relaxed atomic load). Hold the
+ * reference only briefly — a concurrent forceLevel() swap is legal
+ * and the old table stays valid, but mixing tables across a long
+ * computation wastes the consistency the single load buys.
+ */
+const Kernels &kernels();
+
+/** The scalar reference table, always available — equivalence tests
+ *  compare every other level against these exact semantics. */
+const Kernels &scalarKernels();
+
+} // namespace simd
+} // namespace photofourier
+
+#endif // PHOTOFOURIER_ARCH_SIMD_HH

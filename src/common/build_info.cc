@@ -9,6 +9,8 @@
 
 #include <thread>
 
+#include "arch/simd.hh"
+
 #ifndef PHOTOFOURIER_GIT_SHA
 #define PHOTOFOURIER_GIT_SHA "unknown"
 #endif
@@ -36,6 +38,12 @@ numCpus()
 {
     unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : n;
+}
+
+const char *
+simdLevel()
+{
+    return simd::activeLevelName();
 }
 
 } // namespace photofourier

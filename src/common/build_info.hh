@@ -2,10 +2,11 @@
  * @file
  * Build provenance for benchmark records.
  *
- * Every BENCH_*.json writer stamps these three facts so
+ * Every BENCH_*.json writer stamps these facts so
  * bench/compare_bench.py can refuse comparisons across machines or
- * build types — a debug number or a different core count is not a
- * regression, it is a different experiment.
+ * build types — a debug number, a different core count, or a
+ * different SIMD dispatch level is not a regression, it is a
+ * different experiment.
  */
 
 #ifndef PHOTOFOURIER_COMMON_BUILD_INFO_HH
@@ -21,6 +22,10 @@ const char *buildType();
 
 /** Hardware thread count (std::thread::hardware_concurrency, min 1). */
 unsigned numCpus();
+
+/** Active SIMD dispatch level ("scalar" | "avx2" | "neon") — resolved
+ *  once per process from PF_SIMD + CPU features; see arch/simd.hh. */
+const char *simdLevel();
 
 } // namespace photofourier
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/simd.hh"
 #include "common/logging.hh"
 #include "signal/fft_plan.hh"
 
@@ -297,23 +298,24 @@ slidingCorrelationInto(const std::vector<double> &s,
     out.resize(count);
     // Tiled kernels are mostly zero padding (rows separated by
     // Si - Sk zeros); skipping zero taps keeps this exact and fast.
-    // The tap list is per-thread scratch so the hot path never
-    // allocates in steady state.
-    static thread_local std::vector<size_t> taps;
-    taps.clear();
-    for (size_t t = 0; t < k.size(); ++t)
-        if (k[t] != 0.0)
-            taps.push_back(t);
-    for (size_t i = 0; i < count; ++i) {
-        const long j = start + static_cast<long>(i);
-        double acc = 0.0;
-        for (size_t t : taps) {
-            const long idx = j + static_cast<long>(t);
-            if (idx >= 0 && idx < static_cast<long>(s.size()))
-                acc += s[static_cast<size_t>(idx)] * k[t];
+    // The split index/value tap lists are what the SIMD sliding-dot
+    // kernel broadcasts from, and they are per-thread scratch so the
+    // hot path never allocates in steady state. Ascending tap order
+    // (required by the kernel's safe-range computation) falls out of
+    // the scan.
+    static thread_local std::vector<size_t> tap_idx;
+    static thread_local std::vector<double> tap_val;
+    tap_idx.clear();
+    tap_val.clear();
+    for (size_t t = 0; t < k.size(); ++t) {
+        if (k[t] != 0.0) {
+            tap_idx.push_back(t);
+            tap_val.push_back(k[t]);
         }
-        out[i] = acc;
     }
+    simd::kernels().slidingDot(s.data(), s.size(), tap_idx.data(),
+                               tap_val.data(), tap_idx.size(), start,
+                               count, out.data());
 }
 
 } // namespace jtc

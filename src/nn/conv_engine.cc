@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "arch/simd.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
 #include "photonics/converters.hh"
@@ -86,15 +87,21 @@ hashTensor(uint64_t h, const Tensor &t)
  * True when the frequency-domain row path is predicted faster than the
  * direct sliding window for one conv-layer call. Flop model, fitted in
  * Release against BM_DirectEngine{Sliding,FftRows} in
- * bench/micro_kernels.cc: a transform of size n costs ~5*n*log2(n)
- * model-flops, a frequency MAC 8 per bin, and a direct sliding MAC 4
- * (the 2D window walk runs ~2x slower per multiply than the
- * contiguous spectral loops — measured, k=3..13 at 32x32x8x8). The
- * FFT path pays one r2c per (input channel, input row), one c2r per
- * (output channel, output row), and a complex multiply-add per
- * half-spectrum bin per (oc, ic, kernel row, output row); the direct
- * path pays ow*k*k MACs per (oc, ic, output row) — so frequency
- * accumulation wins once kernels get large (k >= ~5 at CIFAR widths).
+ * bench/micro_kernels.cc: a transform of size n costs ~3*n*log2(n)
+ * model-flops, a frequency MAC 5 per bin, and a direct sliding MAC 4.
+ * The frequency-side weights started at the textbook 5/8 and were
+ * divided by the measured SIMD speedup of that path
+ * (BM_DirectEngineFftRows, ~1.6x with vector butterflies, r2c packs,
+ * and the vector complex-MAC) while the direct weight is unchanged
+ * (the 2D window walk in conv2dInto is not vectorized and its
+ * BM_DirectEngineSliding time did not move) — re-fit the same way if
+ * either path's kernels change speed. The FFT path pays one r2c per
+ * (input channel, input row), one c2r per (output channel, output
+ * row), and a complex multiply-add per half-spectrum bin per (oc, ic,
+ * kernel row, output row); the direct path pays ow*k*k MACs per
+ * (oc, ic, output row) — with the vector kernels frequency
+ * accumulation now wins from k >= 3 at CIFAR widths (measured 1.9x at
+ * k=3, 6.4x at k=13 on 32x32x8->8 layers), while 1x1/2x2 stay direct.
  */
 bool
 fftRowPathProfitable(size_t in_rows, size_t in_cols, size_t k,
@@ -104,10 +111,10 @@ fftRowPathProfitable(size_t in_rows, size_t in_cols, size_t k,
     const size_t half = n / 2 + 1;
     const double log2n = std::log2(static_cast<double>(n));
     const double transform_flops =
-        5.0 * static_cast<double>(n) * log2n *
+        3.0 * static_cast<double>(n) * log2n *
         static_cast<double>(n_in * in_rows + n_out * oh);
     const double product_flops =
-        8.0 * static_cast<double>(half * k) *
+        5.0 * static_cast<double>(half * k) *
         static_cast<double>(n_out * n_in * oh);
     const double direct_flops =
         4.0 * static_cast<double>(n_out * n_in * oh) *
@@ -200,8 +207,11 @@ fftRowConvolve(const Tensor &input, const std::vector<Tensor> &weights,
                                  half];
                     const signal::Complex *ks =
                         sc.specs[ic * k + kr]->data();
-                    for (size_t i = 0; i < half; ++i)
-                        sc.acc_spec[i] += src[i] * ks[i];
+                    simd::kernels().complexMacInto(
+                        reinterpret_cast<double *>(
+                            sc.acc_spec.data()),
+                        reinterpret_cast<const double *>(src),
+                        reinterpret_cast<const double *>(ks), half);
                 }
             }
             plan->executeRealInverse(sc.acc_spec.data(),

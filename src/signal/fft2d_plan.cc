@@ -4,6 +4,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "arch/simd.hh"
 #include "common/logging.hh"
 
 namespace photofourier {
@@ -22,24 +23,19 @@ constexpr size_t kSlotHalfScratch = 3;
 // slots 2-3 internally.
 constexpr size_t kSlotAutoCorrHalf = 7;
 
-/** Transpose tile edge: 32x32 complex = 16 KiB working set. */
-constexpr size_t kTransposeBlock = 32;
-
 } // namespace
 
 void
 transposeInto(const Complex *in, size_t rows, size_t cols, Complex *out)
 {
     pf_assert(in != nullptr && out != nullptr, "transposeInto on null");
-    for (size_t r0 = 0; r0 < rows; r0 += kTransposeBlock) {
-        const size_t r1 = std::min(rows, r0 + kTransposeBlock);
-        for (size_t c0 = 0; c0 < cols; c0 += kTransposeBlock) {
-            const size_t c1 = std::min(cols, c0 + kTransposeBlock);
-            for (size_t r = r0; r < r1; ++r)
-                for (size_t c = c0; c < c1; ++c)
-                    out[c * rows + r] = in[r * cols + c];
-        }
-    }
+    // Cache blocking (32x32 complex tiles = 16 KiB working set) and
+    // the vector micro-tiles both live in the dispatched kernel;
+    // std::complex<double> guarantees the (re, im) double-pair layout
+    // the kernel operates on.
+    simd::kernels().transposeComplex(
+        reinterpret_cast<const double *>(in), rows, cols,
+        reinterpret_cast<double *>(out));
 }
 
 Fft2dPlan::Fft2dPlan(size_t rows, size_t cols)

@@ -5,11 +5,13 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "arch/simd.hh"
 #include "common/logging.hh"
 
 namespace photofourier {
@@ -28,6 +30,30 @@ namespace {
 // half plan), so they must not share a slot.
 constexpr size_t kSlotBluestein = 0;
 constexpr size_t kSlotRealPack = 1;
+
+// Real-buffer slots for the SIMD butterfly's split-complex staging
+// (see the header's slot discipline — radix-2 executes never nest).
+constexpr size_t kSlotSoaRe = 0;
+constexpr size_t kSlotSoaIm = 1;
+
+// Below this size the deinterleave/interleave round trip costs more
+// than the vector butterflies recover; the scalar loop also keeps the
+// tiny-transform latency path free of workspace lookups.
+constexpr size_t kSimdFftMinSize = 32;
+
+/** std::complex<double> guarantees array-oriented access: data[i]
+ *  occupies doubles 2i (re) and 2i+1 (im). */
+inline double *
+asDoubles(Complex *p)
+{
+    return reinterpret_cast<double *>(p);
+}
+
+inline const double *
+asDoubles(const Complex *p)
+{
+    return reinterpret_cast<const double *>(p);
+}
 
 } // namespace
 
@@ -93,6 +119,25 @@ FftPlan::FftPlan(size_t n) : n_(n), pow2_(isPowerOfTwo(n))
             twiddle_fwd_[j] = Complex(std::cos(angle), std::sin(angle));
             twiddle_inv_[j] = std::conj(twiddle_fwd_[j]);
         }
+
+        // Splat the strided table into contiguous per-stage runs for
+        // the SIMD butterfly (stage half-length h lives at offset
+        // h-1): same values, so the vector and scalar paths agree to
+        // within the FMA-contraction tolerance documented in simd.hh.
+        if (n >= 2) {
+            stage_tw_re_.resize(n - 1);
+            stage_tw_im_fwd_.resize(n - 1);
+            stage_tw_im_inv_.resize(n - 1);
+            for (size_t h = 1; h <= half; h *= 2) {
+                const size_t stride = half / h;
+                for (size_t k = 0; k < h; ++k) {
+                    const Complex w = twiddle_fwd_[k * stride];
+                    stage_tw_re_[h - 1 + k] = w.real();
+                    stage_tw_im_fwd_[h - 1 + k] = w.imag();
+                    stage_tw_im_inv_[h - 1 + k] = -w.imag();
+                }
+            }
+        }
         return;
     }
 
@@ -156,6 +201,36 @@ FftPlan::executeRadix2(Complex *data, bool inverse) const
             std::swap(data[i], data[j]);
     }
 
+    if (simd::activeLevel() != simd::Level::Scalar &&
+        n >= kSimdFftMinSize) {
+        // SIMD path: stage the bit-reversed data as split re/im
+        // arrays (the vector butterfly wants SoA), run every stage on
+        // the pre-splatted contiguous twiddles, and interleave back.
+        // The workspace buffers persist per thread, so steady state
+        // stays allocation-free; radix-2 never nests inside radix-2
+        // (Bluestein's inner transforms are themselves the leaves),
+        // so the two real slots cannot be live twice on a thread.
+        const simd::Kernels &kern = simd::kernels();
+        FftWorkspace &ws = threadFftWorkspace();
+        std::vector<double> &re = ws.realBuffer(kSlotSoaRe, n);
+        std::vector<double> &im = ws.realBuffer(kSlotSoaIm, n);
+        kern.deinterleave(asDoubles(data), n, re.data(), im.data());
+        const double *twim = inverse ? stage_tw_im_inv_.data()
+                                     : stage_tw_im_fwd_.data();
+        for (size_t half = 1; half * 2 <= n; half *= 2)
+            kern.butterflyStage(re.data(), im.data(), n, half,
+                                stage_tw_re_.data() + (half - 1),
+                                twim + (half - 1));
+        kern.interleave(re.data(), im.data(), n, asDoubles(data));
+        if (inverse)
+            kern.scaleInPlace(asDoubles(data), 2 * n,
+                              1.0 / static_cast<double>(n));
+        return;
+    }
+
+    // Scalar reference path — also the PF_SIMD=scalar dispatch target
+    // (the forced-scalar CI leg runs this exact loop, so the fallback
+    // cannot rot unnoticed).
     const Complex *twiddle =
         inverse ? twiddle_inv_.data() : twiddle_fwd_.data();
     for (size_t len = 2; len <= n; len <<= 1) {
@@ -201,8 +276,8 @@ FftPlan::executeBluestein(Complex *data, bool inverse) const
     }
 
     inner_->executeRadix2(scratch.data(), false);
-    for (size_t k = 0; k < m; ++k)
-        scratch[k] *= bspec[k];
+    simd::kernels().complexMulInPlace(asDoubles(scratch.data()),
+                                      asDoubles(bspec.data()), m);
     inner_->executeRadix2(scratch.data(), true);
 
     if (inverse) {
@@ -266,20 +341,17 @@ FftPlan::executeReal(const double *in, Complex *out) const
     const size_t h = n / 2;
     ComplexVector &z =
         threadFftWorkspace().complexBuffer(kSlotRealPack, h);
-    for (size_t j = 0; j < h; ++j)
-        z[j] = Complex(in[2 * j], in[2 * j + 1]);
+    // The pack z[j] = x[2j] + i*x[2j+1] is exactly the interleaved
+    // complex layout reinterpreting the real input — one memcpy.
+    std::memcpy(asDoubles(z.data()), in, n * sizeof(double));
     half_->execute(z.data(), false);
 
     const Complex z0 = z[0];
     out[0] = Complex(z0.real() + z0.imag(), 0.0);
     out[h] = Complex(z0.real() - z0.imag(), 0.0);
-    for (size_t k = 1; k < h; ++k) {
-        const Complex a = z[k];
-        const Complex b = std::conj(z[h - k]);
-        const Complex even = 0.5 * (a + b);
-        const Complex odd = Complex(0.0, -0.5) * (a - b);
-        out[k] = even + real_twiddle_[k] * odd;
-    }
+    simd::kernels().realUntangleForward(
+        asDoubles(z.data()), asDoubles(real_twiddle_.data()),
+        asDoubles(out), h);
 }
 
 void
@@ -316,19 +388,13 @@ FftPlan::executeRealInverse(const Complex *in, double *out) const
     const size_t h = n / 2;
     ComplexVector &z =
         threadFftWorkspace().complexBuffer(kSlotRealPack, h);
-    for (size_t k = 0; k < h; ++k) {
-        const Complex a = in[k];
-        const Complex b = std::conj(in[h - k]);
-        const Complex even = 0.5 * (a + b);
-        const Complex odd =
-            0.5 * (a - b) * std::conj(real_twiddle_[k]);
-        z[k] = even + Complex(0.0, 1.0) * odd;
-    }
+    simd::kernels().realUntangleInverse(
+        asDoubles(in), asDoubles(real_twiddle_.data()),
+        asDoubles(z.data()), h);
     half_->execute(z.data(), true);
-    for (size_t j = 0; j < h; ++j) {
-        out[2 * j] = z[j].real();
-        out[2 * j + 1] = z[j].imag();
-    }
+    // Unpack is the pack's mirror: interleaved (re, im) pairs are the
+    // even/odd output samples in place — one memcpy.
+    std::memcpy(out, asDoubles(z.data()), n * sizeof(double));
 }
 
 // ---------------------------------------------------------------------------

@@ -48,14 +48,16 @@ namespace signal {
  *
  * Slot discipline: a (caller, slot) pair must be unique along any call
  * chain that can be live at once on a thread. The library reserves
- * slots 0-1 for FftPlan internals (Bluestein and real-transform
- * scratch), 2-3 for Fft2dPlan internals (transpose and inverse-real
- * scratch), 4-7 for signal-level convolution helpers (7 doubles as
- * the 2D autocorrelation half-spectrum), 8-15 for the tiling
- * backends, 16-19 for the nn engines, and 20-27 for the optical
- * simulators (jtc/fourier4f); external callers of
- * threadFftWorkspace() should use slots >= 28 (or a private
- * FftWorkspace instance).
+ * complex slots 0-1 for FftPlan internals (Bluestein and
+ * real-transform scratch), 2-3 for Fft2dPlan internals (transpose and
+ * inverse-real scratch), 4-7 for signal-level convolution helpers (7
+ * doubles as the 2D autocorrelation half-spectrum), 8-15 for the
+ * tiling backends, 16-19 for the nn engines, and 20-27 for the
+ * optical simulators (jtc/fourier4f). Real slots 0-1 belong to the
+ * FftPlan radix-2 SIMD path (split-complex re/im staging — radix-2
+ * executes never nest inside each other, so one pair suffices per
+ * thread); external callers of threadFftWorkspace() should use slots
+ * >= 28 (or a private FftWorkspace instance).
  */
 class FftWorkspace
 {
@@ -144,6 +146,17 @@ class FftPlan
     std::vector<uint32_t> bit_reversal_;
     ComplexVector twiddle_fwd_;
     ComplexVector twiddle_inv_;
+
+    // Pre-splatted per-stage twiddles for the SIMD butterfly path:
+    // stage with half-length h (h = 1, 2, 4, ..., n/2) stores its h
+    // twiddles contiguously at offset h-1 (offsets sum: 1+2+...+h/2 =
+    // h-1), n-1 doubles per array total. Split re/im so the vector
+    // kernels load straight into SoA registers; the imaginary parts
+    // carry the direction sign, so forward and inverse each get a
+    // table and the inner loop stays branch-free.
+    std::vector<double> stage_tw_re_;
+    std::vector<double> stage_tw_im_fwd_;
+    std::vector<double> stage_tw_im_inv_;
 
     // Bluestein path: chirp[k] = exp(-i*pi*k^2/n) (forward sign) and
     // the precomputed padded spectra of the chirp-conjugate sequence

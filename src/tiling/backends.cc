@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "arch/simd.hh"
 #include "common/logging.hh"
 #include "signal/fft_plan.hh"
 
@@ -108,8 +109,9 @@ fftCorrelate(const std::vector<double> &input,
                            : 0.0;
         }
         plan->executeReal(block.data(), spec.data());
-        for (size_t i = 0; i < half; ++i)
-            spec[i] *= kspec[i];
+        simd::kernels().complexMulInPlace(
+            reinterpret_cast<double *>(spec.data()),
+            reinterpret_cast<const double *>(kspec), half);
         plan->executeRealInverse(spec.data(), time.data());
 
         const long seg_lo = std::max<long>(m_lo, static_cast<long>(b * L));
@@ -156,15 +158,20 @@ fftConvProfitable(size_t input_len, size_t kernel_len,
     // FFT path pays (per overlap-save block) one r2c, one half-
     // spectrum product, and one c2r — about kFftMacFactor equivalent
     // MACs per (n/2) * log2(n/2) butterfly, independent of tap count.
-    // kFftMacFactor was fitted against BM_Conv1dBackend{Cpu,FftCached}
-    // in Release on the bench host (see BENCH_micro.json): one cached
-    // FFT correlation at size n costs ~2.0 * n * log2(n) sliding-MAC
-    // equivalents (consistent within 3% across n = 512..8192), so the
-    // FFT path breaks even around count*taps ~ 2 * n * log2(n).
+    // kFftMacFactor is fitted against BM_Conv1dBackend{Cpu,FftCached}
+    // in Release on the bench host (see BENCH_micro.json):
+    //   factor = (t_fftcached / (blocks * n * log2 n))
+    //          / (t_cpu / (count * taps))
+    // per benchmarked shape, averaged. With the SIMD sliding-dot and
+    // FFT kernels the sliding MAC got ~8x cheaper while the FFT path
+    // only ~1.7x, so one cached FFT correlation now costs
+    // ~8 * n * log2(n) sliding-MAC equivalents (6.9..9.7 across
+    // n = 512..8192) — up from 2.0 with the scalar kernels. Re-fit
+    // whenever either kernel family changes speed.
     const size_t n = correlationFftSize(input_len, kernel_len);
     const size_t blocks = (count + (n - kernel_len)) / (n - kernel_len + 1);
     const double log2n = std::log2(static_cast<double>(n));
-    constexpr double kFftMacFactor = 2.0;
+    constexpr double kFftMacFactor = 8.0;
 
     const double fft_cost = fftCrossoverScale() * kFftMacFactor *
                             static_cast<double>(blocks) *

@@ -24,6 +24,13 @@ hold mechanically for every future PR instead of one test at a time:
   iwyu              src/ headers directly include what they use for a
                     fixed table of common std symbols (no reliance on
                     transitive includes that a refactor can sever).
+  intrinsics-confined
+                    raw SIMD intrinsic tokens (`__m256`, `_mm_`/
+                    `_mm256_`, `vld1q`/`vst1q`, `vfma`, ...) appear
+                    only in src/arch/simd.hh and src/arch/simd.cc —
+                    every other file goes through the dispatched
+                    kernel table, so sanitizers, equivalence tests,
+                    and future ISAs all face one seam.
 
 Usage:
     python3 tools/lint_invariants.py [--root DIR] [--rule NAME]...
@@ -267,6 +274,39 @@ def rule_iwyu(root, report):
 
 
 # --------------------------------------------------------------------------
+# Rule: raw SIMD intrinsics are confined to src/arch/simd.{hh,cc}
+# --------------------------------------------------------------------------
+
+INTRINSIC_PATTERN = re.compile(
+    r'\b(?:__m(?:64|128|256|512)[di]?\b'   # x86 vector types
+    r'|_mm(?:256|512)?_\w+'                # SSE/AVX intrinsic calls
+    r'|(?:u?int|float|poly)(?:8|16|32|64)x\d+(?:x\d+)?_t\b'  # NEON types
+    r'|v(?:ld|st)[1-4]q?_\w+'              # NEON structure loads/stores
+    r'|vfm[as]q?_\w+)'                     # NEON fused multiply-add/sub
+    r'|#\s*include\s*<(?:immintrin|x86intrin|arm_neon)\.h>')
+
+INTRINSIC_HOME = {os.path.join('src', 'arch', 'simd.hh'),
+                  os.path.join('src', 'arch', 'simd.cc')}
+
+
+def rule_intrinsics_confined(root, report):
+    for path in walk_sources(root, 'src', {'.cc', '.hh'}):
+        if os.path.relpath(path, root) in INTRINSIC_HOME:
+            continue
+        raw = read(path).splitlines()
+        code = strip_comments(read(path))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = INTRINSIC_PATTERN.search(line)
+            if m:
+                report.add(
+                    path, lineno, 'intrinsics-confined',
+                    'raw SIMD intrinsic %r outside src/arch/simd.{hh,cc}: '
+                    'go through the simd::kernels() dispatch table so the '
+                    'scalar fallback, sanitizers, and equivalence tests '
+                    'cover this code path too' % m.group(0).strip(), raw)
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -276,6 +316,7 @@ RULES = {
     'banned-random': rule_banned_random,
     'cache-lock-order': rule_cache_lock_order,
     'iwyu': rule_iwyu,
+    'intrinsics-confined': rule_intrinsics_confined,
 }
 
 

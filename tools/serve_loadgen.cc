@@ -521,6 +521,7 @@ runCluster(const Options &opt, const std::vector<nn::Sample> &samples)
     std::fprintf(out, "  \"num_cpus\": %u,\n", numCpus());
     std::fprintf(out, "  \"build_type\": \"%s\",\n", buildType());
     std::fprintf(out, "  \"git_sha\": \"%s\",\n", gitSha());
+    std::fprintf(out, "  \"simd_level\": \"%s\",\n", simdLevel());
     std::fprintf(out, "  \"verify\": [\n");
     for (size_t i = 0; i < verify.size(); ++i) {
         const auto &v = verify[i];
@@ -622,6 +623,7 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"num_cpus\": %u,\n", numCpus());
     std::fprintf(out, "  \"build_type\": \"%s\",\n", buildType());
     std::fprintf(out, "  \"git_sha\": \"%s\",\n", gitSha());
+    std::fprintf(out, "  \"simd_level\": \"%s\",\n", simdLevel());
     std::fprintf(out, "  \"runs\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
