@@ -42,15 +42,17 @@ trap cleanup EXIT INT TERM
 
 rm -f "$flight_dir/pf_flight_s0.log" "$flight_dir/pf_flight_s1.log"
 
+# Both shards run with a micro-batch cap > 1 (pinned explicitly, not
+# left to the default) so the fused-dispatch gate below is meaningful.
 PF_FLIGHT_RECORDER="$flight_dir/pf_flight_s0.log" \
     "$build_dir/cluster_shard" --name s0 --port $((base + 1)) \
-    --models "$models" --width "$width" --workers 1 &
+    --models "$models" --width "$width" --workers 1 --max-batch 8 &
 pids="$pids $!"
 # s1 carries a 1µs queue-p99 SLO: any real traffic trips it, which is
 # exactly what the degraded-over-the-wire gate below wants to see.
 PF_FLIGHT_RECORDER="$flight_dir/pf_flight_s1.log" \
     "$build_dir/cluster_shard" --name s1 --port $((base + 2)) \
-    --models "$models" --width "$width" --workers 1 \
+    --models "$models" --width "$width" --workers 1 --max-batch 8 \
     --slo-queue-p99-us 0.001 &
 s1_pid=$!
 pids="$pids $s1_pid"
@@ -71,6 +73,18 @@ pids="$pids $!"
 # upload when a later step fails.
 "$build_dir/trace_dump" "127.0.0.1:$base" --assert-sane --health \
     --out "$trace_out"
+
+# The throughput phase must have exercised the fused micro-batch
+# path: the merged fleet metrics have to show at least one dequeued
+# batch of size > 1 dispatched through Network::logitsBatch.
+fused=$(sed -n \
+    's/^pf_serve_fused_batch_total[[:space:]]*\([0-9][0-9]*\).*/\1/p' \
+    "$trace_out" | head -n 1)
+if [ -z "$fused" ] || [ "$fused" -eq 0 ]; then
+    echo "FAIL: pf_serve_fused_batch_total is ${fused:-missing} in" \
+        "$trace_out; no dispatch fused despite --max-batch 8" >&2
+    exit 1
+fi
 
 # The tight SLO on s1 must have tripped: the fleet health section has
 # to report a degraded state with s1's queue_p99_us violation.

@@ -120,17 +120,74 @@ def fmt_ns(ns):
     return f"{ns:.3g} ns"
 
 
+# The batched-optics benchmark families whose Arg is a fan-out count
+# k (planes / kernels / requests fused into one pass), not a problem
+# size. For these, per-item amortization vs their own /1 row is the
+# number that matters — see --amortization.
+AMORTIZED_FAMILIES = (
+    "BM_Fft2dRealBatch",
+    "BM_System4fTiled",
+    "BM_JtcBatchedCorrelate",
+    "BM_ConvEngineBatch",
+)
+
+
+def report_amortization(path):
+    """Per-item speedup of each batched family's /k rows vs its /1
+    row, from one benchmark JSON: speedup = (t_1 * k) / t_k, >1 means
+    fusing k items into one pass beats k solo passes."""
+    doc = load(path)
+    build = provenance(doc)["build_type"]
+    if build and build != "release":
+        print(f"WARNING: '{build}' build — timings are not "
+              f"meaningful perf evidence")
+    bench = benchmarks(doc)
+    any_family = False
+    for family in AMORTIZED_FAMILIES:
+        rows = {}
+        for name, ns in bench.items():
+            base, _, arg = name.partition("/")
+            if base == family and arg.isdigit():
+                rows[int(arg)] = ns
+        if 1 not in rows or len(rows) < 2:
+            continue
+        if not any_family:
+            print(f"{'benchmark':<28}  {'per-item':>10}  "
+                  f"{'vs /1':>8}")
+            any_family = True
+        for k in sorted(rows):
+            per_item = rows[k] / k
+            ratio = rows[1] / per_item
+            print(f"{family + '/' + str(k):<28}  "
+                  f"{fmt_ns(per_item):>10}  {ratio:>7.2f}x")
+    if not any_family:
+        print("no batched benchmark families found "
+              f"in {path!r}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("before")
-    parser.add_argument("after")
+    parser.add_argument("after", nargs="?")
     parser.add_argument("--threshold", type=float, default=5.0,
                         help="flag changes larger than this percent "
                              "(default 5)")
     parser.add_argument("--allow-cross-machine", action="store_true",
                         help="compare despite mismatched machine/"
                              "build provenance")
+    parser.add_argument("--amortization", action="store_true",
+                        help="report per-item amortization of the "
+                             "batched families in ONE file instead "
+                             "of diffing two")
     args = parser.parse_args()
+
+    if args.amortization:
+        if args.after is not None:
+            sys.exit("error: --amortization takes one file")
+        report_amortization(args.before)
+        return
+    if args.after is None:
+        sys.exit("error: AFTER.json required (or --amortization)")
 
     before_doc = load(args.before)
     after_doc = load(args.after)

@@ -712,6 +712,114 @@ BM_JtcCorrelateCached(benchmark::State &state)
 }
 BENCHMARK(BM_JtcCorrelateCached)->Arg(64)->Arg(256)->Arg(512);
 
+// --- Batched optics (ROADMAP item 2): k planes/kernels fused into one
+// --- Fourier pass. The Arg is k and items = planes (or kernels, or
+// --- requests), so items_per_second is per-kernel throughput — compare
+// --- each row against its own k=1 row for the amortization factor.
+
+static void
+BM_Fft2dRealBatch(benchmark::State &state)
+{
+    const size_t k = static_cast<size_t>(state.range(0));
+    const size_t n = 32;
+    pf::Rng rng(12);
+    const auto planes = rng.uniformVector(k * n * n, -1.0, 1.0);
+    const auto plan = sig::fft2dPlanFor(n, n);
+    sig::ComplexVector half(k * n * plan->halfCols());
+    plan->forwardRealBatchInto(planes.data(), k, half.data()); // warm
+    for (auto _ : state) {
+        plan->forwardRealBatchInto(planes.data(), k, half.data());
+        benchmark::DoNotOptimize(half.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * k));
+}
+BENCHMARK(BM_Fft2dRealBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void
+BM_System4fTiled(benchmark::State &state)
+{
+    // One input-lens pass + one cached filter-bank entry for all k
+    // kernels of a conv layer (32x32 activations, 5x5 kernels).
+    const size_t k = static_cast<size_t>(state.range(0));
+    const size_t n = 32;
+    pf::Rng rng(13);
+    sig::Matrix image(n, n);
+    image.data = rng.uniformVector(n * n, 0.0, 1.0);
+    std::vector<sig::Matrix> kernels(k, sig::Matrix(5, 5));
+    for (auto &kern : kernels)
+        kern.data = rng.uniformVector(25, -0.3, 0.3);
+    pf::fourier4f::System4f system;
+    std::vector<sig::Matrix> outs;
+    system.applyBatchInto(image, kernels, outs); // program the bank
+    for (auto _ : state) {
+        system.applyBatchInto(image, kernels, outs);
+        benchmark::DoNotOptimize(outs.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * k));
+}
+BENCHMARK(BM_System4fTiled)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void
+BM_JtcBatchedCorrelate(benchmark::State &state)
+{
+    // k kernels tiled into ONE joint plane (guard-banded designBatch
+    // layout): one r2c + |.|^2 + c2r serves every kernel's window.
+    // 16-tap kernels on a 256-sample row keep the tiled plane inside
+    // the same pow2 envelope as the per-kernel planes — the regime
+    // where tiling wins (long kernels round the plane up; see the
+    // layout notes in jtc_system.hh).
+    const size_t k = static_cast<size_t>(state.range(0));
+    pf::Rng rng(14);
+    const auto s = rng.uniformVector(256, 0.0, 1.0);
+    std::vector<std::vector<double>> kernels;
+    for (size_t j = 0; j < k; ++j)
+        kernels.push_back(rng.uniformVector(16, 0.0, 0.3));
+    jtc::JtcSystem optics;
+    std::vector<double> out;
+    optics.correlationWindowBatchInto(s, kernels, s.size(), 0, out);
+    for (auto _ : state) {
+        optics.correlationWindowBatchInto(s, kernels, s.size(), 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * k));
+}
+BENCHMARK(BM_JtcBatchedCorrelate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void
+BM_ConvEngineBatch(benchmark::State &state)
+{
+    // N same-shape requests through one convolveBatch call (the fused
+    // serving path): per-layer weight prep and kernel-spectrum fetches
+    // happen once for the whole micro-batch.
+    const size_t batch = static_cast<size_t>(state.range(0));
+    pf::Rng rng(15);
+    std::vector<pf::nn::Tensor> inputs;
+    for (size_t b = 0; b < batch; ++b) {
+        pf::nn::Tensor t(8, 32, 32);
+        t.data() = rng.uniformVector(8 * 32 * 32, 0.0, 1.0);
+        inputs.push_back(std::move(t));
+    }
+    std::vector<pf::nn::Tensor> weights;
+    for (size_t oc = 0; oc < 8; ++oc) {
+        pf::nn::Tensor w(8, 7, 7);
+        w.data() = rng.uniformVector(8 * 7 * 7, -0.3, 0.3);
+        weights.push_back(std::move(w));
+    }
+    const std::vector<double> bias(8, 0.1);
+    pf::nn::DirectEngine engine(nullptr, pf::nn::ConvPath::Fft);
+    auto warm = engine.convolveBatch(inputs, weights, bias, 1,
+                                     sig::ConvMode::Same);
+    benchmark::DoNotOptimize(warm.data());
+    for (auto _ : state) {
+        auto outs = engine.convolveBatch(inputs, weights, bias, 1,
+                                         sig::ConvMode::Same);
+        benchmark::DoNotOptimize(outs.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_ConvEngineBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 // --- observability hot paths: the acceptance bar is that recording a
 // metric or span costs a vanishing fraction of a DirectEngine-class
 // workload (microseconds), so serve-path instrumentation stays on in

@@ -65,6 +65,15 @@ if [ -n "$prev_micro" ] && command -v python3 >/dev/null 2>&1; then
         "$prev_micro" "$repo_root/BENCH_micro.json" || true
 fi
 
+# Per-kernel amortization of the batched-optics rows (k planes/kernels
+# fused into one Fourier pass): >1 means fusing beats k solo passes.
+if command -v python3 >/dev/null 2>&1; then
+    echo ""
+    echo "=== batched-optics per-item amortization ==="
+    python3 "$repo_root/bench/compare_bench.py" --amortization \
+        "$repo_root/BENCH_micro.json" || true
+fi
+
 # Serving smoke: closed-loop throughput vs micro-batch cap on the
 # digital engine (fast enough for CI); wall-clock scaling is bounded
 # by the machine's core count, recorded as hardware_threads.

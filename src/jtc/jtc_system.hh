@@ -62,6 +62,13 @@ struct JtcPlaneLayout
     size_t kernel_pos;   ///< plane index where k starts (the separation)
     size_t plane_size;   ///< total samples of the joint plane (pow2)
 
+    /** Tiled kernels sharing this plane (1 = the classic layout). */
+    size_t kernel_count = 1;
+
+    /** Plane spacing between consecutive tiled kernels (0 = single).
+     *  Kernel j starts at kernel_pos + j * kernel_step. */
+    size_t kernel_step = 0;
+
     /**
      * Compute a non-aliasing layout for the given input sizes.
      *
@@ -70,6 +77,27 @@ struct JtcPlaneLayout
      * clear of the cross term.
      */
     static JtcPlaneLayout design(size_t signal_len, size_t kernel_len);
+
+    /**
+     * Layout tiling `kernel_count` kernels onto ONE joint plane, so a
+     * single Fourier pass yields every kernel's correlation (the lens
+     * is linear — the multi-channel trick of arXiv:2112.12297).
+     *
+     * Guard bands, sized from the correlation support: kernels sit at
+     * q_j = q_0 + j*S with spacing S = Ls + 3*Lk - 2, which interleaves
+     * each signal-kernel cross band (width Ls+Lk-1, centred at lag
+     * q_j) exactly between the kernel-kernel cross bands (width
+     * 2*Lk-1, at lags j*S) with one clear sample on each side;
+     * q_0 = Ls + Lk - 1 + m*S with the smallest m clearing the central
+     * term (m*S >= max(Ls,Lk) - Lk), and the plane size
+     * >= 2*q_last + 2*Lk keeps every mirror band past every cross
+     * band. kernel_count == 1 returns design() exactly, so a batch of
+     * one is bit-identical to the solo path (same plane, same cached
+     * spectra).
+     */
+    static JtcPlaneLayout designBatch(size_t signal_len,
+                                      size_t kernel_len,
+                                      size_t kernel_count);
 };
 
 /** Configuration of a JTC simulation instance. */
@@ -176,6 +204,25 @@ class JtcSystem
                                size_t count, long start,
                                std::vector<double> &out) const;
 
+    /**
+     * Batched correlationWindow: every kernel's window from ONE
+     * Fourier pass. The kernels (all one length) tile a single joint
+     * plane (JtcPlaneLayout::designBatch); their summed field spectrum
+     * is cached as one bank entry, so one r2c + |.|^2 + c2r on the
+     * tiled plane serves all of them, and kernel j's window is read at
+     * its own displaced lag. `out` holds the windows back to back
+     * (kernel j at out[j * count]). Matches per-kernel
+     * correlationWindowInto within FFT rounding of the larger plane
+     * (bit-identical when kernels.size() == 1 — same layout, same
+     * cache entry); with noise enabled it falls back to the per-kernel
+     * path so every (request, kernel) readout draws the same noise
+     * stream either way. Allocation-free with a warm bank cache.
+     */
+    void correlationWindowBatchInto(
+        const std::vector<double> &s,
+        const std::vector<std::vector<double>> &kernels, size_t count,
+        long start, std::vector<double> &out) const;
+
     /** Layout used for the most recent evaluation sizes. */
     static JtcPlaneLayout layoutFor(const std::vector<double> &s,
                                     const std::vector<double> &k);
@@ -199,6 +246,13 @@ class JtcSystem
      *  plane_size/2+1 Hermitian half-spectrum). */
     std::shared_ptr<const signal::ComplexVector> kernelPlaneSpectrum(
         const std::vector<double> &k,
+        const JtcPlaneLayout &layout) const;
+
+    /** The cached summed Fourier-plane contribution of every tiled
+     *  kernel (kernel j at layout.kernel_pos + j*kernel_step) — one
+     *  bank entry per (kernel bytes, tiling geometry). */
+    std::shared_ptr<const signal::ComplexVector> kernelBankSpectrum(
+        const std::vector<std::vector<double>> &kernels,
         const JtcPlaneLayout &layout) const;
 
     /** Apply the configured readout model (+ optional noise). */

@@ -231,7 +231,151 @@ fftRowConvolve(const Tensor &input, const std::vector<Tensor> &weights,
     return out;
 }
 
+/**
+ * Batched fftRowConvolve: the input-row spectra of every request run
+ * as ONE dispatch, kernel-row spectra are fetched from the shared
+ * cache once for the whole batch (one lookup per (oc, ic, kernel row)
+ * instead of one per request), and the accumulation fan-out crosses
+ * (request, output channel) pairs. Each request's arithmetic is
+ * ordered exactly as fftRowConvolve's, so outs[i] is bit-identical to
+ * the solo call.
+ */
+void
+fftRowConvolveBatch(const std::vector<Tensor> &inputs,
+                    const std::vector<Tensor> &weights,
+                    const std::vector<double> &bias, size_t stride,
+                    signal::ConvMode mode,
+                    tiling::KernelSpectrumCache &cache,
+                    std::vector<Tensor> &outs)
+{
+    const size_t batch = inputs.size();
+    const size_t k = weights[0].height();
+    const size_t n_in = inputs[0].channels();
+    const size_t n_out = weights.size();
+    const size_t rows = inputs[0].height();
+    const size_t cols = inputs[0].width();
+    const size_t oh = outputDim(rows, k, stride, mode);
+    const size_t ow = outputDim(cols, k, stride, mode);
+    const long pad =
+        mode == signal::ConvMode::Same ? static_cast<long>(k / 2) : 0;
+
+    const size_t n = signal::nextPowerOfTwo(cols + k - 1);
+    const auto plan = signal::fftPlanFor(n);
+    const size_t half = plan->halfSpectrumSize();
+
+    const size_t total_macs = batch * n_out * n_in * oh * ow * k * k;
+    const size_t workers =
+        total_macs < signal::kParallelDispatchThreshold ? 1 : 0;
+
+    // Row spectra of every request, one fused dispatch. Layout matches
+    // the per-request passes back to back, so the accumulation below
+    // indexes with a request offset and is otherwise unchanged.
+    signal::ComplexVector in_spec(batch * n_in * rows * half);
+    signal::parallelFor(batch * n_in * rows, workers, [&](size_t job) {
+        const size_t b = job / (n_in * rows);
+        const size_t ic = (job / rows) % n_in;
+        const size_t r = job % rows;
+        // Slot 16: nn-engine range, as in the solo path.
+        std::vector<double> &pad_buf =
+            signal::threadFftWorkspace().realBuffer(16, n);
+        const double *row =
+            inputs[b].data().data() + (ic * rows + r) * cols;
+        std::copy(row, row + cols, pad_buf.begin());
+        std::fill(pad_buf.begin() + cols, pad_buf.end(), 0.0);
+        plan->executeReal(pad_buf.data(), &in_spec[job * half]);
+    });
+
+    // Kernel-row spectra, fetched once for the whole batch and shared
+    // read-only across the fan-out.
+    std::vector<std::shared_ptr<const signal::ComplexVector>> kspecs(
+        n_out * n_in * k);
+    {
+        std::vector<double> kernel_row(k);
+        for (size_t oc = 0; oc < n_out; ++oc)
+            for (size_t ic = 0; ic < n_in; ++ic)
+                for (size_t kr = 0; kr < k; ++kr) {
+                    for (size_t kc = 0; kc < k; ++kc)
+                        kernel_row[kc] = weights[oc].at(ic, kr, kc);
+                    kspecs[(oc * n_in + ic) * k + kr] =
+                        cache.correlationSpectrum(kernel_row, n);
+                }
+    }
+
+    outs.clear();
+    outs.reserve(batch);
+    for (size_t b = 0; b < batch; ++b)
+        outs.emplace_back(n_out, oh, ow);
+    signal::parallelFor(batch * n_out, workers, [&](size_t job) {
+        const size_t b = job / n_out;
+        const size_t oc = job % n_out;
+        EngineScratch &sc = threadEngineScratch();
+        sc.acc_spec.resize(half);
+        sc.row_time.resize(n);
+        Tensor &out = outs[b];
+        const double bv = bias.empty() ? 0.0 : bias[oc];
+        for (size_t r_out = 0; r_out < oh; ++r_out) {
+            std::fill(sc.acc_spec.begin(), sc.acc_spec.end(),
+                      signal::Complex(0.0, 0.0));
+            for (size_t ic = 0; ic < n_in; ++ic) {
+                for (size_t kr = 0; kr < k; ++kr) {
+                    const long r_in =
+                        static_cast<long>(r_out * stride) - pad +
+                        static_cast<long>(kr);
+                    if (r_in < 0 || r_in >= static_cast<long>(rows))
+                        continue;
+                    const signal::Complex *src =
+                        &in_spec[((b * n_in + ic) * rows +
+                                  static_cast<size_t>(r_in)) *
+                                 half];
+                    const signal::Complex *ks =
+                        kspecs[(oc * n_in + ic) * k + kr]->data();
+                    simd::kernels().complexMacInto(
+                        reinterpret_cast<double *>(
+                            sc.acc_spec.data()),
+                        reinterpret_cast<const double *>(src),
+                        reinterpret_cast<const double *>(ks), half);
+                }
+            }
+            plan->executeRealInverse(sc.acc_spec.data(),
+                                     sc.row_time.data());
+            for (size_t c = 0; c < ow; ++c)
+                out.at(oc, r_out, c) =
+                    sc.row_time[static_cast<size_t>(
+                        static_cast<long>(c * stride) - pad +
+                        static_cast<long>(k) - 1)] +
+                    bv;
+        }
+    });
+}
+
+/** All batch inputs one shape? Fused dispatches require it; the
+ *  serving layer groups per model so mixed batches only appear from
+ *  direct API use, which falls back to the loop. */
+bool
+uniformBatchShape(const std::vector<Tensor> &inputs)
+{
+    for (size_t i = 1; i < inputs.size(); ++i)
+        if (inputs[i].channels() != inputs[0].channels() ||
+            inputs[i].height() != inputs[0].height() ||
+            inputs[i].width() != inputs[0].width())
+            return false;
+    return true;
+}
+
 } // namespace
+
+std::vector<Tensor>
+ConvEngine::convolveBatch(const std::vector<Tensor> &inputs,
+                          const std::vector<Tensor> &weights,
+                          const std::vector<double> &bias, size_t stride,
+                          signal::ConvMode mode) const
+{
+    std::vector<Tensor> outs;
+    outs.reserve(inputs.size());
+    for (const Tensor &input : inputs)
+        outs.push_back(convolve(input, weights, bias, stride, mode));
+    return outs;
+}
 
 DirectEngine::DirectEngine(
     std::shared_ptr<tiling::KernelSpectrumCache> spectra, ConvPath path)
@@ -302,6 +446,47 @@ DirectEngine::convolve(const Tensor &input,
     return out;
 }
 
+std::vector<Tensor>
+DirectEngine::convolveBatch(const std::vector<Tensor> &inputs,
+                            const std::vector<Tensor> &weights,
+                            const std::vector<double> &bias,
+                            size_t stride, signal::ConvMode mode) const
+{
+    if (inputs.empty())
+        return {};
+    // Fusing pays on the frequency path (shared dispatch, one kernel
+    // fetch); a single request or a mixed-shape batch gains nothing,
+    // so keep those on the solo code path unchanged.
+    if (inputs.size() == 1 || !uniformBatchShape(inputs))
+        return ConvEngine::convolveBatch(inputs, weights, bias, stride,
+                                         mode);
+    obs::ScopedSpan span("direct_conv_batch");
+    checkConvShapes(inputs[0], weights, bias);
+    const size_t k = weights[0].height();
+    pf_assert(mode != signal::ConvMode::Valid ||
+                  (inputs[0].height() >= k && inputs[0].width() >= k),
+              "conv2d valid: kernel larger than input");
+    const size_t oh = outputDim(inputs[0].height(), k, stride, mode);
+    const size_t ow = outputDim(inputs[0].width(), k, stride, mode);
+    // The crossover is a pure function of the (shared) shape, so the
+    // whole batch takes one path — exactly the path each request
+    // would have taken solo.
+    const bool use_fft =
+        path_ == ConvPath::Fft ||
+        (path_ == ConvPath::Auto &&
+         fftRowPathProfitable(inputs[0].height(), inputs[0].width(), k,
+                              inputs[0].channels(), weights.size(), oh,
+                              ow));
+    if (!use_fft)
+        // The sliding path shares nothing across requests; loop.
+        return ConvEngine::convolveBatch(inputs, weights, bias, stride,
+                                         mode);
+    std::vector<Tensor> outs;
+    fftRowConvolveBatch(inputs, weights, bias, stride, mode, *spectra_,
+                        outs);
+    return outs;
+}
+
 PhotoFourierEngine::PhotoFourierEngine(
     PhotoFourierEngineConfig config,
     std::shared_ptr<tiling::KernelSpectrumCache> spectra)
@@ -317,6 +502,79 @@ PhotoFourierEngine::PhotoFourierEngine(
     saturation_gauge_ = &registry.gauge("pf_photonic_saturation");
 }
 
+/** Input-independent half of PhotoFourierEngine::convolve. */
+struct PhotoFourierEngine::PreparedLayer
+{
+    /** DAC-quantized weights (the noise key hashes these). */
+    std::vector<Tensor> q_weights;
+    /** Pseudo-negative split of q_weights: non-negative p filters. */
+    std::vector<Tensor> w_pos;
+    /** ... and the matching non-negative n filters. */
+    std::vector<Tensor> w_neg;
+};
+
+PhotoFourierEngine::PreparedLayer
+PhotoFourierEngine::prepareLayer(const std::vector<Tensor> &weights) const
+{
+    // --- weight DAC quantization (per-layer symmetric range) ---
+    double w_range = 0.0;
+    for (const auto &w : weights)
+        w_range = std::max(w_range, w.maxAbs());
+    photonics::Quantizer w_dac(
+        config_.dac_bits > 0 ? config_.dac_bits : 2,
+        config_.dac_bits > 0 ? w_range : 0.0);
+
+    PreparedLayer prep;
+    prep.q_weights = weights;
+    for (auto &w : prep.q_weights)
+        for (auto &v : w.data())
+            v = w_dac.quantize(v);
+
+    // Pseudo-negative execution [13]: each filter runs as a (p, n)
+    // pair of non-negative filters whose photodetector charges are
+    // read out *separately* and subtracted digitally. The ADC
+    // quantizes each readout on a grid fixed by the layer's output
+    // scale — that fixed grid is why fewer readouts (deeper temporal
+    // accumulation) mean less total quantization error (Section V-C1:
+    // "8-bit precision is not enough for partial sums").
+    prep.w_pos = prep.q_weights;
+    prep.w_neg = prep.q_weights;
+    for (size_t oc = 0; oc < prep.q_weights.size(); ++oc) {
+        for (size_t i = 0; i < prep.w_pos[oc].data().size(); ++i) {
+            const double w = prep.q_weights[oc].data()[i];
+            prep.w_pos[oc].data()[i] = w >= 0.0 ? w : 0.0;
+            prep.w_neg[oc].data()[i] = w < 0.0 ? -w : 0.0;
+        }
+    }
+    return prep;
+}
+
+namespace {
+
+/** The 1D backend of the tiled path for a given engine config. */
+tiling::Conv1dBackend
+selectConvBackend(
+    const PhotoFourierEngineConfig &config,
+    const std::shared_ptr<tiling::KernelSpectrumCache> &spectra)
+{
+    if (config.optical_backend)
+        // The optical cache rides along with the digital spectrum
+        // cache (one lifetime), so serving replicas sharing spectra
+        // also share the transformed joint-plane kernel fields.
+        return tiling::jtcBackend({}, spectra->opticalPlaneCache());
+    switch (config.conv_path) {
+      case ConvPath::Auto:
+        return tiling::autoBackend(spectra);
+      case ConvPath::Direct:
+        return tiling::cpuBackend();
+      case ConvPath::Fft:
+        return tiling::fftBackend(spectra);
+    }
+    return tiling::cpuBackend();
+}
+
+} // namespace
+
 Tensor
 PhotoFourierEngine::convolve(const Tensor &input,
                              const std::vector<Tensor> &weights,
@@ -328,81 +586,90 @@ PhotoFourierEngine::convolve(const Tensor &input,
     checkConvShapes(input, weights, bias);
     pf_assert(input.height() == input.width(),
               "PhotoFourier engine expects square feature maps");
-    const size_t k = weights[0].height();
-    const size_t n_in = input.channels();
-    const size_t n_out = weights.size();
-    const size_t nta = config_.temporal_accumulation_depth;
-
-    // --- DAC quantization (per-layer symmetric ranges) ---
-    double act_range = input.maxAbs();
-    double w_range = 0.0;
-    for (const auto &w : weights)
-        w_range = std::max(w_range, w.maxAbs());
-
-    photonics::Quantizer act_dac(
-        config_.dac_bits > 0 ? config_.dac_bits : 2,
-        config_.dac_bits > 0 ? act_range : 0.0);
-    photonics::Quantizer w_dac(
-        config_.dac_bits > 0 ? config_.dac_bits : 2,
-        config_.dac_bits > 0 ? w_range : 0.0);
-
-    Tensor q_input = input;
-    for (auto &v : q_input.data())
-        v = act_dac.quantize(v);
-    std::vector<Tensor> q_weights = weights;
-    for (auto &w : q_weights)
-        for (auto &v : w.data())
-            v = w_dac.quantize(v);
-
-    // --- Tiled convolution plan for this layer's geometry ---
+    const PreparedLayer prep = prepareLayer(weights);
     tiling::TilingParams params{
         .input_size = input.height(),
-        .kernel_size = k,
+        .kernel_size = weights[0].height(),
         .n_conv = config_.n_conv,
         .mode = mode,
         .stride = stride,
         .zero_pad_rows = config_.zero_pad_rows,
     };
-    tiling::Conv1dBackend backend;
-    if (config_.optical_backend) {
-        // The optical cache rides along with the digital spectrum
-        // cache (one lifetime), so serving replicas sharing spectra_
-        // also share the transformed joint-plane kernel fields.
-        backend = tiling::jtcBackend({}, spectra_->opticalPlaneCache());
-    } else {
-        switch (config_.conv_path) {
-          case ConvPath::Auto:
-            backend = tiling::autoBackend(spectra_);
-            break;
-          case ConvPath::Direct:
-            backend = tiling::cpuBackend();
-            break;
-          case ConvPath::Fft:
-            backend = tiling::fftBackend(spectra_);
-            break;
-        }
-    }
-    tiling::TiledConvolution tiled(params, std::move(backend));
+    tiling::TiledConvolution tiled(params,
+                                   selectConvBackend(config_, spectra_));
+    return convolvePrepared(input, prep, tiled, bias, stride, mode);
+}
+
+std::vector<Tensor>
+PhotoFourierEngine::convolveBatch(const std::vector<Tensor> &inputs,
+                                  const std::vector<Tensor> &weights,
+                                  const std::vector<double> &bias,
+                                  size_t stride,
+                                  signal::ConvMode mode) const
+{
+    if (inputs.empty())
+        return {};
+    // A mixed-shape batch can't share one tiling plan; loop (the
+    // serving layer groups per model, so this is API-misuse fallback,
+    // not a hot path).
+    if (!uniformBatchShape(inputs))
+        return ConvEngine::convolveBatch(inputs, weights, bias, stride,
+                                         mode);
+    obs::ScopedSpan span("photonic_conv_batch");
+    checkConvShapes(inputs[0], weights, bias);
+    pf_assert(inputs[0].height() == inputs[0].width(),
+              "PhotoFourier engine expects square feature maps");
+    // Weight quantization, the (p, n) split, and the tiling plan are
+    // input-independent: build them once, share them read-only across
+    // the batch. Everything per-request runs in convolvePrepared,
+    // identical to a solo convolve.
+    const PreparedLayer prep = prepareLayer(weights);
+    tiling::TilingParams params{
+        .input_size = inputs[0].height(),
+        .kernel_size = weights[0].height(),
+        .n_conv = config_.n_conv,
+        .mode = mode,
+        .stride = stride,
+        .zero_pad_rows = config_.zero_pad_rows,
+    };
+    tiling::TiledConvolution tiled(params,
+                                   selectConvBackend(config_, spectra_));
+    std::vector<Tensor> outs;
+    outs.reserve(inputs.size());
+    for (const Tensor &input : inputs)
+        outs.push_back(
+            convolvePrepared(input, prep, tiled, bias, stride, mode));
+    return outs;
+}
+
+Tensor
+PhotoFourierEngine::convolvePrepared(const Tensor &input,
+                                     const PreparedLayer &prep,
+                                     const tiling::TiledConvolution &tiled,
+                                     const std::vector<double> &bias,
+                                     size_t stride,
+                                     signal::ConvMode mode) const
+{
+    const std::vector<Tensor> &q_weights = prep.q_weights;
+    const std::vector<Tensor> &w_pos = prep.w_pos;
+    const std::vector<Tensor> &w_neg = prep.w_neg;
+    const size_t k = q_weights[0].height();
+    const size_t n_in = input.channels();
+    const size_t n_out = q_weights.size();
+    const size_t nta = config_.temporal_accumulation_depth;
+
+    // --- activation DAC quantization (per-call symmetric range) ---
+    const double act_range = input.maxAbs();
+    photonics::Quantizer act_dac(
+        config_.dac_bits > 0 ? config_.dac_bits : 2,
+        config_.dac_bits > 0 ? act_range : 0.0);
+    Tensor q_input = input;
+    for (auto &v : q_input.data())
+        v = act_dac.quantize(v);
 
     const size_t oh = outputDim(input.height(), k, stride, mode);
     const size_t ow = outputDim(input.width(), k, stride, mode);
     const size_t groups = (n_in + nta - 1) / nta;
-
-    // Pseudo-negative execution [13]: each filter runs as a (p, n)
-    // pair of non-negative filters whose photodetector charges are
-    // read out *separately* and subtracted digitally. The ADC
-    // quantizes each readout on a grid fixed by the layer's output
-    // scale — that fixed grid is why fewer readouts (deeper temporal
-    // accumulation) mean less total quantization error (Section V-C1:
-    // "8-bit precision is not enough for partial sums").
-    std::vector<Tensor> w_pos = q_weights, w_neg = q_weights;
-    for (size_t oc = 0; oc < n_out; ++oc) {
-        for (size_t i = 0; i < w_pos[oc].data().size(); ++i) {
-            const double w = q_weights[oc].data()[i];
-            w_pos[oc].data()[i] = w >= 0.0 ? w : 0.0;
-            w_neg[oc].data()[i] = w < 0.0 ? -w : 0.0;
-        }
-    }
 
     // Per-call noise key: sensing noise is a pure function of the
     // seed, the quantized activations, and the quantized weights. No

@@ -30,6 +30,9 @@
 #include "tiling/spectrum_cache.hh"
 
 namespace photofourier {
+namespace tiling {
+class TiledConvolution;
+} // namespace tiling
 namespace nn {
 
 /**
@@ -84,6 +87,23 @@ class ConvEngine
                             size_t stride,
                             signal::ConvMode mode) const = 0;
 
+    /**
+     * Batched convolve: N inputs (one micro-batch, all one shape)
+     * through one set of weights. Contract: outs[i] is bit-identical
+     * to convolve(inputs[i], ...) for every engine — batching may
+     * only amortize work whose result is input-independent (weight
+     * quantization, kernel-spectrum lookups, tiling plans, fused
+     * transform dispatches), never change per-request numerics. The
+     * base implementation loops convolve (correct for any third-party
+     * engine); DirectEngine and PhotoFourierEngine override with
+     * fused versions.
+     */
+    virtual std::vector<Tensor>
+    convolveBatch(const std::vector<Tensor> &inputs,
+                  const std::vector<Tensor> &weights,
+                  const std::vector<double> &bias, size_t stride,
+                  signal::ConvMode mode) const;
+
     /** Engine name for logs. */
     virtual std::string name() const = 0;
 };
@@ -108,6 +128,17 @@ class DirectEngine : public ConvEngine
                     const std::vector<Tensor> &weights,
                     const std::vector<double> &bias, size_t stride,
                     signal::ConvMode mode) const override;
+
+    /** Fused batch: on the frequency row path, the input-row spectra
+     *  of all N inputs run as one dispatch, kernel-row spectra are
+     *  fetched once for the whole batch, and the (input, output
+     *  channel) fan-out crosses requests. Bit-identical to looped
+     *  convolve. */
+    std::vector<Tensor>
+    convolveBatch(const std::vector<Tensor> &inputs,
+                  const std::vector<Tensor> &weights,
+                  const std::vector<double> &bias, size_t stride,
+                  signal::ConvMode mode) const override;
 
     std::string name() const override { return "direct"; }
 
@@ -200,6 +231,19 @@ class PhotoFourierEngine : public ConvEngine
                     const std::vector<double> &bias, size_t stride,
                     signal::ConvMode mode) const override;
 
+    /** Fused batch: the input-independent mixed-signal prep — weight
+     *  DAC quantization, the pseudo-negative (p, n) split, and the
+     *  tiled-convolution plan/backend — runs once for all N inputs.
+     *  Per-request numerics (activation quantization, the per-call
+     *  noise key, ADC calibration) stay per input, so outs[i] is
+     *  bit-identical to solo convolve(inputs[i], ...) even with
+     *  sensing noise on. */
+    std::vector<Tensor>
+    convolveBatch(const std::vector<Tensor> &inputs,
+                  const std::vector<Tensor> &weights,
+                  const std::vector<double> &bias, size_t stride,
+                  signal::ConvMode mode) const override;
+
     std::string name() const override { return "photofourier"; }
 
     /** The configuration. */
@@ -213,6 +257,28 @@ class PhotoFourierEngine : public ConvEngine
     }
 
   private:
+    /** Everything input-independent that convolve() sets up before
+     *  touching activations: the DAC-quantized weights and their
+     *  pseudo-negative (p, n) split. Built once per convolveBatch and
+     *  shared read-only by every request. */
+    struct PreparedLayer;
+
+    /** Quantize `weights` through the layer-range DAC and split the
+     *  result into the pseudo-negative (p, n) pair. */
+    PreparedLayer
+    prepareLayer(const std::vector<Tensor> &weights) const;
+
+    /** The per-input tail of convolve(): activation quantization,
+     *  per-call noise key, group charges, ADC readout. Pure function
+     *  of (input, prepared state), so batched and solo calls are
+     *  bit-identical by construction. */
+    Tensor convolvePrepared(const Tensor &input,
+                            const PreparedLayer &prep,
+                            const tiling::TiledConvolution &tiled,
+                            const std::vector<double> &bias,
+                            size_t stride,
+                            signal::ConvMode mode) const;
+
     PhotoFourierEngineConfig config_;
     std::shared_ptr<tiling::KernelSpectrumCache> spectra_;
 

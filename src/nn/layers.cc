@@ -44,6 +44,16 @@ Layer::loadParams(std::istream &in)
            static_cast<bool>(in >> word) && word == name();
 }
 
+std::vector<Tensor>
+Layer::forwardBatch(const std::vector<Tensor> &inputs)
+{
+    std::vector<Tensor> outs;
+    outs.reserve(inputs.size());
+    for (const Tensor &input : inputs)
+        outs.push_back(forward(input));
+    return outs;
+}
+
 // --------------------------------------------------------------------
 // Conv2d
 // --------------------------------------------------------------------
@@ -84,6 +94,20 @@ Conv2d::forward(const Tensor &input)
               in_channels_);
     cached_input_ = input;
     return engine_->convolve(input, weights_, bias_, stride_, mode_);
+}
+
+std::vector<Tensor>
+Conv2d::forwardBatch(const std::vector<Tensor> &inputs)
+{
+    if (inputs.empty())
+        return {};
+    for (const Tensor &input : inputs)
+        pf_assert(input.channels() == in_channels_,
+                  "conv2d input channels ", input.channels(), " != ",
+                  in_channels_);
+    cached_input_ = inputs.back();
+    return engine_->convolveBatch(inputs, weights_, bias_, stride_,
+                                  mode_);
 }
 
 Tensor
@@ -461,6 +485,20 @@ Residual::forward(const Tensor &input)
     for (auto &layer : shortcut_)
         short_out = layer->forward(short_out);
     main_out.add(short_out);
+    return main_out;
+}
+
+std::vector<Tensor>
+Residual::forwardBatch(const std::vector<Tensor> &inputs)
+{
+    std::vector<Tensor> main_out = inputs;
+    for (auto &layer : main_path_)
+        main_out = layer->forwardBatch(main_out);
+    std::vector<Tensor> short_out = inputs;
+    for (auto &layer : shortcut_)
+        short_out = layer->forwardBatch(short_out);
+    for (size_t i = 0; i < main_out.size(); ++i)
+        main_out[i].add(short_out[i]);
     return main_out;
 }
 

@@ -34,6 +34,18 @@ class Layer
     /** Compute the layer output (and cache activations). */
     virtual Tensor forward(const Tensor &input) = 0;
 
+    /**
+     * Forward a micro-batch of same-shape inputs. Contract: outs[i]
+     * is bit-identical to forward(inputs[i]) called alone — overrides
+     * may only amortize input-independent work (Conv2d hands the whole
+     * batch to ConvEngine::convolveBatch; Residual keeps its
+     * sub-layers batched end to end). The default loops forward().
+     * After the call the layer's cached activations are those of the
+     * LAST input; batched passes are for inference, not training.
+     */
+    virtual std::vector<Tensor>
+    forwardBatch(const std::vector<Tensor> &inputs);
+
     /** Propagate gradients; accumulates parameter gradients. */
     virtual Tensor backward(const Tensor &grad_out) = 0;
 
@@ -96,6 +108,9 @@ class Conv2d : public Layer
            size_t stride, signal::ConvMode mode, Rng &rng);
 
     Tensor forward(const Tensor &input) override;
+    /** One fused ConvEngine::convolveBatch call for the batch. */
+    std::vector<Tensor>
+    forwardBatch(const std::vector<Tensor> &inputs) override;
     Tensor backward(const Tensor &grad_out) override;
     void applyGradients(double lr) override;
     void zeroGradients() override;
@@ -206,6 +221,9 @@ class Residual : public Layer
              std::vector<std::unique_ptr<Layer>> shortcut);
 
     Tensor forward(const Tensor &input) override;
+    /** Both sub-paths stay batched, so nested conv layers fuse. */
+    std::vector<Tensor>
+    forwardBatch(const std::vector<Tensor> &inputs) override;
     Tensor backward(const Tensor &grad_out) override;
     void applyGradients(double lr) override;
     void zeroGradients() override;

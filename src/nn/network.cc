@@ -28,6 +28,27 @@ Network::logits(const Tensor &input)
     return forward(input).data();
 }
 
+std::vector<Tensor>
+Network::forwardBatch(const std::vector<Tensor> &inputs)
+{
+    pf_assert(!layers_.empty(), "forward through an empty network");
+    std::vector<Tensor> xs = inputs;
+    for (auto &layer : layers_)
+        xs = layer->forwardBatch(xs);
+    return xs;
+}
+
+std::vector<std::vector<double>>
+Network::logitsBatch(const std::vector<Tensor> &inputs)
+{
+    std::vector<Tensor> outs = forwardBatch(inputs);
+    std::vector<std::vector<double>> logits;
+    logits.reserve(outs.size());
+    for (Tensor &out : outs)
+        logits.push_back(std::move(out.data()));
+    return logits;
+}
+
 Tensor
 Network::backward(const Tensor &grad_out)
 {

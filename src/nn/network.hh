@@ -32,6 +32,20 @@ class Network
     /** Forward pass returning the flat output vector (logits). */
     std::vector<double> logits(const Tensor &input);
 
+    /**
+     * Forward a micro-batch of same-shape inputs in one pass: every
+     * layer sees the whole batch (Layer::forwardBatch), so conv
+     * layers fuse their per-layer weight prep, spectrum fetches, and
+     * transform dispatches across requests. outs[i] is bit-identical
+     * to forward(inputs[i]) — the serving layer relies on this when
+     * it routes a dequeued micro-batch through one call.
+     */
+    std::vector<Tensor> forwardBatch(const std::vector<Tensor> &inputs);
+
+    /** forwardBatch returning each request's flat logits. */
+    std::vector<std::vector<double>>
+    logitsBatch(const std::vector<Tensor> &inputs);
+
     /** Backward pass through all layers (after a forward). */
     Tensor backward(const Tensor &grad_out);
 

@@ -87,6 +87,7 @@ InferenceServer::bindMetrics()
     metric_.completed = &r.counter("pf_serve_completed_total");
     metric_.unknown_model = &r.counter("pf_serve_unknown_model_total");
     metric_.batches = &r.counter("pf_serve_batches_total");
+    metric_.fused_batches = &r.counter("pf_serve_fused_batch_total");
     metric_.queue_depth = &r.gauge("pf_serve_queue_depth");
     metric_.stage_queue_us = &r.histogram("pf_serve_stage_queue_us");
     metric_.stage_batch_us = &r.histogram("pf_serve_stage_batch_us");
@@ -245,6 +246,92 @@ InferenceServer::workerLoop(size_t id)
             auto &s = stats_[model];
             ++s.batches;
             s.batched_requests += batch.size();
+        }
+        if (batch.size() > 1) {
+            // Fused micro-batch: the whole dequeue runs as ONE
+            // Network::logitsBatch call, so every conv layer amortizes
+            // its weight prep, spectrum fetches, and transform
+            // dispatches across the batch. Results are bit-identical
+            // to the per-request loop below (the Layer/ConvEngine
+            // batch contract), including photonic sensing noise —
+            // noise streams derive from (seed, activations, weights),
+            // never from shared engine state. The engine window is
+            // shared, so each request's engine stage is attributed its
+            // 1/N share; engine-internal spans are not recorded for
+            // traced requests here (the ids differ per request, and a
+            // fused dispatch has no single owner to bind).
+            metric_.fused_batches->inc();
+            std::vector<nn::Tensor> inputs;
+            inputs.reserve(batch.size());
+            for (auto &request : batch)
+                inputs.push_back(std::move(request.input));
+            const auto t_engine_start = Clock::now();
+            std::vector<std::vector<double>> all_logits =
+                net.logitsBatch(inputs);
+            const auto t_engine_end = Clock::now();
+            const double engine_share_us =
+                std::chrono::duration<double, std::micro>(
+                    t_engine_end - t_engine_start)
+                    .count() /
+                static_cast<double>(batch.size());
+            for (size_t i = 0; i < batch.size(); ++i) {
+                auto &request = batch[i];
+                const auto enqueued = request.completion->enqueued;
+                const double latency_us =
+                    std::chrono::duration<double, std::micro>(
+                        t_engine_end - enqueued)
+                        .count();
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    auto &s = stats_[model];
+                    ++s.completed;
+                    s.latency_us.add(latency_us);
+                }
+                metric_.completed->inc();
+                metric_.latency_us->record(latency_us);
+                metric_.stage_queue_us->record(
+                    std::chrono::duration<double, std::micro>(t_pop -
+                                                              enqueued)
+                        .count());
+                metric_.stage_batch_us->record(
+                    std::chrono::duration<double, std::micro>(
+                        t_engine_start - t_pop)
+                        .count());
+                metric_.stage_engine_us->record(engine_share_us);
+                request.completion->fulfill(RequestStatus::Done,
+                                            std::move(all_logits[i]),
+                                            {});
+                const auto t_done = Clock::now();
+                metric_.stage_complete_us->record(
+                    std::chrono::duration<double, std::micro>(
+                        t_done - t_engine_end)
+                        .count());
+                if (request.trace_id != 0) {
+                    obs::recordSpan(request.trace_id, "request", 0,
+                                    toNs(enqueued),
+                                    spanNs(enqueued, t_done),
+                                    trace_sink_);
+                    obs::recordSpan(request.trace_id, "queue", 1,
+                                    toNs(enqueued),
+                                    spanNs(enqueued, t_pop),
+                                    trace_sink_);
+                    obs::recordSpan(request.trace_id, "batch", 1,
+                                    toNs(t_pop),
+                                    spanNs(t_pop, t_engine_start),
+                                    trace_sink_);
+                    // The fused engine window, shared by the batch.
+                    obs::recordSpan(request.trace_id, "engine", 1,
+                                    toNs(t_engine_start),
+                                    spanNs(t_engine_start, t_engine_end),
+                                    trace_sink_);
+                    obs::recordSpan(request.trace_id, "complete", 1,
+                                    toNs(t_engine_end),
+                                    spanNs(t_engine_end, t_done),
+                                    trace_sink_);
+                }
+            }
+            queue_.markDone(batch.size());
+            continue;
         }
         for (auto &request : batch) {
             const auto t_engine_start = Clock::now();

@@ -207,6 +207,7 @@ class InferenceServer
         obs::Counter *completed = nullptr;
         obs::Counter *unknown_model = nullptr;
         obs::Counter *batches = nullptr;
+        obs::Counter *fused_batches = nullptr;
         obs::Gauge *queue_depth = nullptr;
         obs::HistogramMetric *stage_queue_us = nullptr;
         obs::HistogramMetric *stage_batch_us = nullptr;

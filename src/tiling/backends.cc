@@ -167,7 +167,14 @@ fftConvProfitable(size_t input_len, size_t kernel_len,
     // only ~1.7x, so one cached FFT correlation now costs
     // ~8 * n * log2(n) sliding-MAC equivalents (6.9..9.7 across
     // n = 512..8192) — up from 2.0 with the scalar kernels. Re-fit
-    // whenever either kernel family changes speed.
+    // whenever either kernel family changes speed. The batched entry
+    // points (convolveBatch / *BatchInto) reuse this model per
+    // request on the shared shape: fusion amortizes spectrum fetches,
+    // transposes, and pool dispatch — not butterflies or sliding
+    // MACs — so the per-MAC ratio the factor captures is unchanged
+    // and both paths' per-request costs scale together (re-checked
+    // against BM_Conv1dBackend{Cpu,FftCached} in the batched-optics
+    // Release run; no re-fit needed).
     const size_t n = correlationFftSize(input_len, kernel_len);
     const size_t blocks = (count + (n - kernel_len)) / (n - kernel_len + 1);
     const double log2n = std::log2(static_cast<double>(n));

@@ -760,3 +760,130 @@ TEST(DirectEngine, FftRowPathIsRepeatableThroughTheCache)
     EXPECT_EQ(first.data(), second.data());
     EXPECT_GT(fft.spectrumCache()->stats().hits, cache_stats.hits);
 }
+
+// ---------------------------------------------------------------------------
+// Batched convolution/inference: the ConvEngine::convolveBatch and
+// Network::logitsBatch contracts (bit-identical to the solo calls).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<nn::Tensor>
+randomBatch(pf::Rng &rng, size_t n, size_t c, size_t h, size_t w)
+{
+    std::vector<nn::Tensor> batch;
+    for (size_t i = 0; i < n; ++i)
+        batch.push_back(randomTensor(rng, c, h, w, 0.0, 1.0));
+    return batch;
+}
+
+void
+expectBatchMatchesSolo(const nn::ConvEngine &engine,
+                       const std::vector<nn::Tensor> &inputs,
+                       const std::vector<nn::Tensor> &weights,
+                       const std::vector<double> &bias, size_t stride,
+                       sig::ConvMode mode, const char *label)
+{
+    const auto outs =
+        engine.convolveBatch(inputs, weights, bias, stride, mode);
+    ASSERT_EQ(outs.size(), inputs.size()) << label;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const auto solo =
+            engine.convolve(inputs[i], weights, bias, stride, mode);
+        ASSERT_EQ(outs[i].size(), solo.size()) << label;
+        for (size_t j = 0; j < solo.size(); ++j)
+            EXPECT_EQ(outs[i].data()[j], solo.data()[j])
+                << label << " input " << i << " element " << j;
+    }
+}
+
+} // namespace
+
+TEST(ConvEngineBatch, DirectEngineBothPathsBitIdentical)
+{
+    pf::Rng rng(200);
+    std::vector<nn::Tensor> weights;
+    for (size_t oc = 0; oc < 4; ++oc)
+        weights.push_back(randomTensor(rng, 3, 3, 3, -0.5, 0.5));
+    const std::vector<double> bias = {0.1, -0.2, 0.3, 0.0};
+    const auto inputs = randomBatch(rng, 4, 3, 12, 12);
+
+    for (auto path : {nn::ConvPath::Direct, nn::ConvPath::Fft,
+                      nn::ConvPath::Auto}) {
+        nn::DirectEngine engine(nullptr, path);
+        for (auto mode : {sig::ConvMode::Valid, sig::ConvMode::Same})
+            expectBatchMatchesSolo(engine, inputs, weights, bias, 1,
+                                   mode, "direct");
+        expectBatchMatchesSolo(engine, inputs, weights, bias, 2,
+                               sig::ConvMode::Same, "direct stride 2");
+    }
+}
+
+TEST(ConvEngineBatch, DirectEngineMixedShapesFallBack)
+{
+    pf::Rng rng(201);
+    std::vector<nn::Tensor> weights;
+    for (size_t oc = 0; oc < 2; ++oc)
+        weights.push_back(randomTensor(rng, 2, 3, 3, -0.5, 0.5));
+    std::vector<nn::Tensor> inputs;
+    inputs.push_back(randomTensor(rng, 2, 10, 10, 0.0, 1.0));
+    inputs.push_back(randomTensor(rng, 2, 14, 14, 0.0, 1.0));
+
+    nn::DirectEngine engine;
+    expectBatchMatchesSolo(engine, inputs, weights, {}, 1,
+                           sig::ConvMode::Same, "mixed shapes");
+}
+
+TEST(ConvEngineBatch, PhotoFourierBitIdenticalIncludingNoise)
+{
+    pf::Rng rng(202);
+    std::vector<nn::Tensor> weights;
+    for (size_t oc = 0; oc < 4; ++oc)
+        weights.push_back(randomTensor(rng, 3, 3, 3, -0.5, 0.5));
+    const std::vector<double> bias = {0.05, -0.1, 0.0, 0.2};
+    const auto inputs = randomBatch(rng, 3, 3, 12, 12);
+
+    // Quantized + noisy: the batched path shares only weight prep and
+    // the tiling plan; activation quantization, the noise key, and
+    // ADC calibration stay per input, so even the noise streams must
+    // be bit-identical to solo calls.
+    for (bool noise : {false, true}) {
+        nn::PhotoFourierEngineConfig config;
+        config.n_conv = 64;
+        config.noise = noise;
+        config.snr_db = 20.0;
+        config.noise_seed = 11;
+        nn::PhotoFourierEngine engine(config);
+        expectBatchMatchesSolo(engine, inputs, weights, bias, 1,
+                               sig::ConvMode::Same,
+                               noise ? "pf noisy" : "pf clean");
+    }
+}
+
+TEST(ConvEngineBatch, NetworkLogitsBatchMatchesSolo)
+{
+    pf::Rng rng(203);
+    auto net = nn::buildSmallVgg(4, rng);
+
+    // Exercise the engine-fused path end to end (conv layers hand the
+    // batch to convolveBatch; pool/relu/linear loop).
+    nn::PhotoFourierEngineConfig config;
+    config.n_conv = 64;
+    config.noise = true;
+    config.noise_seed = 3;
+    net.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(config));
+
+    std::vector<nn::Tensor> inputs;
+    for (size_t i = 0; i < 3; ++i)
+        inputs.push_back(randomTensor(rng, 3, 32, 32, 0.0, 1.0));
+
+    const auto batched = net.logitsBatch(inputs);
+    ASSERT_EQ(batched.size(), inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const auto solo = net.logits(inputs[i]);
+        ASSERT_EQ(batched[i].size(), solo.size());
+        for (size_t j = 0; j < solo.size(); ++j)
+            EXPECT_EQ(batched[i][j], solo[j])
+                << "input " << i << " logit " << j;
+    }
+}

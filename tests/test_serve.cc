@@ -24,6 +24,7 @@
 namespace pf = photofourier;
 namespace nn = photofourier::nn;
 namespace sig = photofourier::signal;
+namespace obs = photofourier::obs;
 namespace serve = photofourier::serve;
 
 namespace {
@@ -750,4 +751,51 @@ TEST(KernelSpectrumCacheTsan, ConcurrentSharedReadsAndInserts)
         thread.join();
     EXPECT_EQ(failures.load(), 0);
     EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(InferenceServer, FusedBatchesAreCountedAndBitIdenticalWithNoise)
+{
+    // The fused micro-batch path: a dequeued batch of N > 1 runs as
+    // one Network::logitsBatch call. Results must be bit-identical to
+    // solo Network::logits — including photonic sensing noise, whose
+    // stream derives from (seed, activations, weights), never from
+    // batch position — and every fused dispatch must tick
+    // pf_serve_fused_batch_total.
+    nn::PhotoFourierEngineConfig ecfg;
+    ecfg.n_conv = 64;
+    ecfg.noise = true;
+    ecfg.snr_db = 20.0;
+    ecfg.noise_seed = 5;
+    auto proto = tinyNet();
+    proto.setConvEngine(std::make_shared<nn::PhotoFourierEngine>(ecfg));
+
+    const auto inputs = tinyInputs(6);
+    const auto expected = referenceLogits(proto, inputs);
+
+    // start_workers = false: all submissions queue first, shutdown()
+    // delivers inline — so the batches are full (max_batch, then the
+    // remainder) and deterministically fused.
+    obs::MetricsRegistry reg;
+    serve::ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.start_workers = false;
+    cfg.batching.max_batch = 4;
+    cfg.metrics = &reg;
+    serve::InferenceServer server(cfg);
+    server.registry().add("tiny", std::move(proto));
+
+    std::vector<serve::Completion> handles;
+    for (const auto &input : inputs)
+        handles.push_back(server.submit("tiny", input));
+    server.shutdown();
+
+    for (size_t i = 0; i < handles.size(); ++i) {
+        ASSERT_EQ(handles[i].wait(), serve::RequestStatus::Done);
+        EXPECT_EQ(handles[i].logits(), expected[i])
+            << "fused request " << i
+            << " diverged from the solo path";
+    }
+    // 6 requests at max_batch 4 -> two dequeues, both of size > 1.
+    EXPECT_GE(reg.counter("pf_serve_fused_batch_total").value(), 2u);
+    EXPECT_EQ(reg.counter("pf_serve_completed_total").value(), 6u);
 }

@@ -237,13 +237,15 @@ printMetricsBreakdown(const obs::MetricsSnapshot &snap,
     printCacheRow(snap, "kernel", "pf_cache_kernel");
     printCacheRow(snap, "optical", "pf_cache_optical");
     std::printf(" counters: completed %llu  rejected %llu  "
-                "batches %llu  net tx %llu B  rx %llu B\n",
+                "batches %llu  fused %llu  net tx %llu B  rx %llu B\n",
                 static_cast<unsigned long long>(
                     snap.counterValue("pf_serve_completed_total")),
                 static_cast<unsigned long long>(
                     snap.counterValue("pf_serve_rejected_total")),
                 static_cast<unsigned long long>(
                     snap.counterValue("pf_serve_batches_total")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("pf_serve_fused_batch_total")),
                 static_cast<unsigned long long>(
                     snap.counterValue("pf_net_bytes_sent_total")),
                 static_cast<unsigned long long>(
@@ -258,6 +260,7 @@ struct RunResult
     uint64_t completed = 0;
     uint64_t rejected = 0;
     double mean_batch = 0.0;
+    uint64_t fused_batches = 0; ///< dispatches that ran logitsBatch
     double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, mean_us = 0.0;
 };
 
@@ -280,10 +283,10 @@ runOnce(const Options &opt, size_t max_batch,
     }
     cfg.workers = opt.workers;
     // A per-run private registry keeps each batch size's breakdown
-    // clean instead of accumulating across the sweep.
+    // (and the fused-dispatch count recorded below) clean instead of
+    // accumulating across the sweep.
     obs::MetricsRegistry run_metrics;
-    if (opt.metrics)
-        cfg.metrics = &run_metrics;
+    cfg.metrics = &run_metrics;
     serve::InferenceServer server(cfg);
     server.registry().add(opt.model, buildModel(opt.model));
 
@@ -350,6 +353,8 @@ runOnce(const Options &opt, size_t max_batch,
     result.throughput_rps =
         elapsed > 0.0 ? static_cast<double>(result.completed) / elapsed
                       : 0.0;
+    result.fused_batches =
+        run_metrics.counter("pf_serve_fused_batch_total").value();
     const auto report = server.report();
     for (const auto &m : report.models) {
         if (m.model != opt.model)
@@ -597,9 +602,10 @@ main(int argc, char **argv)
         const auto &r = results.back();
         std::printf(
             "  %6.1f req/s  p50 %8.1f us  p95 %8.1f us  p99 %8.1f us"
-            "  mean_batch %.2f  rejected %llu\n",
+            "  mean_batch %.2f  fused %llu  rejected %llu\n",
             r.throughput_rps, r.p50_us, r.p95_us, r.p99_us,
             r.mean_batch,
+            static_cast<unsigned long long>(r.fused_batches),
             static_cast<unsigned long long>(r.rejected));
     }
 
@@ -631,13 +637,16 @@ main(int argc, char **argv)
                      "    {\"max_batch\": %zu, \"elapsed_s\": %.4f, "
                      "\"throughput_rps\": %.2f, \"completed\": %llu, "
                      "\"rejected\": %llu, \"mean_batch\": %.3f, "
+                     "\"fused_batches\": %llu, "
                      "\"latency_mean_us\": %.1f, \"p50_us\": %.1f, "
                      "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
                      r.max_batch, r.elapsed_s, r.throughput_rps,
                      static_cast<unsigned long long>(r.completed),
                      static_cast<unsigned long long>(r.rejected),
-                     r.mean_batch, r.mean_us, r.p50_us, r.p95_us,
-                     r.p99_us, i + 1 < results.size() ? "," : "");
+                     r.mean_batch,
+                     static_cast<unsigned long long>(r.fused_batches),
+                     r.mean_us, r.p50_us, r.p95_us, r.p99_us,
+                     i + 1 < results.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
